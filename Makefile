@@ -1,0 +1,23 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench examples verify all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		python $$ex > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+verify: test bench examples
+
+all: install verify

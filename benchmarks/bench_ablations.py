@@ -1,0 +1,84 @@
+"""Ablations of the pipeline's design choices (DESIGN.md §5).
+
+* specialization collapsing (footnote 8) on/off: output size and cost;
+* semantic simplification on/off: inferred type sizes;
+* EXACT vs PAPER validity decisions: cost of the language-equivalence
+  checks that buy the tighter results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inference import InferenceMode, tighten
+from repro.regex import size as regex_size
+from repro.workloads import paper
+
+
+class TestCollapseAblation:
+    def test_ablate_with_collapse(self, benchmark):
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = benchmark(lambda: tighten(d1, q2, collapse=True))
+        specialized = [k for k in result.sdtd.types if k[1] != 0]
+        benchmark.extra_info["specialized_types"] = len(specialized)
+
+    def test_ablate_without_collapse(self, benchmark):
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = benchmark(lambda: tighten(d1, q2, collapse=False))
+        specialized = [k for k in result.sdtd.types if k[1] != 0]
+        benchmark.extra_info["specialized_types"] = len(specialized)
+
+    def test_collapse_shrinks_output(self, benchmark):
+        d1 = paper.d1()
+        q2 = paper.q2()
+        raw = tighten(d1, q2, collapse=False)
+        from repro.inference import collapse_result
+
+        collapsed = benchmark(lambda: collapse_result(raw))
+        assert len(collapsed.sdtd.types) < len(raw.sdtd.types)
+        # Q2 creates 7 condition-node keys raw; collapsing folds the
+        # duplicate publication conditions and base-equivalent leaves.
+        raw_pubs = [k for k in raw.sdtd.types if k[0] == "publication" and k[1]]
+        collapsed_pubs = [
+            k for k in collapsed.sdtd.types if k[0] == "publication" and k[1]
+        ]
+        assert len(raw_pubs) > len(collapsed_pubs)
+
+
+class TestSimplifyAblation:
+    def test_simplification_shrinks_types(self, benchmark):
+        from repro.inference.simplifytype import simplify_type
+        from repro.dtd import Pcdata
+
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = tighten(d1, q2)
+        raw_types = [
+            content
+            for content in result.sdtd.types.values()
+            if not isinstance(content, Pcdata)
+        ]
+
+        def run():
+            return [simplify_type(t) for t in raw_types]
+
+        simplified = benchmark(run)
+        raw_total = sum(regex_size(t) for t in raw_types)
+        simplified_total = sum(regex_size(t) for t in simplified)
+        assert simplified_total <= raw_total
+        benchmark.extra_info["raw_nodes"] = raw_total
+        benchmark.extra_info["simplified_nodes"] = simplified_total
+
+
+class TestModeAblation:
+    @pytest.mark.parametrize("mode", [InferenceMode.EXACT, InferenceMode.PAPER])
+    def test_mode_cost(self, benchmark, mode):
+        d11 = paper.d11()
+        q12 = paper.q12()
+        result = benchmark(lambda: tighten(d11, q12, mode))
+        benchmark.extra_info["mode"] = mode.value
+        benchmark.extra_info["classification"] = (
+            result.classification.value
+        )

@@ -1,0 +1,69 @@
+"""E14: the valid/satisfiable/unsatisfiable side effect, measured.
+
+Times the classification and records the verdict distribution over a
+random workload -- the data behind the claim that the query simplifier
+gets actionable verdicts at negligible cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import DtdShape
+from repro.inference import Classification, InferenceMode, tighten
+from repro.workloads import paper, synthetic
+from repro.xmas import parse_query
+
+
+class TestClassificationCost:
+    @pytest.mark.parametrize("mode", [InferenceMode.EXACT, InferenceMode.PAPER])
+    def test_e14_classify_q2(self, benchmark, mode):
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = benchmark(lambda: tighten(d1, q2, mode))
+        assert result.classification is Classification.SATISFIABLE
+        benchmark.extra_info["mode"] = mode.value
+
+    def test_e14_unsat_detection(self, benchmark):
+        d1 = paper.d1()
+        query = parse_query(
+            "v = SELECT X WHERE <department> X:<professor><course/>"
+            "</professor> </>"
+        )
+        result = benchmark(lambda: tighten(d1, query))
+        assert result.classification is Classification.UNSATISFIABLE
+
+
+class TestVerdictDistribution:
+    def test_e14_verdicts_over_random_workload(self, benchmark):
+        """Distribution of verdicts over random DTD/query pairs; both
+        modes agree on UNSATISFIABLE, EXACT proves more VALID."""
+        shape = DtdShape(n_names=7, p_star=0.3, p_alt=0.4)
+        points = synthetic.random_workload(
+            12, shape, random.Random(77), query_depth=3
+        )
+
+        def classify_all():
+            counts = {mode: {c: 0 for c in Classification} for mode in InferenceMode}
+            for point in points:
+                for mode in InferenceMode:
+                    verdict = tighten(point.dtd, point.query, mode).classification
+                    counts[mode][verdict] += 1
+            return counts
+
+        counts = benchmark(classify_all)
+        exact = counts[InferenceMode.EXACT]
+        paper_mode = counts[InferenceMode.PAPER]
+        assert (
+            exact[Classification.UNSATISFIABLE]
+            == paper_mode[Classification.UNSATISFIABLE]
+        )
+        assert exact[Classification.VALID] >= paper_mode[Classification.VALID]
+        benchmark.extra_info["exact"] = {
+            c.value: n for c, n in exact.items()
+        }
+        benchmark.extra_info["paper"] = {
+            c.value: n for c, n in paper_mode.items()
+        }

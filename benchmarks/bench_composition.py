@@ -1,0 +1,90 @@
+"""E16: query/view composition versus materialization.
+
+Section 1's TSIMMIS walkthrough has the mediator rewrite incoming
+queries against the view into direct source queries.  This bench
+measures the composable path against materialize-then-evaluate on the
+same workload, and the break-even behaviour as sources grow.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document
+from repro.mediator import Mediator, Source, compose_query
+from repro.workloads import paper
+from repro.xmas import parse_query
+
+CLIENT = """
+titles = SELECT T WHERE <publist> <publication> T:<title/> </> </>
+"""
+
+
+def build(n_docs: int, star_mean: float = 2.0) -> Mediator:
+    rng = random.Random(123)
+    d1 = paper.d1()
+    docs = [
+        generate_document(d1, rng, star_mean=star_mean)
+        for _ in range(n_docs)
+    ]
+    mediator = Mediator("mix")
+    mediator.add_source(Source("dept", d1, docs, validate=False))
+    mediator.register_view(paper.q3(), "dept")
+    return mediator
+
+
+class TestE16Composition:
+    def test_e16_compose_query_cost(self, benchmark):
+        view = paper.q3()
+        client = parse_query(CLIENT)
+        d1 = paper.d1()
+        composed = benchmark(lambda: compose_query(view, client, d1))
+        assert composed is not None
+
+    @pytest.mark.parametrize("n_docs", [2, 8])
+    def test_e16_composed_execution(self, benchmark, n_docs):
+        mediator = build(n_docs)
+        client = parse_query(CLIENT)
+        answer = benchmark(
+            lambda: mediator.query_view(
+                client, "publist", use_simplifier=False, strategy="compose"
+            )
+        )
+        benchmark.extra_info["answers"] = len(answer.root.children)
+
+    @pytest.mark.parametrize("n_docs", [2, 8])
+    def test_e16_materialized_execution(self, benchmark, n_docs):
+        mediator = build(n_docs)
+        client = parse_query(CLIENT)
+        answer = benchmark(
+            lambda: mediator.query_view(
+                client,
+                "publist",
+                use_simplifier=False,
+                strategy="materialize",
+            )
+        )
+        benchmark.extra_info["answers"] = len(answer.root.children)
+
+    def test_e16_same_answers(self, benchmark):
+        mediator = build(4)
+        client = parse_query(CLIENT)
+
+        def run():
+            composed = mediator.query_view(
+                client, "publist", strategy="compose"
+            )
+            materialized = mediator.query_view(
+                client, "publist", strategy="materialize"
+            )
+            return composed, materialized
+
+        composed, materialized = benchmark(run)
+        assert len(composed.root.children) == len(
+            materialized.root.children
+        )
+        titles_a = [e.text for e in composed.root.children]
+        titles_b = [e.text for e in materialized.root.children]
+        assert titles_a == titles_b

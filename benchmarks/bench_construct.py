@@ -1,0 +1,75 @@
+"""E19: CONSTRUCT views -- the restructuring extension, measured.
+
+The paper's framework is meant to outlive its pick-element class
+("we believe that the tightness criterion can be a benchmark for
+other, more powerful, view definition languages").  This bench applies
+the soundness/tightness criteria to CONSTRUCT views: inference cost,
+empirical soundness, and the tightness retained in slot types.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtd import generate_document, satisfies_sdtd, validate_document
+from repro.inference import infer_construct_view_dtd
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads import paper
+from repro.xmas import evaluate_construct, parse_construct_query
+
+ROSTER = """
+roster =
+  CONSTRUCT <entry> $F $L $P </entry>
+  WHERE <department>
+          <professor | gradStudent>
+            F:<firstName/> L:<lastName/>
+            P:<publication><journal/></publication>
+          </>
+        </>
+"""
+
+
+class TestE19Construct:
+    def test_e19_inference(self, benchmark):
+        d1 = paper.d1()
+        query = parse_construct_query(ROSTER)
+        result = benchmark(lambda: infer_construct_view_dtd(d1, query))
+        assert is_equivalent(result.dtd.types["roster"], parse_regex("entry*"))
+        assert is_equivalent(
+            result.dtd.types["entry"],
+            parse_regex("firstName, lastName, publication"),
+        )
+        # The slot kept the journal refinement: tightness through
+        # restructuring.
+        assert is_equivalent(
+            result.dtd.types["publication"],
+            parse_regex("title, author+, journal"),
+        )
+        benchmark.extra_info["slot_refined"] = True
+
+    def test_e19_evaluation(self, benchmark):
+        d1 = paper.d1()
+        query = parse_construct_query(ROSTER)
+        rng = random.Random(9)
+        doc = generate_document(d1, rng, star_mean=2.2)
+        view = benchmark(lambda: evaluate_construct(query, doc))
+        benchmark.extra_info["rows"] = len(view.root.children)
+
+    def test_e19_soundness(self, benchmark):
+        d1 = paper.d1()
+        query = parse_construct_query(ROSTER)
+        result = infer_construct_view_dtd(d1, query)
+        rng = random.Random(10)
+        docs = [generate_document(d1, rng, star_mean=2.0) for _ in range(10)]
+
+        def run():
+            for doc in docs:
+                view = evaluate_construct(query, doc)
+                if not validate_document(view, result.dtd).ok:
+                    return False
+                if not satisfies_sdtd(view.root, result.sdtd):
+                    return False
+            return True
+
+        assert benchmark(run)
+        benchmark.extra_info["trials"] = len(docs)

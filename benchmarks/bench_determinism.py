@@ -1,0 +1,86 @@
+"""E17: emitting inferred view DTDs as legal XML (determinism repair).
+
+XML 1.0 only admits deterministic (one-unambiguous) content models;
+inferred types are not always in that form.  Measures how often the
+paper-workload and synthetic view DTDs need repair, the repair cost,
+and the BKW one-unambiguity decision cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import (
+    RepairStatus,
+    is_deterministic_model,
+    is_one_unambiguous,
+    xmlize_dtd,
+)
+from repro.dtd.determinize import determinize_content_model
+from repro.inference import infer_view_dtd
+from repro.regex import parse_regex
+from repro.workloads import paper, synthetic
+
+
+class TestE17Repair:
+    def test_e17_paper_views_xml_compatible(self, benchmark):
+        cases = [
+            (paper.d1(), paper.q2()),
+            (paper.d1(), paper.q3()),
+            (paper.d9(), paper.q6()),
+            (paper.d9(), paper.q7()),
+            (paper.d11(), paper.q12()),
+        ]
+        results = [infer_view_dtd(d, q) for d, q in cases]
+
+        def run():
+            return [result.xml_dtd() for result in results]
+
+        reports = benchmark(run)
+        statuses = {
+            status
+            for _, report in reports
+            for status in report.statuses.values()
+        }
+        assert all(report.fully_deterministic for _, report in reports)
+        repaired = sum(
+            1
+            for _, report in reports
+            for status in report.statuses.values()
+            if status is RepairStatus.REPAIRED
+        )
+        benchmark.extra_info["names_repaired"] = repaired
+        benchmark.extra_info["statuses_seen"] = sorted(
+            s.value for s in statuses
+        )
+
+    def test_e17_repair_cost(self, benchmark):
+        r = parse_regex("(a, b, d) | (a, c, d) | (b, c) | (a, b)")
+        repaired = benchmark(lambda: determinize_content_model(r))
+        assert repaired is not None
+        assert is_deterministic_model(repaired)
+
+    def test_e17_decision_cost(self, benchmark):
+        hard = parse_regex("(a | b)*, a, (a | b)")
+        verdict = benchmark(lambda: is_one_unambiguous(hard))
+        assert not verdict
+
+    def test_e17_synthetic_views(self, benchmark):
+        d = synthetic.layered_dtd(3, 4)
+        queries = [
+            synthetic.path_query(d, 2, random.Random(seed), side_conditions=2)
+            for seed in range(4)
+        ]
+        results = [infer_view_dtd(d, q) for q in queries]
+
+        def run():
+            return [result.xml_dtd()[1] for result in results]
+
+        reports = benchmark(run)
+        impossible = sum(
+            len(report.names_with(RepairStatus.IMPOSSIBLE))
+            for report in reports
+        )
+        benchmark.extra_info["impossible_names"] = impossible

@@ -1,0 +1,100 @@
+"""E9 + E12: measured soundness and tightness quality.
+
+E9 measures the empirical soundness rate (must be 100%) and its cost;
+E12 produces the looseness-factor table -- Section 3.2's information
+loss, quantified by exact word counting -- and the structural-tightness
+coverage of plain vs specialized view DTDs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.inference import (
+    check_soundness,
+    infer_view_dtd,
+    looseness_report,
+    naive_view_dtd,
+    structural_tightness_probe,
+)
+from repro.workloads import paper
+
+
+class TestE9Soundness:
+    def test_e9_soundness_run_q2(self, benchmark):
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = infer_view_dtd(d1, q2)
+
+        def run():
+            return check_soundness(
+                d1, q2, result, trials=25, rng=random.Random(1),
+                star_mean=1.6,
+            )
+
+        report = benchmark(run)
+        assert report.sound
+        benchmark.extra_info["violations"] = report.dtd_violations
+        benchmark.extra_info["trials"] = report.trials
+
+    def test_e9_soundness_run_q12(self, benchmark):
+        d11 = paper.d11()
+        q12 = paper.q12()
+        result = infer_view_dtd(d11, q12)
+
+        def run():
+            return check_soundness(
+                d11, q12, result, trials=25, rng=random.Random(2),
+                star_mean=1.4,
+            )
+
+        report = benchmark(run)
+        assert report.sound
+
+
+class TestE12Looseness:
+    def test_e12_looseness_table_q2(self, benchmark):
+        """The naive-vs-tight looseness factors (Example 3.1 made
+        quantitative).  The factors are the experiment's 'table'."""
+        d1 = paper.d1()
+        q2 = paper.q2()
+        tight = infer_view_dtd(d1, q2).dtd
+        naive = naive_view_dtd(d1, q2)
+
+        rows = benchmark(lambda: looseness_report(naive, tight, 8))
+        table = {row.name: row.factor for row in rows}
+        # Who wins and by how much: the list type is the big win.
+        assert table["withJournals"] > 5.0
+        assert table["professor"] > 1.0
+        assert table["gradStudent"] > 1.0
+        assert table["publication"] == 1.0
+        benchmark.extra_info["looseness_factors"] = {
+            name: round(factor, 3) for name, factor in table.items()
+        }
+
+    def test_e12_sdtd_vs_plain_coverage_q2(self, benchmark):
+        """Structural tightness: the merged plain DTD describes view
+        structures the view can never produce; the s-DTD does not."""
+        result = infer_view_dtd(paper.d1(), paper.q2())
+
+        def run():
+            return structural_tightness_probe(
+                result, samples=60, rng=random.Random(5)
+            )
+
+        probe = benchmark(run)
+        assert probe.has_gap
+        benchmark.extra_info["plain_dtd_coverage"] = round(probe.coverage, 3)
+
+    def test_e12_q3_no_gap(self, benchmark):
+        """D3 is structurally tight: no plain-vs-specialized gap."""
+        result = infer_view_dtd(paper.d1(), paper.q3())
+
+        def run():
+            return structural_tightness_probe(
+                result, samples=60, rng=random.Random(6)
+            )
+
+        probe = benchmark(run)
+        assert not probe.has_gap
+        benchmark.extra_info["plain_dtd_coverage"] = probe.coverage

@@ -1,0 +1,83 @@
+"""E15: DTDs versus dataguides (Related Work, Section 5), measured.
+
+The paper's claims: dataguides "do not capture constraints on order
+and cardinality ... and constraints on the siblings" (they are looser
+per node), while being data-derived (they can reject valid unseen
+documents, which a sound view DTD never does).  Both directions are
+quantified here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataguide import build_dataguide, conforms, dataguide_to_sdtd
+from repro.dtd import generate_document, validate_document
+from repro.inference import infer_view_dtd, merge_sdtd
+from repro.regex import count_words_up_to, is_proper_subset
+from repro.workloads import paper
+from repro.xmas import evaluate
+
+
+def _view_corpus(n, seed, star_mean=2.2):
+    d1 = paper.d1()
+    q2 = paper.q2()
+    rng = random.Random(seed)
+    views = []
+    while len(views) < n:
+        doc = generate_document(d1, rng, star_mean=star_mean)
+        view = evaluate(q2, doc)
+        if view.root.children:
+            views.append(view)
+    return views
+
+
+class TestE15DataguideComparison:
+    def test_e15_build_dataguide(self, benchmark):
+        views = _view_corpus(6, seed=11)
+        guide = benchmark(lambda: build_dataguide(views))
+        benchmark.extra_info["guide_nodes"] = guide.n_nodes
+
+    def test_e15_order_cardinality_loss(self, benchmark):
+        """Per-node looseness of the dataguide description vs the
+        inferred view DTD (the paper's qualitative claim, counted)."""
+        views = _view_corpus(6, seed=12)
+        result = infer_view_dtd(paper.d1(), paper.q2())
+
+        def run():
+            guide_sdtd = dataguide_to_sdtd(build_dataguide(views))
+            return merge_sdtd(guide_sdtd).dtd
+
+        guide_dtd = benchmark(run)
+        factors = {}
+        for name in ("professor", "gradStudent"):
+            if name not in guide_dtd:
+                continue
+            loose = count_words_up_to(guide_dtd.types[name], 6)
+            tight = count_words_up_to(result.dtd.types[name], 6)
+            assert is_proper_subset(
+                result.dtd.types[name], guide_dtd.types[name]
+            )
+            factors[name] = round(loose / tight, 2)
+        assert factors
+        assert all(f > 1 for f in factors.values())
+        benchmark.extra_info["looseness_vs_dtd"] = factors
+
+    def test_e15_dataguide_overfits(self, benchmark):
+        """False-rejection rate of a trained dataguide on fresh valid
+        views; the inferred view DTD rejects none (soundness)."""
+        train = _view_corpus(3, seed=13, star_mean=1.6)
+        fresh = _view_corpus(30, seed=14, star_mean=2.6)
+        result = infer_view_dtd(paper.d1(), paper.q2())
+        guide = build_dataguide(train)
+
+        def run():
+            return sum(1 for v in fresh if not conforms(v, guide))
+
+        rejected = benchmark(run)
+        dtd_rejected = sum(
+            1 for v in fresh if not validate_document(v, result.dtd).ok
+        )
+        assert dtd_rejected == 0
+        benchmark.extra_info["dataguide_false_rejects"] = rejected
+        benchmark.extra_info["dtd_false_rejects"] = dtd_rejected

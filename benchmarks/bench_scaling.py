@@ -1,0 +1,119 @@
+"""E13: scaling of the inference algorithms.
+
+The paper gives no complexity analysis; these sweeps characterize the
+implementation: tightening/inference time versus DTD width and query
+depth, refinement versus content-model size, and validation
+throughput versus document size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document, validate_document
+from repro.inference import infer_view_dtd, refine, tighten
+from repro.regex import Sym, alt, concat, parse_regex, star, sym
+from repro.workloads import paper, synthetic
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+class TestDtdWidthSweep:
+    def test_e13_infer_vs_dtd_width(self, benchmark, width):
+        d = synthetic.layered_dtd(3, width)
+        q = synthetic.path_query(d, 2, random.Random(1), side_conditions=1)
+        result = benchmark(lambda: infer_view_dtd(d, q))
+        benchmark.extra_info["dtd_names"] = len(d.names)
+        benchmark.extra_info["view_names"] = len(result.dtd.names)
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 5])
+class TestQueryDepthSweep:
+    def test_e13_infer_vs_query_depth(self, benchmark, depth):
+        d = synthetic.layered_dtd(6, 3)
+        q = synthetic.path_query(d, depth, random.Random(2), side_conditions=1)
+        benchmark(lambda: infer_view_dtd(d, q))
+        benchmark.extra_info["query_depth"] = depth
+
+
+@pytest.mark.parametrize("n_alternatives", [2, 8, 32])
+class TestRefineSweep:
+    def test_e13_refine_vs_model_size(self, benchmark, n_alternatives):
+        """Refining a star of a growing disjunction."""
+        names = [sym(f"x{i}") for i in range(n_alternatives)]
+        model = concat(sym("head"), star(alt(*names)))
+        target = Sym("x0")
+        refined = benchmark(lambda: refine(model, target))
+        from repro.regex import is_empty
+
+        assert not is_empty(refined)
+        benchmark.extra_info["alternatives"] = n_alternatives
+
+
+@pytest.mark.parametrize("n_docs", [1, 4, 16])
+class TestValidationThroughput:
+    def test_e13_validation_vs_corpus_size(self, benchmark, n_docs):
+        d1 = paper.d1()
+        rng = random.Random(3)
+        docs = [
+            generate_document(d1, rng, star_mean=2.0) for _ in range(n_docs)
+        ]
+        total = sum(doc.size() for doc in docs)
+
+        def run():
+            return all(validate_document(doc, d1).ok for doc in docs)
+
+        assert benchmark(run)
+        benchmark.extra_info["elements"] = total
+
+
+class TestRealisticWorkload:
+    """The DBLP-style bibdb schema: 32 names, depth 6."""
+
+    def test_e13_bibdb_inference(self, benchmark):
+        from repro.workloads import bibdb
+
+        d = bibdb.bibdb_dtd()
+        queries = bibdb.all_views()
+
+        def run():
+            return [infer_view_dtd(d, q) for q in queries]
+
+        results = benchmark(run)
+        assert all(not r.is_empty_view for r in results)
+        benchmark.extra_info["views"] = len(results)
+        benchmark.extra_info["dtd_names"] = len(d.names)
+
+    def test_e13_bibdb_end_to_end(self, benchmark):
+        from repro.workloads import bibdb
+        from repro.xmas import evaluate
+
+        d = bibdb.bibdb_dtd()
+        query = bibdb.journal_articles_view()
+        rng = random.Random(6)
+        docs = bibdb.corpus(3, rng, star_mean=1.8)
+
+        def run():
+            return sum(
+                len(evaluate(query, doc).root.children) for doc in docs
+            )
+
+        picks = benchmark(run)
+        benchmark.extra_info["picks"] = picks
+        benchmark.extra_info["corpus_elements"] = sum(
+            doc.size() for doc in docs
+        )
+
+
+@pytest.mark.parametrize("star_mean", [1.0, 2.0, 4.0])
+class TestEvaluationThroughput:
+    def test_e13_query_eval_vs_document_size(self, benchmark, star_mean):
+        from repro.xmas import evaluate
+
+        d1 = paper.d1()
+        q2 = paper.q2()
+        rng = random.Random(4)
+        doc = generate_document(d1, rng, star_mean=star_mean)
+        benchmark(lambda: evaluate(q2, doc))
+        benchmark.extra_info["doc_elements"] = doc.size()

@@ -1,0 +1,63 @@
+"""Validation throughput: plain DTD (Definition 2.3) vs specialized
+DTD (tree-automaton semantics).
+
+The s-DTD check is the price of structural tightness; this benchmark
+quantifies the overhead relative to the plain check on the same views.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document, satisfies_sdtd, validate_document
+from repro.inference import infer_view_dtd
+from repro.workloads import paper
+from repro.xmas import evaluate
+
+
+@pytest.fixture(scope="module")
+def q2_view():
+    d1 = paper.d1()
+    q2 = paper.q2()
+    result = infer_view_dtd(d1, q2)
+    rng = random.Random(91)
+    views = []
+    while len(views) < 5:
+        doc = generate_document(d1, rng, star_mean=2.2)
+        view = evaluate(q2, doc)
+        if view.root.children:
+            views.append(view)
+    return result, views
+
+
+class TestValidationCost:
+    def test_plain_dtd_validation(self, benchmark, q2_view):
+        result, views = q2_view
+
+        def run():
+            return all(validate_document(v, result.dtd).ok for v in views)
+
+        assert benchmark(run)
+        benchmark.extra_info["views"] = len(views)
+
+    def test_sdtd_validation(self, benchmark, q2_view):
+        result, views = q2_view
+
+        def run():
+            return all(satisfies_sdtd(v.root, result.sdtd) for v in views)
+
+        assert benchmark(run)
+        benchmark.extra_info["views"] = len(views)
+
+    def test_source_validation_throughput(self, benchmark):
+        d1 = paper.d1()
+        rng = random.Random(92)
+        doc = generate_document(d1, rng, star_mean=3.0)
+
+        def run():
+            return validate_document(doc, d1).ok
+
+        assert benchmark(run)
+        benchmark.extra_info["elements"] = doc.size()

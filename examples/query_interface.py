@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The DTD-based query interface (Section 1's first benefit).
+
+"The view DTD is passed to the DTD-based query interface which
+displays the structure of the view elements and also provides fill-in
+windows and menus that allow the user to place conditions on the
+elements."
+
+This example shows the model behind such an interface:
+
+1. display the browsable structure of a source DTD,
+2. assemble a query from interface gestures (descend / fill-in /
+   require) with the :class:`QueryBuilder`,
+3. infer the view DTD of the assembled query and display the *view's*
+   structure -- which is what the next user, or a stacked mediator,
+   would browse.
+
+Run:  python examples/query_interface.py
+"""
+
+from repro import QueryBuilder, infer_view_dtd, structure_tree, to_string
+from repro.workloads import paper
+
+
+def main() -> None:
+    d1 = paper.d1()
+
+    print("=" * 72)
+    print("1. What the user browses: the source structure")
+    print("=" * 72)
+    print(structure_tree(d1).render())
+
+    print()
+    print("=" * 72)
+    print("2. Interface gestures -> XMAS query")
+    print("=" * 72)
+    query = (
+        QueryBuilder(d1, view_name="withJournals")
+        .descend("department")                    # click: descend
+        .condition_text("name", "CS")             # fill-in: name = CS
+        .descend("professor", "gradStudent", pick=True)  # select these
+        .require("publication", containing=["journal"], distinct=2)
+        .build()
+    )
+    print(query)
+
+    print()
+    print("=" * 72)
+    print("3. The inferred view DTD (what the interface shows next)")
+    print("=" * 72)
+    result = infer_view_dtd(d1, query)
+    print("classification:", result.classification.value)
+    print("list type:", to_string(result.list_type))
+    print()
+    print(structure_tree(result.dtd).render())
+    print()
+    print("specialized view DTD (served to stacked mediators):")
+    print(result.sdtd)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments lacking the ``wheel`` package (pip falls back to
+the legacy develop install when no build backend is declared).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MIX view-DTD inference: reproduction of Papakonstantinou & "
+        "Velikhov, ICDE 1999"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -1,0 +1,102 @@
+"""repro -- view DTD inference for XML mediators.
+
+A full reproduction of Papakonstantinou & Velikhov, *Enhancing
+Semistructured Data Mediators with Document Type Definitions*
+(ICDE 1999): the MIX mediator architecture, XMAS pick-element queries,
+and the view-DTD inference algorithms (type refinement, Tighten,
+Merge, result-list inference) with their soundness/tightness quality
+framework.
+
+Quickstart::
+
+    from repro import dtd, parse_query, infer_view_dtd
+
+    source = dtd({
+        "professor": "name, (journal | conference)*",
+        "name": "#PCDATA", "journal": "#PCDATA", "conference": "#PCDATA",
+    }, root="professor")
+    q = parse_query("SELECT X WHERE X:<professor><journal/></professor>")
+    result = infer_view_dtd(source, q)
+    print(result.describe())
+
+Subpackages:
+
+* :mod:`repro.regex`     -- content models as regular expressions
+* :mod:`repro.xmlmodel`  -- the XML abstraction (elements, documents)
+* :mod:`repro.dtd`       -- DTDs, specialized DTDs, validation
+* :mod:`repro.xmas`      -- the query language
+* :mod:`repro.inference` -- the view-DTD inference algorithms
+* :mod:`repro.mediator`  -- the MIX mediator
+* :mod:`repro.workloads` -- paper examples and synthetic generators
+"""
+
+from .dtd import (
+    PCDATA,
+    Dtd,
+    SpecializedDtd,
+    dtd,
+    parse_dtd,
+    parse_paper_dtd,
+    parse_paper_sdtd,
+    satisfies_sdtd,
+    sdtd,
+    serialize_dtd,
+    validate_document,
+)
+from .inference import (
+    Classification,
+    InferenceMode,
+    InferenceResult,
+    check_soundness,
+    infer_list_type,
+    infer_view_dtd,
+    merge_sdtd,
+    naive_view_dtd,
+    refine,
+    tighten,
+)
+from .mediator import Mediator, QueryBuilder, Source, simplify_query, structure_tree
+from .regex import parse_regex, to_string
+from .xmas import Query, evaluate, parse_query
+from .xmlmodel import Document, Element, parse_document, serialize_document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Classification",
+    "Document",
+    "Dtd",
+    "Element",
+    "InferenceMode",
+    "InferenceResult",
+    "Mediator",
+    "PCDATA",
+    "Query",
+    "QueryBuilder",
+    "Source",
+    "SpecializedDtd",
+    "__version__",
+    "check_soundness",
+    "dtd",
+    "evaluate",
+    "infer_list_type",
+    "infer_view_dtd",
+    "merge_sdtd",
+    "naive_view_dtd",
+    "parse_document",
+    "parse_dtd",
+    "parse_paper_dtd",
+    "parse_paper_sdtd",
+    "parse_query",
+    "parse_regex",
+    "refine",
+    "satisfies_sdtd",
+    "sdtd",
+    "serialize_document",
+    "serialize_dtd",
+    "simplify_query",
+    "structure_tree",
+    "tighten",
+    "to_string",
+    "validate_document",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``infer``     -- infer the view DTD of an XMAS query over a DTD
+* ``classify``  -- valid / satisfiable / unsatisfiable verdict
+* ``evaluate``  -- run a query over an XML document
+* ``validate``  -- validate a document against a DTD
+* ``structure`` -- display the browsable structure of a DTD
+
+DTD files may use standard ``<!ELEMENT>`` declarations (optionally
+DOCTYPE-wrapped) or the paper's ``{<name : model> ...}`` notation;
+the format is auto-detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .dtd import Dtd, parse_dtd, parse_paper_dtd, serialize_dtd, validate_document
+from .errors import ReproError
+from .inference import InferenceMode, infer_view_dtd
+from .mediator import structure_tree
+from .xmas import evaluate, parse_query
+from .xmlmodel import parse_document, serialize_document
+
+
+def _load_dtd(path: str, root: str | None = None) -> Dtd:
+    text = Path(path).read_text()
+    if "<!ELEMENT" in text:
+        return parse_dtd(text, root)
+    return parse_paper_dtd(text, root)
+
+
+def _load_query(path: str):
+    return parse_query(Path(path).read_text())
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    query = _load_query(args.query)
+    mode = InferenceMode(args.mode)
+    result = infer_view_dtd(dtd, query, mode)
+    if args.format == "report":
+        print(result.describe())
+    elif args.format == "xml":
+        print(serialize_dtd(result.dtd))
+    else:  # paper
+        print(result.sdtd)
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .inference import tighten
+
+    dtd = _load_dtd(args.dtd, args.root)
+    query = _load_query(args.query)
+    result = tighten(dtd, query, InferenceMode(args.mode), strict=False)
+    print(result.classification.value)
+    return 0 if result.classification.is_satisfiable else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    document = parse_document(Path(args.document).read_text())
+    answer = evaluate(query, document)
+    print(serialize_document(answer), end="")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    document = parse_document(Path(args.document).read_text())
+    report = validate_document(document, dtd)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_structure(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    print(structure_tree(dtd, max_depth=args.depth).render())
+    return 0
+
+
+def _cmd_xmlize(args: argparse.Namespace) -> int:
+    from .dtd import RepairStatus, xmlize_dtd
+
+    dtd = _load_dtd(args.dtd, args.root)
+    repaired, report = xmlize_dtd(dtd)
+    print(serialize_dtd(repaired))
+    for status in RepairStatus:
+        names = report.names_with(status)
+        if names and status is not RepairStatus.ALREADY_DETERMINISTIC:
+            print(f"# {status.value}: {', '.join(names)}")
+    return 0 if report.fully_deterministic else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="View DTD inference for XML mediators (ICDE 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dtd_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dtd", required=True, help="DTD file")
+        p.add_argument(
+            "--root", default=None, help="document type (override)"
+        )
+
+    p = sub.add_parser("infer", help="infer a view DTD")
+    add_dtd_options(p)
+    p.add_argument("--query", required=True, help="XMAS query file")
+    p.add_argument(
+        "--mode",
+        choices=[m.value for m in InferenceMode],
+        default="exact",
+        help="validity decision mode (default: exact)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["report", "paper", "xml"],
+        default="report",
+        help="output format (default: full report)",
+    )
+    p.set_defaults(func=_cmd_infer)
+
+    p = sub.add_parser("classify", help="classify a query against a DTD")
+    add_dtd_options(p)
+    p.add_argument("--query", required=True)
+    p.add_argument(
+        "--mode",
+        choices=[m.value for m in InferenceMode],
+        default="exact",
+    )
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("evaluate", help="run a query over a document")
+    p.add_argument("--query", required=True)
+    p.add_argument("document", help="XML document file")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("validate", help="validate a document against a DTD")
+    add_dtd_options(p)
+    p.add_argument("document", help="XML document file")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("structure", help="show a DTD's element structure")
+    add_dtd_options(p)
+    p.add_argument("--depth", type=int, default=12, help="max display depth")
+    p.set_defaults(func=_cmd_structure)
+
+    p = sub.add_parser(
+        "xmlize",
+        help="repair content models to XML-1.0 determinism",
+    )
+    add_dtd_options(p)
+    p.set_defaults(func=_cmd_xmlize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Dataguides (Goldman & Widom, VLDB 1997) -- the related-work baseline.
+
+Section 5 of the paper compares DTDs against dataguides: "they do not
+capture constraints on order and cardinality and they do not capture
+constraints on the siblings ... however dataguides do not require the
+same type name to define the same type, so in this respect dataguides
+are similar to s-DTDs."
+
+This subpackage makes those claims measurable (experiment E15):
+
+* :func:`build_dataguide` computes the strong dataguide of a document
+  set (for tree-shaped data: the trie of label paths);
+* :func:`conforms` checks a document against a dataguide (dataguides
+  are *data-derived*: they can reject unseen-but-valid documents,
+  unlike a sound view DTD);
+* :func:`dataguide_to_sdtd` converts a dataguide into a specialized
+  DTD whose content models are ``(child1 | ... | childk)*`` -- the
+  order/cardinality-free description a dataguide carries, directly
+  comparable to inferred view DTDs by the looseness metrics.
+"""
+
+from .guide import (
+    DataGuide,
+    GuideNode,
+    build_dataguide,
+    conforms,
+    dataguide_to_sdtd,
+)
+
+__all__ = [
+    "DataGuide",
+    "GuideNode",
+    "build_dataguide",
+    "conforms",
+    "dataguide_to_sdtd",
+]

@@ -1,0 +1,182 @@
+"""Strong dataguides over tree-shaped XML data.
+
+A strong dataguide has exactly one node per distinct *label path*
+occurring in the data (for trees, the path trie), each node recording
+the child labels seen under that path and whether text content was
+seen.  Two properties matter for the paper's comparison:
+
+* a dataguide is **data-derived**: it describes exactly the paths seen
+  so far, so it may *reject* a document the source DTD allows
+  (overfitting), while a sound view DTD never rejects a real view;
+* a dataguide forgets **order, cardinality and sibling constraints**:
+  under a path, only the *set* of child labels is known.
+
+:func:`dataguide_to_sdtd` materializes the second point: each guide
+node becomes a specialization (the paper's remark that dataguide nodes
+are like s-DTD specializations) whose content model is the
+order/cardinality-free ``(child1 | ... | childk)*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..dtd import PCDATA, SpecializedDtd, TaggedName
+from ..xmlmodel import Document, Element
+
+
+@dataclass
+class GuideNode:
+    """One node of a strong dataguide: a distinct label path."""
+
+    label: str
+    children: dict[str, "GuideNode"] = field(default_factory=dict)
+    #: text content observed at this path
+    has_text: bool = False
+    #: element (non-text) content observed at this path
+    has_elements: bool = False
+    #: how many data elements this node summarizes
+    count: int = 0
+
+    def child(self, label: str) -> "GuideNode":
+        if label not in self.children:
+            self.children[label] = GuideNode(label)
+        return self.children[label]
+
+    def iter_nodes(self) -> Iterator["GuideNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.iter_nodes()
+
+
+@dataclass
+class DataGuide:
+    """A strong dataguide for a corpus of same-rooted documents."""
+
+    root: GuideNode
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.root.iter_nodes())
+
+    def paths(self) -> list[tuple[str, ...]]:
+        """All label paths, root-first, lexicographic."""
+        result: list[tuple[str, ...]] = []
+
+        def visit(node: GuideNode, prefix: tuple[str, ...]) -> None:
+            path = prefix + (node.label,)
+            result.append(path)
+            for label in sorted(node.children):
+                visit(node.children[label], path)
+
+        visit(self.root, ())
+        return result
+
+    def render(self) -> str:
+        """Indented path display (what Lore's UI showed)."""
+        lines: list[str] = []
+
+        def visit(node: GuideNode, depth: int) -> None:
+            marker = " #text" if node.has_text else ""
+            lines.append(f"{'  ' * depth}{node.label}{marker} [{node.count}]")
+            for label in sorted(node.children):
+                visit(node.children[label], depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+def _absorb(node: GuideNode, element: Element) -> None:
+    node.count += 1
+    if element.is_pcdata:
+        node.has_text = True
+        return
+    node.has_elements = True
+    for child in element.children:
+        _absorb(node.child(child.name), child)
+
+
+def build_dataguide(documents: Iterable[Document]) -> DataGuide:
+    """The strong dataguide of a corpus (all roots must share a name)."""
+    documents = list(documents)
+    if not documents:
+        raise ValueError("cannot build a dataguide from an empty corpus")
+    root_name = documents[0].root.name
+    root = GuideNode(root_name)
+    for document in documents:
+        if document.root.name != root_name:
+            raise ValueError(
+                f"mixed root names: {root_name!r} vs "
+                f"{document.root.name!r}"
+            )
+        _absorb(root, document.root)
+    return DataGuide(root)
+
+
+def conforms(document: Document, guide: DataGuide) -> bool:
+    """Does every label path of the document occur in the guide?
+
+    This is the dataguide's notion of validation.  Being data-derived,
+    it can reject documents a (sound) schema admits -- the flip side
+    of its per-path precision.
+    """
+
+    def visit(element: Element, node: GuideNode) -> bool:
+        if element.is_pcdata:
+            return node.has_text
+        if element.children and not node.has_elements:
+            return False
+        for child in element.children:
+            child_node = node.children.get(child.name)
+            if child_node is None:
+                return False
+            if not visit(child, child_node):
+                return False
+        return True
+
+    if document.root.name != guide.root.label:
+        return False
+    return visit(document.root, guide.root)
+
+
+def dataguide_to_sdtd(guide: DataGuide) -> SpecializedDtd:
+    """The specialized DTD a dataguide implicitly carries.
+
+    Each guide node becomes a specialization of its label (same-named
+    nodes at different paths stay distinct, mirroring the paper's
+    remark that dataguides resemble s-DTDs); its content model is
+    ``(c1 | ... | ck)*`` over the child specializations -- no order,
+    no cardinality, no sibling constraints.  Mixed text/element nodes
+    are modeled as element content (text is dropped), matching the
+    paper's no-mixed-content assumption.
+    """
+    from ..regex import Sym, alt, star
+
+    counters: dict[str, int] = {}
+    keys: dict[int, TaggedName] = {}
+
+    for node in guide.root.iter_nodes():
+        counters[node.label] = counters.get(node.label, 0) + 1
+        tag = counters[node.label]
+        # Use tag 0 for the first occurrence of a label: most labels
+        # occur at one path only, keeping the output readable.
+        keys[id(node)] = (node.label, 0 if tag == 1 else tag)
+
+    types: dict[TaggedName, object] = {}
+    for node in guide.root.iter_nodes():
+        key = keys[id(node)]
+        if node.children:
+            symbols = [
+                Sym(*keys[id(child)])
+                for child in node.children.values()
+            ]
+            types[key] = star(alt(*sorted(symbols, key=lambda s: (s.name, s.tag))))
+        elif node.has_text:
+            types[key] = PCDATA
+        else:
+            types[key] = star(alt())  # empty content only
+
+    result = SpecializedDtd(types, keys[id(guide.root)])
+    result.check_consistency()
+    return result

@@ -1,0 +1,129 @@
+"""DTDs and specialized DTDs (Definitions 2.2, 3.8).
+
+Models, parsers (standard ``<!ELEMENT>`` and the paper's set notation),
+serializers, validation (including the tree-automaton semantics for
+s-DTDs), structural analysis, tightness comparison, and random
+generation of DTDs and conforming documents.
+"""
+
+from .analysis import (
+    is_recursive,
+    is_xml_deterministic,
+    max_document_depth,
+    nondeterministic_names,
+    prune_unreachable,
+    prune_unreachable_sdtd,
+    reachable_keys,
+    reachable_names,
+    recursive_names,
+)
+from .attributes import (
+    AttributeDecl,
+    AttributeKind,
+    DefaultMode,
+    apply_defaults,
+    carry_over_attributes,
+    validate_attributes,
+)
+from .determinize import (
+    RepairStatus,
+    XmlizeReport,
+    determinize_content_model,
+    is_deterministic_model,
+    xmlize_dtd,
+)
+from .dtd import PCDATA, ContentType, Dtd, Pcdata, dtd, is_pcdata_type
+from .generation import DtdShape, generate_document, generate_element, random_dtd
+from .one_unambiguity import is_one_unambiguous
+from .parser import parse_dtd, parse_paper_dtd, parse_paper_sdtd
+from .sdtd import SpecializedDtd, TaggedName, format_tagged, from_dtd, sdtd
+from .serializer import (
+    serialize_dtd,
+    serialize_paper_dtd,
+    serialize_paper_sdtd,
+    serialize_sdtd_as_xml_dtd,
+)
+from .tightness import (
+    TightnessReport,
+    compare_tightness,
+    equivalent_dtds,
+    is_strictly_tighter,
+    is_tighter,
+    same_structural_class,
+    structural_class_key,
+    type_tighter,
+)
+from .validation import (
+    ValidationReport,
+    Violation,
+    admissible_tags,
+    require_valid,
+    satisfies_sdtd,
+    satisfies_sdtd_image,
+    validate_document,
+    validate_element,
+    validate_sdtd,
+)
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeKind",
+    "DefaultMode",
+    "PCDATA",
+    "ContentType",
+    "Dtd",
+    "DtdShape",
+    "Pcdata",
+    "RepairStatus",
+    "SpecializedDtd",
+    "XmlizeReport",
+    "TaggedName",
+    "TightnessReport",
+    "ValidationReport",
+    "Violation",
+    "admissible_tags",
+    "apply_defaults",
+    "carry_over_attributes",
+    "compare_tightness",
+    "determinize_content_model",
+    "dtd",
+    "equivalent_dtds",
+    "format_tagged",
+    "from_dtd",
+    "generate_document",
+    "generate_element",
+    "is_deterministic_model",
+    "is_one_unambiguous",
+    "is_pcdata_type",
+    "is_recursive",
+    "is_strictly_tighter",
+    "is_tighter",
+    "is_xml_deterministic",
+    "max_document_depth",
+    "nondeterministic_names",
+    "parse_dtd",
+    "parse_paper_dtd",
+    "parse_paper_sdtd",
+    "prune_unreachable",
+    "prune_unreachable_sdtd",
+    "random_dtd",
+    "reachable_keys",
+    "reachable_names",
+    "recursive_names",
+    "require_valid",
+    "same_structural_class",
+    "satisfies_sdtd",
+    "satisfies_sdtd_image",
+    "sdtd",
+    "serialize_dtd",
+    "serialize_paper_dtd",
+    "serialize_paper_sdtd",
+    "serialize_sdtd_as_xml_dtd",
+    "structural_class_key",
+    "type_tighter",
+    "validate_attributes",
+    "validate_document",
+    "validate_element",
+    "validate_sdtd",
+    "xmlize_dtd",
+]

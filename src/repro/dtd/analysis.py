@@ -1,0 +1,153 @@
+"""Structural analysis of DTDs.
+
+Reachability and pruning (the view inference algorithm "eliminates all
+type definitions that correspond to names that are not referenced,
+directly or indirectly" -- Example 3.1), recursion detection (recursive
+DTDs change which algorithms apply, Section 3.4), and the XML 1.0
+deterministic-content-model check.
+"""
+
+from __future__ import annotations
+
+from ..regex.nfa import build_nfa
+from .dtd import Dtd, Pcdata
+from .sdtd import SpecializedDtd, TaggedName
+
+
+def reachable_names(dtd: Dtd, start: str | None = None) -> frozenset[str]:
+    """Names reachable from ``start`` (default: the document type)."""
+    root = start if start is not None else dtd.root
+    if root is None:
+        return dtd.names
+    if root not in dtd:
+        return frozenset()
+    seen: set[str] = {root}
+    frontier = [root]
+    while frontier:
+        name = frontier.pop()
+        for referenced in dtd.referenced_names(name):
+            if referenced in dtd and referenced not in seen:
+                seen.add(referenced)
+                frontier.append(referenced)
+    return frozenset(seen)
+
+
+def prune_unreachable(dtd: Dtd, start: str | None = None) -> Dtd:
+    """Drop declarations not reachable from the root (Example 3.1 step)."""
+    keep = reachable_names(dtd, start)
+    return Dtd(
+        {name: content for name, content in dtd.types.items() if name in keep},
+        dtd.root if dtd.root in keep else None,
+    )
+
+
+def reachable_keys(
+    sdtd: SpecializedDtd, start: TaggedName | None = None
+) -> frozenset[TaggedName]:
+    """Tagged names reachable from ``start`` (default: the root)."""
+    root = start if start is not None else sdtd.root
+    if root is None:
+        return sdtd.tagged_names
+    if root not in sdtd:
+        return frozenset()
+    seen: set[TaggedName] = {root}
+    frontier = [root]
+    while frontier:
+        key = frontier.pop()
+        for referenced in sdtd.referenced_keys(key):
+            if referenced in sdtd and referenced not in seen:
+                seen.add(referenced)
+                frontier.append(referenced)
+    return frozenset(seen)
+
+
+def prune_unreachable_sdtd(
+    sdtd: SpecializedDtd, start: TaggedName | None = None
+) -> SpecializedDtd:
+    """Drop tagged declarations not reachable from the root."""
+    keep = reachable_keys(sdtd, start)
+    return SpecializedDtd(
+        {key: content for key, content in sdtd.types.items() if key in keep},
+        sdtd.root if sdtd.root in keep else None,
+    )
+
+
+def dependency_edges(dtd: Dtd) -> dict[str, frozenset[str]]:
+    """The name-reference graph: ``n -> names in type(n)``."""
+    return {
+        name: dtd.referenced_names(name) & dtd.names for name in dtd.types
+    }
+
+
+def recursive_names(dtd: Dtd) -> frozenset[str]:
+    """Names on a reference cycle (e.g. ``section`` of Example 3.5)."""
+    edges = dependency_edges(dtd)
+    # Tarjan-free approach: a name is recursive iff it can reach itself.
+    result: set[str] = set()
+    for origin in edges:
+        seen: set[str] = set()
+        frontier = list(edges[origin])
+        while frontier:
+            name = frontier.pop()
+            if name == origin:
+                result.add(origin)
+                break
+            if name in seen or name not in edges:
+                continue
+            seen.add(name)
+            frontier.extend(edges[name])
+    return frozenset(result)
+
+
+def is_recursive(dtd: Dtd) -> bool:
+    """True when the DTD has any reference cycle."""
+    return bool(recursive_names(dtd))
+
+
+def max_document_depth(dtd: Dtd) -> int | None:
+    """The maximum element-nesting depth, or None when unbounded.
+
+    Unbounded exactly when some reachable name is recursive.  Used by
+    document generators to pick safe recursion cutoffs.
+    """
+    reachable = reachable_names(dtd)
+    if recursive_names(dtd) & reachable:
+        return None
+    depth: dict[str, int] = {}
+
+    def visit(name: str) -> int:
+        if name in depth:
+            return depth[name]
+        content = dtd.type_of(name)
+        if isinstance(content, Pcdata):
+            depth[name] = 1
+            return 1
+        children = dtd.referenced_names(name) & dtd.names
+        value = 1 + max((visit(child) for child in children), default=0)
+        depth[name] = value
+        return value
+
+    if dtd.root is not None:
+        return visit(dtd.root)
+    return max((visit(name) for name in reachable), default=0)
+
+
+def nondeterministic_names(dtd: Dtd) -> frozenset[str]:
+    """Names whose content model violates XML 1.0 determinism.
+
+    XML requires content models whose Glushkov automaton is
+    deterministic.  Inferred view DTDs may violate this (the paper
+    does not require it); this check lets callers report it.
+    """
+    result: set[str] = set()
+    for name, content in dtd.types.items():
+        if isinstance(content, Pcdata):
+            continue
+        if not build_nfa(content).is_deterministic():
+            result.add(name)
+    return frozenset(result)
+
+
+def is_xml_deterministic(dtd: Dtd) -> bool:
+    """True when every content model is XML-1.0 deterministic."""
+    return not nondeterministic_names(dtd)

@@ -1,0 +1,224 @@
+"""Attribute-list declarations (Appendix A of the paper).
+
+The paper's *model* omits attributes other than ID because "the DTD
+does not type the target of an IDREF attribute" -- attributes never
+affect content models, so the inference results are unchanged.  The
+*system*, however, should round-trip real DTDs; this module implements
+Appendix A's attribute layer:
+
+* attribute types: ``CDATA``, ``ID``, ``IDREF``, ``IDREFS``,
+  ``NMTOKEN``, ``ENTITY``, ``ENTITIES``, and enumerated types;
+* default declarations: ``#REQUIRED``, ``#IMPLIED``, ``#FIXED "v"``,
+  and plain defaults;
+* document-level validity (Appendix A's definition): at most one ID
+  attribute per element type, unique ID values, every IDREF(S) value
+  resolving to some element's ID, enumerated values in range, required
+  attributes present, fixed attributes matching.
+
+Because attributes are orthogonal to content models, the view-DTD
+pipeline simply *carries over* the attribute declarations of the
+element names that survive into the view
+(:func:`carry_over_attributes`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import DtdSyntaxError
+from ..xmlmodel import Document, Element
+from .dtd import Dtd
+from .validation import ValidationReport
+
+
+class AttributeKind(enum.Enum):
+    """Appendix A.1's attribute types."""
+
+    CDATA = "CDATA"
+    ID = "ID"
+    IDREF = "IDREF"
+    IDREFS = "IDREFS"
+    NMTOKEN = "NMTOKEN"
+    ENTITY = "ENTITY"
+    ENTITIES = "ENTITIES"
+    ENUMERATED = "ENUMERATED"
+
+
+class DefaultMode(enum.Enum):
+    """How a missing attribute is treated."""
+
+    REQUIRED = "#REQUIRED"
+    IMPLIED = "#IMPLIED"
+    FIXED = "#FIXED"
+    DEFAULT = "default"  # a plain default value
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute declaration of an ATTLIST."""
+
+    name: str
+    kind: AttributeKind
+    mode: DefaultMode
+    #: allowed values for ENUMERATED kinds
+    enumeration: tuple[str, ...] = ()
+    #: the FIXED or plain default value
+    default: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.ENUMERATED and not self.enumeration:
+            raise DtdSyntaxError(
+                f"enumerated attribute {self.name!r} needs values"
+            )
+        if self.mode in (DefaultMode.FIXED, DefaultMode.DEFAULT):
+            if self.default is None:
+                raise DtdSyntaxError(
+                    f"attribute {self.name!r} with mode {self.mode.value} "
+                    "needs a default value"
+                )
+
+    def accepts_value(self, value: str) -> bool:
+        """Syntactic check of one value (reference checks are global)."""
+        if self.kind is AttributeKind.ENUMERATED:
+            return value in self.enumeration
+        if self.kind in (AttributeKind.IDREFS, AttributeKind.ENTITIES):
+            return bool(value.split())
+        if self.kind in (
+            AttributeKind.ID,
+            AttributeKind.IDREF,
+            AttributeKind.NMTOKEN,
+            AttributeKind.ENTITY,
+        ):
+            return bool(value) and not any(c.isspace() for c in value)
+        return True  # CDATA
+
+
+#: element name -> attribute name -> declaration
+AttributeTable = dict[str, dict[str, AttributeDecl]]
+
+
+def check_attribute_table(table: AttributeTable) -> None:
+    """Static rules: at most one ID attribute per element type."""
+    for element_name, declarations in table.items():
+        id_attrs = [
+            a.name
+            for a in declarations.values()
+            if a.kind is AttributeKind.ID
+        ]
+        if len(id_attrs) > 1:
+            raise DtdSyntaxError(
+                f"element {element_name!r} declares several ID "
+                f"attributes: {sorted(id_attrs)}"
+            )
+        fixed_and_required = [
+            a.name
+            for a in declarations.values()
+            if a.kind is AttributeKind.ID
+            and a.mode in (DefaultMode.FIXED, DefaultMode.DEFAULT)
+        ]
+        if fixed_and_required:
+            raise DtdSyntaxError(
+                f"ID attributes cannot have defaults: "
+                f"{element_name}/{fixed_and_required[0]}"
+            )
+
+
+def apply_defaults(document: Document, table: AttributeTable) -> None:
+    """Fill in FIXED and plain default values in place."""
+    for element in document.iter():
+        declarations = table.get(element.name)
+        if not declarations:
+            continue
+        for decl in declarations.values():
+            if decl.default is None:
+                continue
+            if decl.name not in element.attributes:
+                element.attributes[decl.name] = decl.default
+
+
+def validate_attributes(
+    document: Document, table: AttributeTable
+) -> ValidationReport:
+    """Appendix A validity for attributes.
+
+    Checks (per element): no undeclared attributes, required present,
+    fixed matching, values syntactically acceptable.  Globally: ID
+    values unique, IDREF/IDREFS values resolve to some ID value.
+    """
+    report = ValidationReport()
+    id_values: dict[str, str] = {}  # value -> path of its element
+    pending_refs: list[tuple[str, str]] = []  # (path, value)
+
+    def visit(element: Element, path: str) -> None:
+        declarations = table.get(element.name, {})
+        for attr_name, value in element.attributes.items():
+            decl = declarations.get(attr_name)
+            if decl is None:
+                report.add(
+                    path,
+                    f"attribute {attr_name!r} is not declared for "
+                    f"{element.name!r}",
+                )
+                continue
+            if not decl.accepts_value(value):
+                report.add(
+                    path,
+                    f"value {value!r} not allowed for attribute "
+                    f"{attr_name!r} ({decl.kind.value})",
+                )
+            if (
+                decl.mode is DefaultMode.FIXED
+                and value != decl.default
+            ):
+                report.add(
+                    path,
+                    f"attribute {attr_name!r} is #FIXED to "
+                    f"{decl.default!r}, found {value!r}",
+                )
+            if decl.kind is AttributeKind.ID:
+                if value in id_values:
+                    report.add(path, f"duplicate ID value {value!r}")
+                else:
+                    id_values[value] = path
+            elif decl.kind is AttributeKind.IDREF:
+                pending_refs.append((path, value))
+            elif decl.kind is AttributeKind.IDREFS:
+                for token in value.split():
+                    pending_refs.append((path, token))
+        for decl in declarations.values():
+            if (
+                decl.mode is DefaultMode.REQUIRED
+                and decl.name not in element.attributes
+            ):
+                report.add(
+                    path,
+                    f"required attribute {decl.name!r} missing on "
+                    f"{element.name!r}",
+                )
+        for index, child in enumerate(element.children):
+            visit(child, f"{path}/{child.name}[{index}]")
+
+    visit(document.root, document.root.name)
+    for path, value in pending_refs:
+        if value not in id_values:
+            report.add(
+                path, f"IDREF {value!r} does not match any ID attribute"
+            )
+    return report
+
+
+def carry_over_attributes(source: Dtd, view: Dtd) -> Dtd:
+    """Copy the source's ATTLISTs for names that survive into a view.
+
+    Attributes never affect content models (the paper's Section 2
+    argument), so the inferred view DTD inherits them verbatim for
+    every shared element name.
+    """
+    view_attributes: AttributeTable = {
+        name: dict(declarations)
+        for name, declarations in source.attributes.items()
+        if name in view
+    }
+    result = Dtd(dict(view.types), view.root, view_attributes)
+    return result

@@ -1,0 +1,267 @@
+"""Making inferred content models XML-1.0 deterministic.
+
+XML 1.0 requires *deterministic* (one-unambiguous) content models: the
+Glushkov automaton of the expression must be deterministic.  Inferred
+view DTDs are correct regular expressions but not always in that form
+(refinement produces things like ``(a, b) | (a, c)``), so a view DTD
+destined for an actual XML toolchain needs a repair pass.
+
+Not every regular language *has* a deterministic expression
+(Brüggemann-Klein & Wood 1998).  This module provides:
+
+* :func:`determinize_content_model` -- an equivalent deterministic
+  expression, constructed from the minimal DFA, for every language
+  whose minimal DFA has only trivial strongly-connected components
+  (singleton states with self-loops).  This covers all finite
+  languages and the star-shaped models DTDs actually use.  Returns
+  ``None`` outside that class.
+* :func:`orbit_property_holds` -- the BKW *orbit property*, a
+  necessary condition for one-unambiguity; when it fails, **no**
+  deterministic content model exists, and the caller can report the
+  loss authoritatively.
+* :func:`xmlize_dtd` -- repair every content model of a DTD, with a
+  per-name report (kept / repaired / impossible / unknown).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..regex import (
+    EPSILON,
+    Regex,
+    Sym,
+    alt,
+    concat,
+    is_equivalent,
+    star,
+)
+from ..regex.dfa import Dfa
+from ..regex.language import minimal_dfa
+from ..regex.nfa import build_nfa
+from .dtd import ContentType, Dtd, Pcdata
+
+
+def is_deterministic_model(r: Regex) -> bool:
+    """Is ``r`` already a legal XML content model (Glushkov-det.)?"""
+    return build_nfa(r).is_deterministic()
+
+
+def _strongly_connected_components(dfa: Dfa) -> list[set[int]]:
+    """Tarjan's SCCs over the DFA's transition graph."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[set[int]] = []
+    counter = [0]
+
+    def edges(state: int) -> set[int]:
+        return set(dfa.transitions[state].values())
+
+    def connect(root: int) -> None:
+        # Iterative Tarjan to avoid recursion limits on big DFAs.
+        work: list[tuple[int, list[int]]] = [(root, sorted(edges(root)))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            state, successors = work[-1]
+            if successors:
+                target = successors.pop()
+                if target not in index:
+                    index[target] = lowlink[target] = counter[0]
+                    counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, sorted(edges(target))))
+                elif target in on_stack:
+                    lowlink[state] = min(lowlink[state], index[target])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[state])
+                if lowlink[state] == index[state]:
+                    component: set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == state:
+                            break
+                    components.append(component)
+
+    for state in range(dfa.n_states):
+        if state not in index:
+            connect(state)
+    return components
+
+
+def _live_states(dfa: Dfa) -> set[int]:
+    """States from which an accepting state is reachable."""
+    inverse: dict[int, set[int]] = {s: set() for s in range(dfa.n_states)}
+    for state in range(dfa.n_states):
+        for target in dfa.transitions[state].values():
+            inverse[target].add(state)
+    live = set(dfa.accepting)
+    frontier = list(live)
+    while frontier:
+        state = frontier.pop()
+        for previous in inverse[state]:
+            if previous not in live:
+                live.add(previous)
+                frontier.append(previous)
+    return live
+
+
+def determinize_content_model(r: Regex) -> Regex | None:
+    """An equivalent XML-deterministic expression, or ``None``.
+
+    Construction: on the minimal DFA restricted to live states, if
+    every SCC is a single state (self-loops allowed), emit for each
+    state ``loops*, (a1, expr(q_a1) | ... | ε?)`` -- first symbols of
+    the alternation are distinct by DFA determinism, so the result is
+    Glushkov-deterministic by construction.  Expressions are memoized
+    per state (the DFA is a DAG of SCCs, so recursion terminates).
+    """
+    if is_deterministic_model(r):
+        return r
+    dfa = minimal_dfa(r)
+    live = _live_states(dfa)
+    if dfa.start not in live:
+        return None  # empty language; callers treat separately
+    for component in _strongly_connected_components(dfa):
+        live_component = component & live
+        if len(live_component) > 1:
+            return None
+
+    memo: dict[int, Regex] = {}
+
+    def expr(state: int) -> Regex:
+        if state in memo:
+            return memo[state]
+        loops = [
+            Sym(*letter)
+            for letter, target in sorted(dfa.transitions[state].items())
+            if target == state and target in live
+        ]
+        branches: list[Regex] = []
+        for letter, target in sorted(dfa.transitions[state].items()):
+            if target == state or target not in live:
+                continue
+            branches.append(concat(Sym(*letter), expr(target)))
+        if state in dfa.accepting:
+            branches.append(EPSILON)
+        body = alt(*branches) if branches else EPSILON
+        result = concat(star(alt(*loops)), body) if loops else body
+        memo[state] = result
+        return result
+
+    candidate = expr(dfa.start)
+    from ..regex import simplify
+
+    candidate = simplify(candidate)
+    if not is_deterministic_model(candidate):  # pragma: no cover - by construction
+        return None
+    if not is_equivalent(candidate, r):  # pragma: no cover - by construction
+        raise AssertionError(
+            f"determinization changed the language: {r} -> {candidate}"
+        )
+    return candidate
+
+
+def orbit_property_holds(r: Regex) -> bool:
+    """The BKW orbit property on the minimal DFA (necessary condition).
+
+    All *gates* of a nontrivial orbit (SCC) must agree: same finality,
+    and identical out-of-orbit transitions.  If this fails, the
+    language is **not** one-unambiguous -- no deterministic content
+    model exists at all.
+    """
+    dfa = minimal_dfa(r)
+    live = _live_states(dfa)
+    for component in _strongly_connected_components(dfa):
+        live_component = component & live
+        if len(live_component) <= 1:
+            # A singleton is nontrivial only with a self-loop; a single
+            # gate trivially agrees with itself either way.
+            continue
+        gates = []
+        for state in live_component:
+            exits = {
+                letter: target
+                for letter, target in dfa.transitions[state].items()
+                if target not in component and target in live
+            }
+            if exits or state in dfa.accepting:
+                gates.append((state in dfa.accepting, exits))
+        for final, exits in gates[1:]:
+            if final != gates[0][0] or exits != gates[0][1]:
+                return False
+    return True
+
+
+class RepairStatus(enum.Enum):
+    """Outcome of the per-name determinism repair."""
+
+    ALREADY_DETERMINISTIC = "already-deterministic"
+    REPAIRED = "repaired"
+    IMPOSSIBLE = "impossible"  # orbit property fails: no legal model
+    UNKNOWN = "unknown"  # outside our constructive class
+
+
+@dataclass
+class XmlizeReport:
+    """Per-name outcomes of :func:`xmlize_dtd`."""
+
+    statuses: dict[str, RepairStatus]
+
+    @property
+    def fully_deterministic(self) -> bool:
+        return all(
+            status
+            in (RepairStatus.ALREADY_DETERMINISTIC, RepairStatus.REPAIRED)
+            for status in self.statuses.values()
+        )
+
+    def names_with(self, status: RepairStatus) -> list[str]:
+        return sorted(
+            name for name, s in self.statuses.items() if s is status
+        )
+
+
+def xmlize_dtd(dtd: Dtd) -> tuple[Dtd, XmlizeReport]:
+    """Repair every content model; non-repairable ones are kept as-is.
+
+    The returned DTD describes the same documents; the report says
+    which names still violate XML 1.0 determinism (and whether that is
+    provably unavoidable).
+    """
+    types: dict[str, ContentType] = {}
+    statuses: dict[str, RepairStatus] = {}
+    for name, content in dtd.types.items():
+        if isinstance(content, Pcdata):
+            types[name] = content
+            statuses[name] = RepairStatus.ALREADY_DETERMINISTIC
+            continue
+        if is_deterministic_model(content):
+            types[name] = content
+            statuses[name] = RepairStatus.ALREADY_DETERMINISTIC
+            continue
+        repaired = determinize_content_model(content)
+        if repaired is not None:
+            types[name] = repaired
+            statuses[name] = RepairStatus.REPAIRED
+            continue
+        from .one_unambiguity import is_one_unambiguous
+
+        types[name] = content
+        statuses[name] = (
+            RepairStatus.UNKNOWN
+            if is_one_unambiguous(content)
+            else RepairStatus.IMPOSSIBLE
+        )
+    return Dtd(types, dtd.root), XmlizeReport(statuses)

@@ -1,0 +1,148 @@
+"""Plain DTDs (Definition 2.2).
+
+A DTD maps element names to types, where a type is either PCDATA or a
+regular expression over names.  A :class:`Dtd` additionally records the
+*document type* -- the required root name (Definition 2.4) -- which is
+optional because intermediate inference results are name-type maps
+without a designated root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..errors import DtdConsistencyError, UnknownNameError
+from ..regex import Regex, names as regex_names, parse_regex, to_string
+
+
+@dataclass(frozen=True)
+class Pcdata:
+    """The PCDATA type marker: character content."""
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+#: A type in a DTD: either character content or a content model.
+ContentType = Regex | Pcdata
+
+PCDATA = Pcdata()
+
+
+def is_pcdata_type(content: ContentType) -> bool:
+    """True when the type is character content."""
+    return isinstance(content, Pcdata)
+
+
+@dataclass
+class Dtd:
+    """A Document Type Definition: ``{<n : type(n)>}`` plus a root name.
+
+    ``types`` maps each declared element name to its type.  ``root``
+    names the document type; ``None`` for "any declared name" (useful
+    for intermediate results).  ``attributes`` is the Appendix A layer
+    (ATTLIST declarations per element name); empty under the paper's
+    core model.
+    """
+
+    types: dict[str, ContentType]
+    root: str | None = None
+    #: element name -> attribute name -> AttributeDecl (Appendix A)
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.root is not None and self.root not in self.types:
+            raise DtdConsistencyError(
+                f"root {self.root!r} is not a declared element name"
+            )
+        undeclared = set(self.attributes) - set(self.types)
+        if undeclared:
+            raise DtdConsistencyError(
+                f"ATTLIST for undeclared elements: {sorted(undeclared)}"
+            )
+
+    @property
+    def names(self) -> frozenset[str]:
+        """All declared element names."""
+        return frozenset(self.types)
+
+    def type_of(self, name: str) -> ContentType:
+        """The declared type of ``name``; raises for unknown names."""
+        try:
+            return self.types[name]
+        except KeyError:
+            raise UnknownNameError(f"element name {name!r} is not declared")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.types
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.types)
+
+    def referenced_names(self, name: str) -> frozenset[str]:
+        """Names occurring in the content model of ``name``."""
+        content = self.type_of(name)
+        if isinstance(content, Pcdata):
+            return frozenset()
+        return regex_names(content)
+
+    def undeclared_references(self) -> dict[str, frozenset[str]]:
+        """For each name, the referenced names that are not declared.
+
+        A well-formed DTD has none (XML requires every referenced name
+        to be declared).
+        """
+        problems: dict[str, frozenset[str]] = {}
+        for name in self.types:
+            missing = self.referenced_names(name) - self.names
+            if missing:
+                problems[name] = missing
+        return problems
+
+    def check_consistency(self) -> None:
+        """Raise :class:`DtdConsistencyError` on undeclared references."""
+        problems = self.undeclared_references()
+        if problems:
+            details = "; ".join(
+                f"{name} references {sorted(missing)}"
+                for name, missing in sorted(problems.items())
+            )
+            raise DtdConsistencyError(f"undeclared names: {details}")
+
+    def with_root(self, root: str) -> "Dtd":
+        """A copy of this DTD with the given document type."""
+        return Dtd(dict(self.types), root, dict(self.attributes))
+
+    def copy(self) -> "Dtd":
+        """A shallow copy (types are immutable; the dicts are fresh)."""
+        return Dtd(dict(self.types), self.root, dict(self.attributes))
+
+    def __str__(self) -> str:
+        lines = []
+        for name, content in self.types.items():
+            rendered = "#PCDATA" if isinstance(content, Pcdata) else to_string(content)
+            marker = "(root) " if name == self.root else ""
+            lines.append(f"<{marker}{name} : {rendered}>")
+        return "{" + "\n ".join(lines) + "}"
+
+
+def dtd(declarations: Mapping[str, str | ContentType], root: str | None = None) -> Dtd:
+    """Convenience constructor from content-model strings.
+
+    >>> d = dtd({"professor": "name, (journal | conference)*",
+    ...          "name": PCDATA, "journal": "()", "conference": "()"},
+    ...         root="professor")
+    """
+    types: dict[str, ContentType] = {}
+    for name, content in declarations.items():
+        if isinstance(content, str):
+            if content.strip().upper() == "#PCDATA":
+                types[name] = PCDATA
+            else:
+                types[name] = parse_regex(content)
+        else:
+            types[name] = content
+    result = Dtd(types, root)
+    result.check_consistency()
+    return result

@@ -1,0 +1,177 @@
+"""Random DTDs and random conforming documents.
+
+The paper evaluates on one department schema; the scaling and
+soundness experiments (DESIGN.md E9, E13) need families of inputs.
+:func:`random_dtd` draws layered, optionally recursive DTDs with a
+configurable operator mix; :func:`generate_document` draws a valid
+document of a DTD by expanding content models structurally.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from ..regex import Regex, alt, concat, opt, plus, star, sym
+from ..xmlmodel import Document, Element, fresh_id
+from .dtd import PCDATA, ContentType, Dtd, Pcdata
+
+
+@dataclass
+class DtdShape:
+    """Parameters of :func:`random_dtd`.
+
+    Attributes:
+        n_names: how many element names to declare.
+        max_branch: maximum items in a sequence or alternation.
+        p_star, p_plus, p_opt: probability that a content-model item is
+            wrapped in the corresponding operator.
+        p_alt: probability a composite position is an alternation
+            rather than a plain name.
+        p_pcdata_leaf: probability a sink name is PCDATA (otherwise it
+            gets empty content).
+        allow_recursion: permit reference cycles (Section 3.4 DTDs).
+    """
+
+    n_names: int = 8
+    max_branch: int = 4
+    p_star: float = 0.25
+    p_plus: float = 0.15
+    p_opt: float = 0.15
+    p_alt: float = 0.3
+    p_pcdata_leaf: float = 0.7
+    allow_recursion: bool = False
+
+
+def _name_pool(count: int) -> list[str]:
+    """n0, n1, ... na, nb ... distinct readable names."""
+    pool = []
+    alphabet_letters = string.ascii_lowercase
+    for index in range(count):
+        suffix = ""
+        value = index
+        while True:
+            suffix = alphabet_letters[value % 26] + suffix
+            value //= 26
+            if value == 0:
+                break
+        pool.append(f"n{suffix}")
+    return pool
+
+
+def random_dtd(
+    shape: DtdShape,
+    rng: random.Random,
+) -> Dtd:
+    """Draw a random consistent DTD with the given shape.
+
+    Names are layered: each name's content model references only names
+    of strictly deeper layers (unless ``allow_recursion``), so the
+    result is non-recursive by construction in the default mode.
+    """
+    names = _name_pool(shape.n_names)
+    types: dict[str, ContentType] = {}
+
+    def wrap(item: Regex) -> Regex:
+        roll = rng.random()
+        if roll < shape.p_star:
+            return star(item)
+        if roll < shape.p_star + shape.p_plus:
+            return plus(item)
+        if roll < shape.p_star + shape.p_plus + shape.p_opt:
+            return opt(item)
+        return item
+
+    for index, name in enumerate(names):
+        if shape.allow_recursion:
+            candidates = [n for n in names if n != name] or names
+        else:
+            candidates = names[index + 1:]
+        if not candidates:
+            types[name] = (
+                PCDATA if rng.random() < shape.p_pcdata_leaf else concat()
+            )
+            continue
+        n_items = rng.randint(1, shape.max_branch)
+        items: list[Regex] = []
+        for _ in range(n_items):
+            if rng.random() < shape.p_alt and len(candidates) > 1:
+                branch_count = rng.randint(2, min(3, len(candidates)))
+                branches = rng.sample(candidates, branch_count)
+                item: Regex = alt(*(sym(b) for b in branches))
+            else:
+                item = sym(rng.choice(candidates))
+            items.append(wrap(item))
+        model = concat(*items)
+        if shape.allow_recursion and name in _regex_names(model):
+            # A self-referential position must be escapable: ensure the
+            # recursion sits under * or ? so finite documents exist.
+            model = concat(*(
+                star(item) if name in _regex_names(item) else item
+                for item in (model.items if hasattr(model, "items") else [model])
+            ))
+        types[name] = model
+    dtd = Dtd(types, names[0])
+    dtd.check_consistency()
+    return dtd
+
+
+def _regex_names(model: Regex) -> frozenset[str]:
+    from ..regex import names as regex_names
+
+    return regex_names(model)
+
+
+def generate_element(
+    name: str,
+    dtd: Dtd,
+    rng: random.Random,
+    star_mean: float = 1.2,
+    max_depth: int = 24,
+    string_pool: tuple[str, ...] = ("alpha", "beta", "gamma", "CS", "EE"),
+) -> Element:
+    """A random element of type ``name`` valid under ``dtd``.
+
+    ``max_depth`` guards recursive DTDs: beyond it the generator
+    shortens star/option expansions toward the shallowest choice; a
+    DTD whose every expansion is forcibly deep can still exceed it, in
+    which case generation raises ``RecursionError``-like ValueError.
+    """
+    from ..regex import sample_word
+
+    content = dtd.type_of(name)
+    if isinstance(content, Pcdata):
+        return Element(name, rng.choice(string_pool), fresh_id())
+    if max_depth <= 0:
+        raise ValueError(
+            f"max_depth exhausted while expanding {name!r}; "
+            "the DTD forces unbounded nesting"
+        )
+    effective_mean = star_mean if max_depth > 4 else 0.0
+    word = sample_word(content, rng, star_mean=effective_mean)
+    if word is None:
+        raise ValueError(f"content model of {name!r} is unsatisfiable")
+    children = [
+        generate_element(
+            symbol.name, dtd, rng, star_mean, max_depth - 1, string_pool
+        )
+        for symbol in word
+    ]
+    return Element(name, children, fresh_id())
+
+
+def generate_document(
+    dtd: Dtd,
+    rng: random.Random,
+    star_mean: float = 1.2,
+    max_depth: int = 24,
+    string_pool: tuple[str, ...] = ("alpha", "beta", "gamma", "CS", "EE"),
+) -> Document:
+    """A random valid document of ``dtd`` (root = the document type)."""
+    root_name = dtd.root
+    if root_name is None:
+        root_name = sorted(dtd.names)[0]
+    return Document(
+        generate_element(root_name, dtd, rng, star_mean, max_depth, string_pool)
+    )

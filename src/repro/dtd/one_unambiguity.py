@@ -1,0 +1,321 @@
+"""Deciding one-unambiguity (Brüggemann-Klein & Wood, 1998).
+
+XML 1.0's deterministic content models are exactly the
+*one-unambiguous* regular languages.  BKW's decision procedure, on the
+minimal DFA ``M``:
+
+1. compute the set ``S`` of *M-consistent* symbols -- symbols ``a``
+   such that every final state has an ``a``-transition and all of them
+   lead to one common state ``f(a)``;
+2. *cut* those transitions out of the final states (``M_S``);
+3. ``L(M)`` is one-unambiguous iff ``M_S`` satisfies the *orbit
+   property* (all gates of each orbit agree on finality and on their
+   out-of-orbit transitions) and every orbit language of ``M_S`` is
+   one-unambiguous (recursively, on the minimized orbit automaton).
+
+The recursion makes progress because cutting removes transitions and
+orbit automata restrict to single orbits; a strongly connected
+automaton with no consistent symbols is a dead end (not
+one-unambiguous).
+
+This module implements the decision; the *constructive* repair for the
+common single-state-orbit class lives in
+:mod:`repro.dtd.determinize`.  The two are cross-checked in tests:
+whenever the constructor succeeds the decision must be True, and the
+decision is False on BKW's classic counterexample
+``(a|b)*, a, (a|b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..regex import Regex
+from ..regex.language import minimal_dfa
+
+Letter = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class _Partial:
+    """A trimmed partial DFA (only live transitions), hashable."""
+
+    states: frozenset[int]
+    start: int
+    finals: frozenset[int]
+    #: ((state, letter, target), ...) sorted
+    edges: tuple[tuple[int, Letter, int], ...]
+
+    def delta(self) -> dict[int, dict[Letter, int]]:
+        table: dict[int, dict[Letter, int]] = {s: {} for s in self.states}
+        for state, letter, target in self.edges:
+            table[state][letter] = target
+        return table
+
+
+def _trim(dfa) -> _Partial | None:
+    """Reachable-and-live restriction of a complete DFA."""
+    reachable = {dfa.start}
+    frontier = [dfa.start]
+    while frontier:
+        state = frontier.pop()
+        for target in dfa.transitions[state].values():
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    inverse: dict[int, set[int]] = {s: set() for s in range(dfa.n_states)}
+    for state in range(dfa.n_states):
+        for target in dfa.transitions[state].values():
+            inverse[target].add(state)
+    live = set(dfa.accepting)
+    frontier = list(live)
+    while frontier:
+        state = frontier.pop()
+        for previous in inverse[state]:
+            if previous not in live:
+                live.add(previous)
+                frontier.append(previous)
+    keep = reachable & live
+    if dfa.start not in keep:
+        return None
+    edges = tuple(
+        sorted(
+            (state, letter, target)
+            for state in keep
+            for letter, target in dfa.transitions[state].items()
+            if target in keep
+        )
+    )
+    return _Partial(
+        frozenset(keep),
+        dfa.start,
+        frozenset(dfa.accepting & keep),
+        edges,
+    )
+
+
+def _minimize_partial(automaton: _Partial) -> _Partial:
+    """Hopcroft on a partial DFA (missing transitions = dead state)."""
+    states = sorted(automaton.states)
+    letters = sorted({letter for _, letter, _ in automaton.edges})
+    delta = automaton.delta()
+    dead = -1
+
+    partition: list[set[int]] = []
+    finals = set(automaton.finals)
+    non_finals = set(states) - finals
+    for block in (finals, non_finals, {dead}):
+        if block:
+            partition.append(set(block))
+
+    changed = True
+    while changed:
+        changed = False
+        block_of = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+        new_partition: list[set[int]] = []
+        for block in partition:
+            buckets: dict[tuple, set[int]] = {}
+            for state in block:
+                if state == dead:
+                    signature = ("dead",)
+                else:
+                    signature = tuple(
+                        block_of[delta[state].get(letter, dead)]
+                        for letter in letters
+                    )
+                buckets.setdefault(signature, set()).add(state)
+            if len(buckets) > 1:
+                changed = True
+            new_partition.extend(buckets.values())
+        partition = new_partition
+
+    block_of = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = index
+    dead_block = block_of[dead]
+    kept_blocks = sorted(
+        {index for index in block_of.values() if index != dead_block}
+    )
+    renumber = {old: new for new, old in enumerate(kept_blocks)}
+    new_edges = set()
+    for state, letter, target in automaton.edges:
+        a = block_of[state]
+        b = block_of[target]
+        if a == dead_block or b == dead_block:  # pragma: no cover
+            continue
+        new_edges.add((renumber[a], letter, renumber[b]))
+    return _Partial(
+        frozenset(renumber[block_of[s]] for s in automaton.states),
+        renumber[block_of[automaton.start]],
+        frozenset(renumber[block_of[s]] for s in automaton.finals),
+        tuple(sorted(new_edges)),
+    )
+
+
+def _sccs(automaton: _Partial) -> list[frozenset[int]]:
+    delta = automaton.delta()
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    out: list[frozenset[int]] = []
+    counter = [0]
+
+    def connect(root: int) -> None:
+        work = [(root, sorted(set(delta[root].values())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            state, successors = work[-1]
+            if successors:
+                target = successors.pop()
+                if target not in index:
+                    index[target] = lowlink[target] = counter[0]
+                    counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, sorted(set(delta[target].values()))))
+                elif target in on_stack:
+                    lowlink[state] = min(lowlink[state], index[target])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[state])
+                if lowlink[state] == index[state]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == state:
+                            break
+                    out.append(frozenset(component))
+
+    for state in sorted(automaton.states):
+        if state not in index:
+            connect(state)
+    return out
+
+
+def _is_nontrivial(component: frozenset[int], automaton: _Partial) -> bool:
+    if len(component) > 1:
+        return True
+    (state,) = component
+    return any(
+        s == state and t == state for s, _, t in automaton.edges
+    )
+
+
+def _consistent_symbols(automaton: _Partial) -> dict[Letter, int]:
+    """Symbols every final state maps to one common target."""
+    if not automaton.finals:
+        return {}
+    delta = automaton.delta()
+    candidates: dict[Letter, int] | None = None
+    for final in automaton.finals:
+        row = delta[final]
+        if candidates is None:
+            candidates = dict(row)
+        else:
+            candidates = {
+                letter: target
+                for letter, target in candidates.items()
+                if row.get(letter) == target
+            }
+        if not candidates:
+            return {}
+    return candidates or {}
+
+
+def _cut(automaton: _Partial, symbols: dict[Letter, int]) -> _Partial:
+    """Remove the consistent transitions out of final states."""
+    if not symbols:
+        return automaton
+    edges = tuple(
+        (state, letter, target)
+        for state, letter, target in automaton.edges
+        if not (state in automaton.finals and letter in symbols)
+    )
+    return _Partial(automaton.states, automaton.start, automaton.finals, edges)
+
+
+def _orbit_property(automaton: _Partial) -> bool:
+    delta = automaton.delta()
+    for component in _sccs(automaton):
+        if not _is_nontrivial(component, automaton):
+            continue
+        gates = []
+        for state in sorted(component):
+            exits = {
+                letter: target
+                for letter, target in delta[state].items()
+                if target not in component
+            }
+            if exits or state in automaton.finals:
+                gates.append((state, state in automaton.finals, exits))
+        for state, final, exits in gates[1:]:
+            if final != gates[0][1] or exits != gates[0][2]:
+                return False
+    return True
+
+
+def _orbit_automaton(
+    automaton: _Partial, component: frozenset[int], start: int
+) -> _Partial:
+    """Restriction to one orbit; finals are the orbit's gates."""
+    delta = automaton.delta()
+    gates = set()
+    for state in component:
+        exits = any(
+            target not in component for target in delta[state].values()
+        )
+        if exits or state in automaton.finals:
+            gates.add(state)
+    edges = tuple(
+        (state, letter, target)
+        for state, letter, target in automaton.edges
+        if state in component and target in component
+    )
+    return _Partial(component, start, frozenset(gates), edges)
+
+
+def _decide(automaton: _Partial, seen: frozenset[_Partial], depth: int) -> bool:
+    if automaton in seen or depth > 64:
+        # No progress: a strongly connected automaton whose cut and
+        # orbit decomposition reproduce itself has no one-unambiguous
+        # expression (BKW's recursion otherwise strictly shrinks).
+        # The depth cap is a conservative guard (errs toward "not
+        # one-unambiguous") for pathological shapes.
+        return False
+    seen = seen | {automaton}
+    symbols = _consistent_symbols(automaton)
+    cut = _cut(automaton, symbols)
+    if not _orbit_property(cut):
+        return False
+    for component in _sccs(cut):
+        if not _is_nontrivial(component, cut):
+            continue
+        gate = min(component)
+        orbit = _orbit_automaton(cut, component, gate)
+        orbit = _minimize_partial(orbit)
+        next_seen = seen if cut == automaton else frozenset()
+        if not _decide(orbit, next_seen, depth + 1):
+            return False
+    return True
+
+
+@lru_cache(maxsize=2048)
+def is_one_unambiguous(regex: Regex) -> bool:
+    """Does ``L(regex)`` have *any* deterministic content model?"""
+    trimmed = _trim(minimal_dfa(regex))
+    if trimmed is None:
+        return True  # the empty language: vacuously fine
+    return _decide(_minimize_partial(trimmed), frozenset(), 0)

@@ -1,0 +1,203 @@
+"""Parser for XML 1.0 ``<!ELEMENT>`` declarations and the paper's notation.
+
+Two surface syntaxes are accepted:
+
+* Standard DTD syntax::
+
+      <!DOCTYPE department [
+        <!ELEMENT department (name, professor+, gradStudent+, course*)>
+        <!ELEMENT name (#PCDATA)>
+        ...
+      ]>
+
+  (also accepted without the DOCTYPE wrapper, as a bare run of
+  ``<!ELEMENT>`` declarations -- the document type is then unset).
+
+* The paper's set notation, used throughout the examples::
+
+      {<department : name, professor+, gradStudent+, course*>
+       <name : #PCDATA>}
+
+  Tagged names (``publication^1``) are allowed in the paper notation,
+  in which case the result is a :class:`SpecializedDtd`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DtdSyntaxError
+from ..regex import parse_regex
+from .dtd import PCDATA, ContentType, Dtd
+from .sdtd import SpecializedDtd, TaggedName
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([A-Za-z_][A-Za-z0-9_.\-]*)\s+(EMPTY|ANY|\(.*?\)[*+?]?)\s*>",
+    re.DOTALL,
+)
+_ATTLIST_RE = re.compile(
+    r"<!ATTLIST\s+([A-Za-z_][A-Za-z0-9_.\-]*)\s+(.*?)>",
+    re.DOTALL,
+)
+_ATTDEF_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_.\-]*)\s+"
+    r"(CDATA|ID|IDREFS|IDREF|NMTOKEN|ENTITY|ENTITIES|\([^)]*\))\s+"
+    r"(#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')"
+    r"|\"[^\"]*\"|'[^']*')",
+    re.DOTALL,
+)
+_DOCTYPE_RE = re.compile(r"<!DOCTYPE\s+([A-Za-z_][A-Za-z0-9_.\-]*)")
+_PAPER_DECL_RE = re.compile(
+    r"<\s*([A-Za-z_][A-Za-z0-9_.\-]*(?:\^\d+)?)\s*:\s*([^>]*)>",
+    re.DOTALL,
+)
+
+
+def _parse_content(name: str, raw: str, declared: list[str]) -> ContentType:
+    text = raw.strip()
+    if text.upper() == "EMPTY":
+        raise DtdSyntaxError(
+            f"{name}: EMPTY elements are outside the paper's model "
+            "(use () for empty content)"
+        )
+    if text.upper() == "ANY":
+        # Remark 1 of the paper: ANY is a macro for (n1 | ... | nk)*.
+        # Expanded after all declarations are read; mark with None via
+        # a sentinel handled by the caller.
+        return PCDATA if not declared else parse_regex(
+            "(" + " | ".join(declared) + ")*"
+        )
+    if "#PCDATA" in text:
+        stripped = text.strip("() \t\n")
+        if stripped != "#PCDATA":
+            raise DtdSyntaxError(
+                f"{name}: mixed content {text!r} is outside the paper's model"
+            )
+        return PCDATA
+    return parse_regex(text)
+
+
+def _parse_attdef(element_name: str, raw: str):
+    """One attribute definition of an ATTLIST body."""
+    from .attributes import AttributeDecl, AttributeKind, DefaultMode
+
+    attr_name, raw_kind, raw_default = raw
+    if raw_kind.startswith("("):
+        kind = AttributeKind.ENUMERATED
+        enumeration = tuple(
+            token.strip() for token in raw_kind[1:-1].split("|")
+        )
+    else:
+        kind = AttributeKind(raw_kind)
+        enumeration = ()
+    default_value: str | None = None
+    if raw_default == "#REQUIRED":
+        mode = DefaultMode.REQUIRED
+    elif raw_default == "#IMPLIED":
+        mode = DefaultMode.IMPLIED
+    elif raw_default.startswith("#FIXED"):
+        mode = DefaultMode.FIXED
+        default_value = raw_default[len("#FIXED"):].strip()[1:-1]
+    else:
+        mode = DefaultMode.DEFAULT
+        default_value = raw_default[1:-1]
+    return AttributeDecl(attr_name, kind, mode, enumeration, default_value)
+
+
+def _parse_attlists(text: str, declared: set[str]):
+    """All ``<!ATTLIST>`` declarations of a DTD text."""
+    from .attributes import check_attribute_table
+
+    table: dict[str, dict] = {}
+    for element_name, body in _ATTLIST_RE.findall(text):
+        if element_name not in declared:
+            raise DtdSyntaxError(
+                f"ATTLIST for undeclared element {element_name!r}"
+            )
+        declarations = table.setdefault(element_name, {})
+        matched_any = False
+        for attdef in _ATTDEF_RE.findall(body):
+            matched_any = True
+            decl = _parse_attdef(element_name, attdef)
+            declarations[decl.name] = decl
+        if not matched_any:
+            raise DtdSyntaxError(
+                f"empty or malformed ATTLIST for {element_name!r}"
+            )
+    check_attribute_table(table)
+    return table
+
+
+def parse_dtd(text: str, root: str | None = None) -> Dtd:
+    """Parse standard ``<!ELEMENT>`` (and ``<!ATTLIST>``) declarations.
+
+    ``root`` overrides the document type; otherwise it is taken from a
+    ``<!DOCTYPE name [...]>`` wrapper when present.
+    """
+    declarations = _ELEMENT_RE.findall(text)
+    if not declarations:
+        raise DtdSyntaxError("no <!ELEMENT> declarations found")
+    names = [name for name, _ in declarations]
+    types: dict[str, ContentType] = {}
+    for name, raw in declarations:
+        if name in types:
+            raise DtdSyntaxError(f"duplicate declaration for {name!r}")
+        types[name] = _parse_content(name, raw, names)
+    if root is None:
+        doctype = _DOCTYPE_RE.search(text)
+        if doctype:
+            root = doctype.group(1)
+    attributes = _parse_attlists(text, set(types))
+    result = Dtd(types, root, attributes)
+    result.check_consistency()
+    return result
+
+
+def _split_key(raw: str) -> TaggedName:
+    if "^" in raw:
+        name, _, tag = raw.partition("^")
+        return (name, int(tag))
+    return (raw, 0)
+
+
+def parse_paper_dtd(text: str, root: str | None = None) -> Dtd:
+    """Parse the paper's ``{<name : model> ...}`` notation into a DTD.
+
+    The *first* declaration is taken as the document type unless
+    ``root`` is given.  Raises when the text uses specialization tags
+    (parse those with :func:`parse_paper_sdtd`).
+    """
+    sdtd = parse_paper_sdtd(text, root)
+    if not sdtd.is_plain():
+        raise DtdSyntaxError(
+            "text declares specialized types; use parse_paper_sdtd"
+        )
+    return sdtd.to_plain()
+
+
+def parse_paper_sdtd(text: str, root: str | TaggedName | None = None) -> SpecializedDtd:
+    """Parse the paper's notation into a :class:`SpecializedDtd`."""
+    declarations = _PAPER_DECL_RE.findall(text)
+    if not declarations:
+        raise DtdSyntaxError("no <name : model> declarations found")
+    types: dict[TaggedName, ContentType] = {}
+    order: list[TaggedName] = []
+    for raw_key, raw_model in declarations:
+        key = _split_key(raw_key)
+        if key in types:
+            raise DtdSyntaxError(f"duplicate declaration for {raw_key!r}")
+        model = raw_model.strip()
+        if model.upper() in ("#PCDATA", "PCDATA"):
+            types[key] = PCDATA
+        else:
+            types[key] = parse_regex(model)
+        order.append(key)
+    if root is None:
+        root_key = order[0]
+    elif isinstance(root, str):
+        root_key = _split_key(root)
+    else:
+        root_key = root
+    result = SpecializedDtd(types, root_key)
+    result.check_consistency()
+    return result

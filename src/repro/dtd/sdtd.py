@@ -1,0 +1,181 @@
+"""Specialized DTDs (Definition 3.8).
+
+An s-DTD declares types for *tagged* names ``n^i`` (``i = 0`` is the
+base, printed bare) and its content models are tagged regular
+expressions.  s-DTDs can express constraints plain DTDs cannot --
+e.g. "exactly two of the publications are journal publications"
+(Example 3.4) -- which is what makes structurally tight view DTDs
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import DtdConsistencyError, UnknownNameError
+from ..regex import alphabet, parse_regex, to_string
+from .dtd import PCDATA, ContentType, Dtd, Pcdata
+
+#: A tagged name: (element name, specialization tag); tag 0 is the base.
+TaggedName = tuple[str, int]
+
+
+def format_tagged(key: TaggedName) -> str:
+    """Render a tagged name the way the paper does (bare when tag 0)."""
+    name, tag = key
+    return name if tag == 0 else f"{name}^{tag}"
+
+
+@dataclass
+class SpecializedDtd:
+    """A specialized DTD: ``{<n^i : type(n^i)>}`` plus a root.
+
+    ``types`` maps tagged names to types.  Content models may mention
+    any declared tagged name.  The root may itself be specialized.
+    """
+
+    types: dict[TaggedName, ContentType]
+    root: TaggedName | None = None
+
+    def __post_init__(self) -> None:
+        if self.root is not None and self.root not in self.types:
+            raise DtdConsistencyError(
+                f"root {format_tagged(self.root)} is not declared"
+            )
+
+    @property
+    def tagged_names(self) -> frozenset[TaggedName]:
+        """All declared tagged names."""
+        return frozenset(self.types)
+
+    @property
+    def base_names(self) -> frozenset[str]:
+        """All element names, tags projected out."""
+        return frozenset(name for name, _ in self.types)
+
+    def spec(self, name: str) -> int:
+        """``spec(n)`` of Definition 3.8: the largest declared tag of ``n``."""
+        tags = [tag for declared, tag in self.types if declared == name]
+        if not tags:
+            raise UnknownNameError(f"element name {name!r} is not declared")
+        return max(tags)
+
+    def specializations(self, name: str) -> list[TaggedName]:
+        """All declared specializations of ``name``, base first."""
+        return sorted(key for key in self.types if key[0] == name)
+
+    def type_of(self, key: TaggedName) -> ContentType:
+        """The type of a tagged name; raises for unknown keys."""
+        try:
+            return self.types[key]
+        except KeyError:
+            raise UnknownNameError(
+                f"tagged name {format_tagged(key)} is not declared"
+            )
+
+    def __contains__(self, key: TaggedName) -> bool:
+        return key in self.types
+
+    def __iter__(self) -> Iterator[TaggedName]:
+        return iter(self.types)
+
+    def referenced_keys(self, key: TaggedName) -> frozenset[TaggedName]:
+        """Tagged names occurring in the content model of ``key``."""
+        content = self.type_of(key)
+        if isinstance(content, Pcdata):
+            return frozenset()
+        return frozenset(s.key() for s in alphabet(content))
+
+    def undeclared_references(self) -> dict[TaggedName, frozenset[TaggedName]]:
+        """References to tagged names that are not declared."""
+        problems: dict[TaggedName, frozenset[TaggedName]] = {}
+        for key in self.types:
+            missing = self.referenced_keys(key) - self.tagged_names
+            if missing:
+                problems[key] = missing
+        return problems
+
+    def check_consistency(self) -> None:
+        """Raise :class:`DtdConsistencyError` on undeclared references."""
+        problems = self.undeclared_references()
+        if problems:
+            details = "; ".join(
+                f"{format_tagged(key)} references "
+                f"{sorted(format_tagged(m) for m in missing)}"
+                for key, missing in sorted(problems.items())
+            )
+            raise DtdConsistencyError(f"undeclared tagged names: {details}")
+
+    def is_plain(self) -> bool:
+        """True when every tag is 0 (the s-DTD is an ordinary DTD)."""
+        return all(tag == 0 for _, tag in self.types)
+
+    def to_plain(self) -> Dtd:
+        """Reinterpret as a plain DTD; requires :meth:`is_plain`.
+
+        For s-DTDs with proper specializations use
+        :func:`repro.inference.merge.merge_sdtd` (Algorithm Merge),
+        which images and unions the types.
+        """
+        if not self.is_plain():
+            raise DtdConsistencyError(
+                "s-DTD has proper specializations; use merge_sdtd"
+            )
+        return Dtd(
+            {name: content for (name, _), content in self.types.items()},
+            self.root[0] if self.root else None,
+        )
+
+    def copy(self) -> "SpecializedDtd":
+        """A shallow copy with a fresh type dict."""
+        return SpecializedDtd(dict(self.types), self.root)
+
+    def __str__(self) -> str:
+        lines = []
+        for key, content in self.types.items():
+            rendered = "#PCDATA" if isinstance(content, Pcdata) else to_string(content)
+            marker = "(root) " if key == self.root else ""
+            lines.append(f"<{marker}{format_tagged(key)} : {rendered}>")
+        return "{" + "\n ".join(lines) + "}"
+
+
+def from_dtd(plain: Dtd) -> SpecializedDtd:
+    """Lift a plain DTD to an s-DTD with every tag 0."""
+    return SpecializedDtd(
+        {(name, 0): content for name, content in plain.types.items()},
+        (plain.root, 0) if plain.root else None,
+    )
+
+
+def sdtd(
+    declarations: Mapping[str | TaggedName, str | ContentType],
+    root: str | TaggedName | None = None,
+) -> SpecializedDtd:
+    """Convenience constructor from content-model strings.
+
+    Keys may be bare names (tag 0), ``(name, tag)`` pairs, or strings
+    of the form ``"name^tag"``.
+    """
+
+    def as_key(raw: str | TaggedName) -> TaggedName:
+        if isinstance(raw, tuple):
+            return raw
+        if "^" in raw:
+            name, _, tag = raw.partition("^")
+            return (name, int(tag))
+        return (raw, 0)
+
+    types: dict[TaggedName, ContentType] = {}
+    for raw_key, content in declarations.items():
+        key = as_key(raw_key)
+        if isinstance(content, str):
+            if content.strip().upper() == "#PCDATA":
+                types[key] = PCDATA
+            else:
+                types[key] = parse_regex(content)
+        else:
+            types[key] = content
+    result = SpecializedDtd(types, as_key(root) if root is not None else None)
+    result.check_consistency()
+    return result

@@ -1,0 +1,92 @@
+"""Serialization of DTDs to standard and paper notation."""
+
+from __future__ import annotations
+
+from ..regex import image, to_string, to_xml_content_model
+from .dtd import Dtd, Pcdata
+from .sdtd import SpecializedDtd, format_tagged
+
+
+def _attlist_lines(dtd: Dtd) -> list[str]:
+    from .attributes import AttributeKind, DefaultMode
+
+    lines = []
+    for element_name in sorted(dtd.attributes):
+        for decl in dtd.attributes[element_name].values():
+            if decl.kind is AttributeKind.ENUMERATED:
+                kind = "(" + " | ".join(decl.enumeration) + ")"
+            else:
+                kind = decl.kind.value
+            if decl.mode is DefaultMode.REQUIRED:
+                default = "#REQUIRED"
+            elif decl.mode is DefaultMode.IMPLIED:
+                default = "#IMPLIED"
+            elif decl.mode is DefaultMode.FIXED:
+                default = f'#FIXED "{decl.default}"'
+            else:
+                default = f'"{decl.default}"'
+            lines.append(
+                f"<!ATTLIST {element_name} {decl.name} {kind} {default}>"
+            )
+    return lines
+
+
+def serialize_dtd(dtd: Dtd, doctype: bool = True) -> str:
+    """Render as ``<!ELEMENT>`` (and ``<!ATTLIST>``) declarations."""
+    lines = []
+    for name, content in dtd.types.items():
+        if isinstance(content, Pcdata):
+            model = "(#PCDATA)"
+        else:
+            model = to_xml_content_model(content)
+        lines.append(f"<!ELEMENT {name} {model}>")
+    lines.extend(_attlist_lines(dtd))
+    body = "\n".join(lines)
+    if doctype and dtd.root:
+        indented = "\n".join(f"  {line}" for line in lines)
+        return f"<!DOCTYPE {dtd.root} [\n{indented}\n]>"
+    return body
+
+
+def serialize_paper_dtd(dtd: Dtd) -> str:
+    """Render in the paper's ``{<name : model> ...}`` notation."""
+    lines = []
+    for name, content in dtd.types.items():
+        model = "#PCDATA" if isinstance(content, Pcdata) else to_string(content)
+        lines.append(f"<{name} : {model}>")
+    return "{" + "\n ".join(lines) + "}"
+
+
+def serialize_paper_sdtd(sdtd: SpecializedDtd) -> str:
+    """Render an s-DTD in the paper's notation with ``^`` tags."""
+    lines = []
+    for key, content in sdtd.types.items():
+        model = "#PCDATA" if isinstance(content, Pcdata) else to_string(content)
+        lines.append(f"<{format_tagged(key)} : {model}>")
+    return "{" + "\n ".join(lines) + "}"
+
+
+def serialize_sdtd_as_xml_dtd(sdtd: SpecializedDtd) -> str:
+    """Render the *image* of an s-DTD as standard declarations.
+
+    Standard DTD syntax cannot express tags, so specializations of the
+    same name are unioned per name first (informational rendering; for
+    the paper's Merge semantics use ``repro.inference.merge``).
+    """
+    from ..regex import alt
+
+    merged: dict[str, list] = {}
+    pcdata_names: set[str] = set()
+    for (name, _), content in sdtd.types.items():
+        if isinstance(content, Pcdata):
+            pcdata_names.add(name)
+        else:
+            merged.setdefault(name, []).append(image(content))
+    lines = []
+    for name in sdtd.base_names:
+        if name in pcdata_names:
+            lines.append(f"<!ELEMENT {name} (#PCDATA)>")
+        else:
+            model = alt(*merged[name])
+            lines.append(f"<!ELEMENT {name} {to_xml_content_model(model)}>")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Tightness comparison of DTDs (Definitions 3.2-3.7).
+
+``D1`` is *tighter* than ``D2`` when every document satisfying ``D1``
+satisfies ``D2``.  We decide the relation exactly for the common case
+(compare the types of corresponding names by language inclusion and
+check name-set containment), which is sound and -- for DTDs whose
+reachable names coincide, as with inferred view DTDs versus their naive
+counterparts -- also complete.
+
+Structural classes (Definition 3.5) abstract a document's strings and
+IDs away; :func:`structural_class_key` computes a canonical key so that
+two documents are in the same class iff their keys are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regex import difference_witness, is_equivalent, is_subset
+from ..xmlmodel import Element
+from .analysis import prune_unreachable, reachable_names
+from .dtd import Dtd, Pcdata
+
+
+@dataclass
+class TightnessReport:
+    """Outcome of a tighter-than comparison with per-name evidence."""
+
+    tighter: bool
+    #: names where the left type is strictly tighter
+    strictly_tighter_names: list[str]
+    #: names where inclusion fails, with a witness child sequence
+    failures: dict[str, list]
+
+    @property
+    def strictly(self) -> bool:
+        """Tighter and not equivalent."""
+        return self.tighter and bool(self.strictly_tighter_names)
+
+
+def type_tighter(left, right) -> bool:
+    """Definition 3.3 on a pair of types (PCDATA or content model)."""
+    left_pcdata = isinstance(left, Pcdata)
+    right_pcdata = isinstance(right, Pcdata)
+    if left_pcdata or right_pcdata:
+        return left_pcdata and right_pcdata
+    return is_subset(left, right)
+
+
+def compare_tightness(left: Dtd, right: Dtd) -> TightnessReport:
+    """Is ``left`` tighter than ``right`` (Definition 3.2)?
+
+    Sound criterion: every name reachable in ``left`` is declared in
+    ``right`` with a type that includes the left type, and the roots
+    agree (or the right root is unset).
+    """
+    strictly: list[str] = []
+    failures: dict[str, list] = {}
+    left_reachable = reachable_names(left)
+    if left.root is not None and right.root is not None and left.root != right.root:
+        failures["#root"] = [left.root, right.root]
+    for name in sorted(left_reachable):
+        left_type = left.type_of(name)
+        if name not in right:
+            failures[name] = ["undeclared in right DTD"]
+            continue
+        right_type = right.type_of(name)
+        if not type_tighter(left_type, right_type):
+            witness = None
+            if not isinstance(left_type, Pcdata) and not isinstance(right_type, Pcdata):
+                witness = difference_witness(left_type, right_type)
+            failures[name] = [witness]
+            continue
+        left_pc = isinstance(left_type, Pcdata)
+        right_pc = isinstance(right_type, Pcdata)
+        if not left_pc and not right_pc and not is_equivalent(left_type, right_type):
+            strictly.append(name)
+    return TightnessReport(not failures, strictly, failures)
+
+
+def is_tighter(left: Dtd, right: Dtd) -> bool:
+    """Convenience wrapper for :func:`compare_tightness`."""
+    return compare_tightness(left, right).tighter
+
+
+def is_strictly_tighter(left: Dtd, right: Dtd) -> bool:
+    """Tighter and describing strictly fewer documents."""
+    report = compare_tightness(left, right)
+    return report.tighter and report.strictly
+
+
+def equivalent_dtds(left: Dtd, right: Dtd) -> bool:
+    """Both directions of Definition 3.2 (same described documents).
+
+    Compares the reachable fragments only: unreachable declarations
+    cannot affect which documents satisfy the DTD.
+    """
+    left_pruned = prune_unreachable(left)
+    right_pruned = prune_unreachable(right)
+    return (
+        is_tighter(left_pruned, right_pruned)
+        and is_tighter(right_pruned, left_pruned)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structural classes (Definition 3.5)
+# ---------------------------------------------------------------------------
+
+StructuralKey = tuple
+
+
+def structural_class_key(element: Element) -> StructuralKey:
+    """A canonical key for the structural class of a document.
+
+    Definition 3.5 identifies documents up to a bijective renaming of
+    strings and IDs.  Strings are therefore canonicalized by first
+    occurrence order (two equal strings stay equal, distinct strings
+    stay distinct); IDs are dropped entirely because each element's ID
+    is unique, making any two documents with the same shape ID-mappable.
+    """
+    counter: dict[str, int] = {}
+
+    def visit(node: Element) -> StructuralKey:
+        if node.is_pcdata:
+            value = node.text or ""
+            if value not in counter:
+                counter[value] = len(counter)
+            return (node.name, "#text", counter[value])
+        return (node.name, tuple(visit(child) for child in node.children))
+
+    return visit(element)
+
+
+def same_structural_class(left: Element, right: Element) -> bool:
+    """Are the two documents in the same structural class?"""
+    return structural_class_key(left) == structural_class_key(right)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RegexSyntaxError(ReproError):
+    """A DTD content-model expression could not be parsed."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.text = text
+        self.position = position
+
+
+class XmlSyntaxError(ReproError):
+    """An XML document could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class DtdSyntaxError(ReproError):
+    """A DTD declaration could not be parsed."""
+
+
+class DtdConsistencyError(ReproError):
+    """A DTD references undeclared names or is otherwise malformed."""
+
+
+class ValidationError(ReproError):
+    """A document does not satisfy a DTD.
+
+    Raised by the ``require_valid`` helpers; the non-raising validators
+    return a report object instead.
+    """
+
+
+class QuerySyntaxError(ReproError):
+    """An XMAS query could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class QueryAnalysisError(ReproError):
+    """A query is outside the class handled by an algorithm.
+
+    For example, the view-DTD inference pipeline raises this for queries
+    with recursive path steps (Section 4.4, footnote 9 of the paper).
+    """
+
+
+class UnknownNameError(ReproError):
+    """A query or document mentions an element name absent from the DTD."""
+
+
+class MediatorError(ReproError):
+    """A mediator operation failed (unknown view, unknown source, ...)."""

@@ -1,0 +1,174 @@
+"""Collapsing equivalent specializations of an s-DTD.
+
+The tightening algorithm gives every condition node a fresh
+specialization tag; many end up equivalent -- the paper notes this for
+Example 3.4 ("the third one, named publication^2, has essentially the
+same type with publication^1", footnote 8) and merges them by hand.
+This module does it systematically.
+
+Two tagged names of the same element name are *equivalent* when their
+types describe the same element trees; we compute the coarsest
+partition of keys such that, renaming every key to its class
+representative, equivalent-class members have language-equivalent
+content models (a bisimulation-style greatest fixpoint; exact for
+non-recursive s-DTDs, sound for recursive ones).
+
+Classes containing the base key are renumbered to tag 0, the rest to
+1, 2, ... in order of first use, and all content models are rewritten.
+Collapsing a specialization into the base key is harmless even for
+counting constraints: a position in a content model is a position
+regardless of its tag, so ``j*, j^1, j*, j^2, j*`` still demands two
+``j`` children after both tags collapse to the base.
+"""
+
+from __future__ import annotations
+
+from ..dtd import Pcdata, SpecializedDtd, TaggedName
+from ..regex import Regex, Sym, is_equivalent, rename
+from .tighten import NodeTyping, TightenResult
+
+
+def _representative(members: list[TaggedName]) -> TaggedName:
+    """Canonical member of a class: the base key if present, else min tag."""
+    return min(members, key=lambda key: key[1])
+
+
+def compute_equivalence(
+    sdtd: SpecializedDtd,
+) -> dict[TaggedName, TaggedName]:
+    """Map each key to its equivalence-class representative."""
+    # Initial partition: by (name, PCDATA-or-regex kind).
+    classes: list[list[TaggedName]] = []
+    by_group: dict[tuple[str, bool], list[TaggedName]] = {}
+    for key, content in sdtd.types.items():
+        group = (key[0], isinstance(content, Pcdata))
+        by_group.setdefault(group, []).append(key)
+    classes = [sorted(members) for members in by_group.values()]
+
+    while True:
+        rep_map: dict[TaggedName, Sym] = {}
+        for members in classes:
+            rep = _representative(members)
+            for key in members:
+                rep_map[key] = Sym(rep[0], rep[1])
+
+        def canonical(content) -> object:
+            if isinstance(content, Pcdata):
+                return content
+            return rename(content, rep_map)
+
+        new_classes: list[list[TaggedName]] = []
+        changed = False
+        for members in classes:
+            if len(members) == 1:
+                new_classes.append(members)
+                continue
+            buckets: list[tuple[object, list[TaggedName]]] = []
+            for key in members:
+                content = canonical(sdtd.types[key])
+                placed = False
+                for pivot, bucket in buckets:
+                    if isinstance(content, Pcdata) and isinstance(pivot, Pcdata):
+                        bucket.append(key)
+                        placed = True
+                        break
+                    if (
+                        isinstance(content, Regex)
+                        and isinstance(pivot, Regex)
+                        and is_equivalent(content, pivot)
+                    ):
+                        bucket.append(key)
+                        placed = True
+                        break
+                if not placed:
+                    buckets.append((content, [key]))
+            if len(buckets) > 1:
+                changed = True
+            new_classes.extend(bucket for _, bucket in buckets)
+        classes = new_classes
+        if not changed:
+            break
+
+    result: dict[TaggedName, TaggedName] = {}
+    for members in classes:
+        rep = _representative(members)
+        for key in members:
+            result[key] = rep
+    return result
+
+
+def _renumber(
+    equivalence: dict[TaggedName, TaggedName],
+    sdtd: SpecializedDtd,
+) -> dict[TaggedName, TaggedName]:
+    """Final key map: base classes to tag 0, others to 1, 2, ... per name."""
+    final: dict[TaggedName, TaggedName] = {}
+    next_tag: dict[str, int] = {}
+    rep_target: dict[TaggedName, TaggedName] = {}
+    base_taken: set[str] = set()
+    # Classes containing a declared base key claim tag 0 first.
+    for key in sorted(sdtd.types):
+        rep = equivalence[key]
+        name = rep[0]
+        if (name, 0) in equivalence and equivalence[(name, 0)] == rep:
+            rep_target[rep] = (name, 0)
+            base_taken.add(name)
+    # Remaining classes: the first class of a name whose base is not
+    # declared also takes tag 0 (the paper's D3 writes the refined
+    # ``publication`` untagged because the base never appears); others
+    # get 1, 2, ... in deterministic (name, tag) order.
+    for key in sorted(sdtd.types):
+        rep = equivalence[key]
+        name = rep[0]
+        if rep not in rep_target:
+            if name not in base_taken:
+                rep_target[rep] = (name, 0)
+                base_taken.add(name)
+            else:
+                tag = next_tag.get(name, 0) + 1
+                next_tag[name] = tag
+                rep_target[rep] = (name, tag)
+        final[key] = rep_target[rep]
+    return final
+
+
+def collapse_equivalent(
+    sdtd: SpecializedDtd,
+) -> tuple[SpecializedDtd, dict[TaggedName, TaggedName]]:
+    """Collapse equivalent specializations; returns (s-DTD, key map)."""
+    equivalence = compute_equivalence(sdtd)
+    final = _renumber(equivalence, sdtd)
+    sym_map = {key: Sym(*target) for key, target in final.items()}
+
+    new_types: dict[TaggedName, object] = {}
+    for key, content in sdtd.types.items():
+        target = final[key]
+        if target in new_types:
+            continue
+        if isinstance(content, Pcdata):
+            new_types[target] = content
+        else:
+            new_types[target] = rename(content, sym_map)
+    new_root = final[sdtd.root] if sdtd.root is not None else None
+    collapsed = SpecializedDtd(new_types, new_root)
+    collapsed.check_consistency()
+    return collapsed, final
+
+
+def collapse_result(result: TightenResult) -> TightenResult:
+    """Apply collapsing to a :class:`TightenResult`, remapping typings."""
+    collapsed, final = collapse_equivalent(result.sdtd)
+    new_typings: dict[int, NodeTyping] = {}
+    for node_id, typing in result.typings.items():
+        new_typings[node_id] = NodeTyping(
+            typing.node,
+            {name: final[key] for name, key in typing.keys.items()},
+            dict(typing.classes),
+        )
+    return TightenResult(
+        collapsed,
+        new_typings,
+        new_typings[id(result.root.node)],
+        result.mode,
+        result.query,
+    )

@@ -1,0 +1,149 @@
+"""View DTD inference for CONSTRUCT queries.
+
+The paper's framework anticipated "more powerful view definition
+languages"; this extends the inference to the CONSTRUCT subset of
+:mod:`repro.xmas.construct`.  The template contributes the *structure*
+of the view DTD directly (constructor elements have a known child
+order), and the tightening algorithm types the variable slots: a slot
+for variable ``V`` admits exactly the specialized keys the tightening
+derived for ``V``'s condition node.
+
+Soundness argument: every emitted row instantiates the template once,
+with each slot holding one element that matched ``V``'s condition --
+an element of one of the slot's keys.  Rows repeat zero or more times
+(one per distinct binding projection), hence ``view : row*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd import (
+    PCDATA,
+    Dtd,
+    Pcdata,
+    SpecializedDtd,
+    prune_unreachable_sdtd,
+)
+from ..errors import QueryAnalysisError
+from ..regex import EPSILON, Regex, Sym, alt, concat, star
+from ..xmas.construct import ConstructQuery, Slot, Template, Text
+from .classify import Classification, InferenceMode
+from .merge import MergeResult, merge_sdtd
+from .simplifytype import simplify_type
+from .tighten import TightenResult, tighten
+
+
+@dataclass
+class ConstructInferenceResult:
+    """The inferred description of a CONSTRUCT view."""
+
+    query: ConstructQuery
+    sdtd: SpecializedDtd
+    dtd: Dtd
+    classification: Classification
+    merge: MergeResult
+    tightening: TightenResult
+    mode: InferenceMode
+
+    @property
+    def is_empty_view(self) -> bool:
+        return self.classification is Classification.UNSATISFIABLE
+
+
+def _slot_typings(
+    tightening: TightenResult, template: Template
+) -> dict[str, list[Sym]]:
+    """The specialized keys each template variable can bind."""
+    by_variable: dict[str, list[Sym]] = {}
+    for typing in tightening.typings.values():
+        variable = typing.node.variable
+        if variable is None:
+            continue
+        by_variable[variable] = [
+            Sym(name, tag) for name, (_, tag) in sorted(typing.keys.items())
+        ]
+    return {
+        variable: by_variable.get(variable, [])
+        for variable in template.variables()
+    }
+
+
+def infer_construct_view_dtd(
+    source_dtd: Dtd,
+    query: ConstructQuery,
+    mode: InferenceMode = InferenceMode.EXACT,
+) -> ConstructInferenceResult:
+    """Infer the (specialized and plain) DTD of a CONSTRUCT view."""
+    template_names = query.template.template_names() | {query.view_name}
+    collisions = sorted(template_names & source_dtd.names)
+    if collisions:
+        raise QueryAnalysisError(
+            f"template names {collisions} collide with source element "
+            "names"
+        )
+    if query.view_name in query.template.template_names():
+        raise QueryAnalysisError(
+            f"view name {query.view_name!r} is also a template element"
+        )
+
+    tightening = tighten(source_dtd, query.as_pick_query(), mode)
+    slots = _slot_typings(tightening, query.template)
+    unsatisfiable = (
+        tightening.classification is Classification.UNSATISFIABLE
+        or any(not keys for keys in slots.values())
+    )
+
+    types: dict = {}
+
+    def declare(node: Template) -> None:
+        key = (node.name, 0)
+        if key in types:
+            raise QueryAnalysisError(
+                f"template element {node.name!r} declared twice with "
+                "(potentially) different content"
+            )
+        if len(node.children) == 1 and isinstance(node.children[0], Text):
+            types[key] = PCDATA
+        else:
+            parts: list[Regex] = []
+            for child in node.children:
+                if isinstance(child, Template):
+                    parts.append(Sym(child.name))
+                elif isinstance(child, Slot):
+                    parts.append(alt(*slots[child.variable]))
+            types[key] = concat(*parts)
+        for child in node.children:
+            if isinstance(child, Template):
+                declare(child)
+
+    declare(query.template)
+    view_key = (query.view_name, 0)
+    types[view_key] = (
+        EPSILON if unsatisfiable else star(Sym(query.template.name))
+    )
+    for key, content in tightening.sdtd.types.items():
+        types[key] = (
+            content
+            if isinstance(content, Pcdata)
+            else simplify_type(content)
+        )
+    sdtd = SpecializedDtd(types, view_key)
+    sdtd = prune_unreachable_sdtd(sdtd)
+    sdtd.check_consistency()
+
+    merge = merge_sdtd(sdtd)
+    classification = (
+        Classification.UNSATISFIABLE
+        if unsatisfiable
+        else tightening.classification
+    )
+    return ConstructInferenceResult(
+        query=query,
+        sdtd=sdtd,
+        dtd=merge.dtd,
+        classification=classification,
+        merge=merge,
+        tightening=tightening,
+        mode=mode,
+    )

@@ -1,0 +1,71 @@
+"""Algorithm Merge (Section 4.3): specialized DTD -> plain DTD.
+
+Plain DTDs have no tags, so all specializations of a name are imaged
+(Definition 3.9) and unioned.  Whenever two types actually merge the
+algorithm signals it, "since merging inadvertently introduces
+non-tightness" -- the view-inference module surfaces these signals to
+the user (Example 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dtd import Dtd, Pcdata, SpecializedDtd
+from ..errors import DtdConsistencyError
+from ..regex import Regex, alt, image, is_equivalent, simplify_deep
+
+
+@dataclass
+class MergeResult:
+    """A merged plain DTD plus the non-tightness signals."""
+
+    dtd: Dtd
+    #: names whose specializations were unioned (possible tightness loss)
+    merged_names: list[str] = field(default_factory=list)
+    #: the subset of merged names where the union is a strict loss
+    #: (the merged type accepts sequences no single specialization did,
+    #: or distinct specializations had genuinely different languages)
+    lossy_names: list[str] = field(default_factory=list)
+
+    @property
+    def lossless(self) -> bool:
+        """True when no genuinely different types were merged."""
+        return not self.lossy_names
+
+
+def merge_sdtd(sdtd: SpecializedDtd, simplify: bool = True) -> MergeResult:
+    """Run Algorithm Merge.
+
+    Raises :class:`DtdConsistencyError` if a name mixes PCDATA and
+    element-content specializations (impossible for s-DTDs produced by
+    the tightening algorithm, which specializes a single base type).
+    """
+    grouped: dict[str, list] = {}
+    for (name, _tag), content in sorted(sdtd.types.items()):
+        grouped.setdefault(name, []).append(content)
+
+    types: dict[str, object] = {}
+    merged_names: list[str] = []
+    lossy_names: list[str] = []
+    for name, contents in grouped.items():
+        kinds = {isinstance(content, Pcdata) for content in contents}
+        if kinds == {True, False}:
+            raise DtdConsistencyError(
+                f"{name!r} mixes PCDATA and element-content specializations"
+            )
+        if kinds == {True}:
+            types[name] = contents[0]
+            continue
+        images: list[Regex] = [image(content) for content in contents]
+        union = alt(*images)
+        if len(contents) > 1:
+            merged_names.append(name)
+            if any(not is_equivalent(images[0], img) for img in images[1:]):
+                lossy_names.append(name)
+        types[name] = simplify_deep(union) if simplify else union
+
+    root = sdtd.root[0] if sdtd.root is not None else None
+    dtd = Dtd(types, root)
+    dtd.check_consistency()
+    return MergeResult(dtd, merged_names, lossy_names)

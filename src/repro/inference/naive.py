@@ -1,0 +1,47 @@
+"""The naive view-DTD inference baseline (Example 3.1).
+
+The paper's strawman: declare the view's top element to contain any
+mix of the pick names, copy the pick names' *unrefined* source types,
+and drop unreferenced declarations.  Sound, but loose: no type
+refinement, no disjunction removal, no order or cardinality discovery.
+The experiments compare it against the tight pipeline (E1, E12).
+"""
+
+from __future__ import annotations
+
+from ..dtd import Dtd, prune_unreachable
+from ..errors import QueryAnalysisError
+from ..regex import Regex, alt, plus, star, sym
+from ..xmas import Query
+from ..xmas.analysis import check_inference_applicable, pick_path, resolve_against_dtd
+
+
+def naive_view_dtd(dtd: Dtd, query: Query, plus_list: bool = False) -> Dtd:
+    """Example 3.1's naive algorithm.
+
+    ``plus_list=True`` reproduces the paper's literal
+    ``(professor | gradStudent)+`` list type; the default uses ``*``,
+    because ``+`` is unsound (a view can be empty when no element
+    qualifies -- see EXPERIMENTS.md E1).
+    """
+    check_inference_applicable(query)
+    resolved = resolve_against_dtd(query, dtd)
+    path = pick_path(resolved)
+    pick_names = [
+        name for name in (path.pick.test.names or ()) if name in dtd
+    ]
+    if not pick_names:
+        raise QueryAnalysisError(
+            "no pick name is declared in the source DTD"
+        )
+    disjunction: Regex = alt(*(sym(name) for name in pick_names))
+    list_type = plus(disjunction) if plus_list else star(disjunction)
+    if resolved.view_name in dtd:
+        raise QueryAnalysisError(
+            f"view name {resolved.view_name!r} collides with a source "
+            "element name"
+        )
+    types: dict[str, object] = {resolved.view_name: list_type}
+    types.update(dtd.types)
+    view = Dtd(types, resolved.view_name)
+    return prune_unreachable(view)

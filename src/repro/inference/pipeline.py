@@ -1,0 +1,158 @@
+"""The end-to-end View DTD Inference module (Figure 1's component).
+
+``infer_view_dtd`` ties the pieces together: tighten the source types
+against the query's tree condition (Section 4.2), infer the result-list
+type (Section 4.4), assemble the specialized view DTD, and merge it to
+a plain view DTD (Section 4.3) with non-tightness signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd import (
+    Dtd,
+    Pcdata,
+    SpecializedDtd,
+    prune_unreachable_sdtd,
+)
+from ..errors import QueryAnalysisError
+from ..regex import Regex, is_equivalent, to_string
+from ..xmas import Query
+from .classify import Classification, InferenceMode
+from .listtype import infer_list_type
+from .merge import MergeResult, merge_sdtd
+from .tighten import TightenResult, tighten
+
+
+@dataclass
+class InferenceResult:
+    """Everything the View DTD Inference module derives for a view.
+
+    Attributes:
+        query: the view definition.
+        sdtd: the specialized view DTD (root = the view's top element);
+            this is the tight description -- pass it to stacked
+            mediators and to the DTD-based query interface.
+        dtd: the plain view DTD obtained by Algorithm Merge.
+        list_type: the content model of the view's top element, over
+            specialized keys.
+        classification: valid / satisfiable / unsatisfiable of the
+            view's condition against the source DTD (Section 4.2's
+            side effect; UNSATISFIABLE means the view is provably
+            empty).
+        merge: the Merge run, including non-tightness signals.
+        tightening: the full tightening result (per-node typings).
+    """
+
+    query: Query
+    sdtd: SpecializedDtd
+    dtd: Dtd
+    list_type: Regex
+    classification: Classification
+    merge: MergeResult
+    tightening: TightenResult
+    mode: InferenceMode
+
+    @property
+    def is_empty_view(self) -> bool:
+        """True when no valid source document yields a non-empty view."""
+        return self.classification is Classification.UNSATISFIABLE
+
+    def xml_dtd(self):
+        """The plain view DTD with XML-1.0 deterministic content models.
+
+        Inferred content models are correct regular expressions but
+        not always one-unambiguous as XML requires; this repairs them
+        where possible.  Returns ``(dtd, report)`` -- see
+        :func:`repro.dtd.determinize.xmlize_dtd`.
+        """
+        from ..dtd import xmlize_dtd
+
+        return xmlize_dtd(self.dtd)
+
+    def describe(self) -> str:
+        """A human-readable report (what the query interface displays)."""
+        lines = [
+            f"view {self.query.view_name!r}: {self.classification.value}",
+            f"list type: {to_string(self.list_type)}",
+            "specialized view DTD:",
+            str(self.sdtd),
+            "plain view DTD (after Merge):",
+            str(self.dtd),
+        ]
+        if self.merge.merged_names:
+            lines.append(
+                "merge signals (possible non-tightness): "
+                + ", ".join(self.merge.merged_names)
+            )
+        return "\n".join(lines)
+
+
+def infer_view_dtd(
+    source_dtd: Dtd,
+    query: Query,
+    mode: InferenceMode = InferenceMode.EXACT,
+) -> InferenceResult:
+    """Infer the view DTD of a pick-element query over a source DTD.
+
+    Raises :class:`repro.errors.QueryAnalysisError` for queries outside
+    the supported class (recursive path steps, several pick nodes) and
+    when the view name collides with a source element name.
+    """
+    if query.view_name in source_dtd:
+        raise QueryAnalysisError(
+            f"view name {query.view_name!r} collides with a source "
+            "element name"
+        )
+    tightening = tighten(source_dtd, query, mode)
+    list_type = infer_list_type(source_dtd, query, tightening, mode)
+
+    from .simplifytype import simplify_type
+
+    view_key = (query.view_name, 0)
+    types: dict = {view_key: list_type}
+    for key, content in tightening.sdtd.types.items():
+        types[key] = (
+            content
+            if isinstance(content, Pcdata)
+            else simplify_type(content)
+        )
+    sdtd = SpecializedDtd(types, view_key)
+    sdtd = prune_unreachable_sdtd(sdtd)
+    sdtd.check_consistency()
+
+    merge = merge_sdtd(sdtd)
+    if source_dtd.attributes:
+        # Appendix A layer: attributes never affect content models, so
+        # the view inherits the source ATTLISTs of surviving names.
+        from ..dtd.attributes import carry_over_attributes
+
+        merge.dtd = carry_over_attributes(source_dtd, merge.dtd)
+    classification = _overall_classification(tightening, list_type)
+    return InferenceResult(
+        query=query,
+        sdtd=sdtd,
+        dtd=merge.dtd,
+        list_type=list_type,
+        classification=classification,
+        merge=merge,
+        tightening=tightening,
+        mode=mode,
+    )
+
+
+def _overall_classification(
+    tightening: TightenResult, list_type: Regex
+) -> Classification:
+    """Combine the root condition's class with root-name feasibility.
+
+    The tightening classification is per condition tree; the list type
+    additionally accounts for the document type (a root test that can
+    never match the document type makes the view empty).
+    """
+    from ..regex import EPSILON
+
+    if is_equivalent(list_type, EPSILON):
+        return Classification.UNSATISFIABLE
+    return tightening.classification

@@ -1,0 +1,182 @@
+"""Empirical quality metrics for inferred view DTDs (E9, E12).
+
+The paper's quality framework is soundness (Definition 3.1) and
+tightness (Definitions 3.2-3.7).  This module measures both:
+
+* :func:`check_soundness` draws random valid source documents, runs
+  the view, and validates the result against the inferred plain DTD
+  and specialized DTD.  A sound inference never produces a violation.
+* :func:`looseness_report` quantifies tightness differences between
+  two view DTDs by exact word counting on corresponding content models
+  (Section 3.2's information loss, made numeric).
+* :func:`structural_tightness_probe` estimates how much of the plain
+  view DTD is *not* covered by the specialized view DTD: it samples
+  documents from the plain DTD and checks them against the s-DTD
+  (tree-automaton semantics).  A gap is exactly the paper's
+  structural non-tightness (Example 3.1's student with only
+  conference publications).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dtd import (
+    Dtd,
+    generate_document,
+    satisfies_sdtd,
+    validate_document,
+)
+from ..regex import count_words_up_to
+from ..xmas import Query, evaluate
+from ..xmlmodel import serialize_document
+from .pipeline import InferenceResult
+
+
+@dataclass
+class SoundnessReport:
+    """Outcome of an empirical soundness run."""
+
+    trials: int
+    dtd_violations: int = 0
+    sdtd_violations: int = 0
+    empty_views: int = 0
+    counterexamples: list[str] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return self.dtd_violations == 0 and self.sdtd_violations == 0
+
+    def __str__(self) -> str:
+        return (
+            f"trials={self.trials} dtd_violations={self.dtd_violations} "
+            f"sdtd_violations={self.sdtd_violations} "
+            f"empty_views={self.empty_views}"
+        )
+
+
+def check_soundness(
+    source_dtd: Dtd,
+    query: Query,
+    result: InferenceResult,
+    trials: int = 100,
+    rng: random.Random | None = None,
+    star_mean: float = 1.2,
+    max_counterexamples: int = 3,
+) -> SoundnessReport:
+    """Definition 3.1, tested: every view document satisfies the view DTD."""
+    rng = rng or random.Random(0)
+    report = SoundnessReport(trials)
+    for _ in range(trials):
+        source_doc = generate_document(source_dtd, rng, star_mean=star_mean)
+        view_doc = evaluate(query, source_doc)
+        if not view_doc.root.children:
+            report.empty_views += 1
+        dtd_report = validate_document(view_doc, result.dtd)
+        if not dtd_report.ok:
+            report.dtd_violations += 1
+            if len(report.counterexamples) < max_counterexamples:
+                report.counterexamples.append(
+                    f"plain DTD: {dtd_report}\n"
+                    + serialize_document(view_doc)
+                )
+        if not satisfies_sdtd(view_doc.root, result.sdtd):
+            report.sdtd_violations += 1
+            if len(report.counterexamples) < max_counterexamples:
+                report.counterexamples.append(
+                    "s-DTD violation:\n" + serialize_document(view_doc)
+                )
+    return report
+
+
+@dataclass
+class LoosenessRow:
+    """Word counts for one element name at bounded sequence length."""
+
+    name: str
+    loose_count: int
+    tight_count: int
+
+    @property
+    def factor(self) -> float:
+        if self.tight_count == 0:
+            return float("inf") if self.loose_count else 1.0
+        return self.loose_count / self.tight_count
+
+
+def looseness_report(
+    loose: Dtd,
+    tight: Dtd,
+    max_length: int = 8,
+    names: list[str] | None = None,
+) -> list[LoosenessRow]:
+    """Per-name looseness factors between two view DTDs (E12).
+
+    Counts, for each shared element name with a content model in both
+    DTDs, the child-name sequences of length at most ``max_length``
+    accepted by each side.
+    """
+    from ..dtd import Pcdata
+
+    rows: list[LoosenessRow] = []
+    candidates = names if names is not None else sorted(
+        loose.names & tight.names
+    )
+    for name in candidates:
+        left = loose.type_of(name)
+        right = tight.type_of(name)
+        if isinstance(left, Pcdata) or isinstance(right, Pcdata):
+            continue
+        rows.append(
+            LoosenessRow(
+                name,
+                count_words_up_to(left, max_length),
+                count_words_up_to(right, max_length),
+            )
+        )
+    return rows
+
+
+@dataclass
+class StructuralTightnessProbe:
+    """Fraction of plain-DTD documents also admitted by the s-DTD."""
+
+    samples: int
+    admitted: int
+    example_gap: str | None = None
+
+    @property
+    def coverage(self) -> float:
+        if self.samples == 0:
+            return 1.0
+        return self.admitted / self.samples
+
+    @property
+    def has_gap(self) -> bool:
+        """True when the plain DTD provably describes impossible views."""
+        return self.admitted < self.samples
+
+
+def structural_tightness_probe(
+    result: InferenceResult,
+    samples: int = 200,
+    rng: random.Random | None = None,
+    star_mean: float = 1.2,
+) -> StructuralTightnessProbe:
+    """Sample the plain view DTD; check against the specialized one.
+
+    Documents admitted by the merged plain DTD but rejected by the
+    s-DTD witness the non-tightness Merge signalled (Section 4.3): the
+    plain DTD describes view structures the view can never produce.
+    """
+    rng = rng or random.Random(0)
+    admitted = 0
+    example: str | None = None
+    for _ in range(samples):
+        doc = generate_document(result.dtd, rng, star_mean=star_mean)
+        if satisfies_sdtd(doc.root, result.sdtd):
+            admitted += 1
+        elif example is None:
+            example = serialize_document(doc)
+    return StructuralTightnessProbe(samples, admitted, example)

@@ -1,0 +1,150 @@
+"""Type refinement (Section 4.1, Definitions 4.1 and 4.2).
+
+``refine(r, n)`` is the regular expression describing all strings of
+``L(r)`` that contain at least one instance of ``n``; the tagged
+variant ``refine(r, n^T)`` additionally *marks* one such occurrence
+with the specialization tag ``T`` (the occurrence the tree condition's
+sub-conditions will constrain).
+
+The paper's special operators are realized by the smart constructors of
+:mod:`repro.regex.ast`:
+
+* ``⊕`` (concatenation where ``fail`` is absorbing) is :func:`concat`,
+* ``∥`` (alternation where ``fail`` is the identity) is :func:`alt`,
+
+with ``fail`` itself represented by the :class:`Empty` node.
+
+Exact specification (property-tested):
+
+* untagged: ``L(refine(r, n)) = L(r) ∩ Σ* n Σ*``;
+* tagged:   ``L(refine(r, n^T)) = { s1 · n^T · s2  :  s1 · n · s2 ∈ L(r) }``
+  -- one untagged occurrence of ``n`` is re-labelled ``n^T``; already
+  tagged occurrences in ``r`` are never re-marked (Definition 4.2's
+  base case), which is what makes sequential refinement with ``n^1``
+  then ``n^2`` demand two *distinct* occurrences (Example 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regex import (
+    EMPTY,
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    alt,
+    concat,
+    star,
+)
+
+
+@dataclass
+class RefineTrace:
+    """Side-channel facts collected during a refinement.
+
+    ``narrowed`` is the paper's conservative signal ("the refinement
+    included an elimination of a disjunct or a refinement of a star
+    expression"): when False, the refinement is guaranteed not to have
+    excluded any instance, so the condition holds on every instance
+    (conservative validity).  The exact check is a language-equivalence
+    test done by the tightening layer; this flag reproduces the
+    paper's cheaper rule.
+    """
+
+    narrowed: bool = False
+
+
+def refine(r: Regex, target: Sym, trace: RefineTrace | None = None) -> Regex:
+    """The paper's ``refine``; returns ``EMPTY`` (fail) when impossible.
+
+    ``target`` may be untagged (Definition 4.1) or tagged
+    (Definition 4.2).  ``trace`` collects the conservative
+    narrowing signal.
+    """
+    if trace is None:
+        trace = RefineTrace()
+    return _refine(r, target, trace)
+
+
+def _refine(r: Regex, target: Sym, trace: RefineTrace) -> Regex:
+    if isinstance(r, Sym):
+        # Base cases of Definitions 4.1/4.2: only an *untagged*
+        # occurrence of the target's name can be (re)marked.
+        if r.name == target.name and r.tag == 0:
+            return target
+        return EMPTY
+    if isinstance(r, (Epsilon, Empty)):
+        return EMPTY
+    if isinstance(r, Opt):
+        # refine(g?) = refine(g) || fail: the epsilon branch dies.
+        result = _refine(r.item, target, trace)
+        if not isinstance(result, Empty):
+            trace.narrowed = True
+        return result
+    if isinstance(r, Star):
+        # refine(g*) = g* (+) refine(g) (+) g*
+        inner = _refine(r.item, target, trace)
+        result = concat(star(r.item), inner, star(r.item))
+        if not isinstance(result, Empty):
+            trace.narrowed = True
+        return result
+    if isinstance(r, Plus):
+        # g+ = g, g*; apply the sequence rule.
+        return _refine(concat(r.item, star(r.item)), target, trace)
+    if isinstance(r, Concat):
+        # refine(r1, r2) = (refine(r1) (+) r2) || (r1 (+) refine(r2))
+        head, *rest = r.items
+        tail = concat(*rest)
+        return alt(
+            concat(_refine(head, target, trace), tail),
+            concat(head, _refine(tail, target, trace)),
+        )
+    if isinstance(r, Alt):
+        # refine(r1 | r2) = refine(r1) || refine(r2)
+        refined = [_refine(item, target, trace) for item in r.items]
+        if any(isinstance(x, Empty) for x in refined) and not all(
+            isinstance(x, Empty) for x in refined
+        ):
+            trace.narrowed = True
+        return alt(*refined)
+    raise TypeError(f"unknown regex node {r!r}")
+
+
+def refine_sequence(
+    r: Regex, targets: list[Sym], trace: RefineTrace | None = None
+) -> Regex:
+    """Refine with several (tagged) targets in sequence.
+
+    This is how the tightening algorithm demands several distinct
+    same-name children (Example 4.2): each target must mark a fresh
+    untagged occurrence.  Returns ``EMPTY`` when the content model
+    cannot host that many occurrences.
+    """
+    if trace is None:
+        trace = RefineTrace()
+    current = r
+    for target in targets:
+        current = _refine(current, target, trace)
+        if isinstance(current, Empty):
+            return EMPTY
+    return current
+
+
+def contains_language(r: Regex, name: str) -> Regex:
+    """``L(r) ∩ Σ* name Σ*`` built directly from automata-free pieces.
+
+    Used by tests as an independent specification of the untagged
+    refinement: ``Σ`` is the alphabet of ``r`` plus the target.
+    """
+    from ..regex import alphabet
+
+    sigma = set(alphabet(r)) | {Sym(name)}
+    any_letter = alt(*sorted(sigma, key=lambda s: (s.name, s.tag)))
+    return concat(star(any_letter), Sym(name), star(any_letter))

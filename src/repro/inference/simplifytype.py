@@ -1,0 +1,166 @@
+"""Readability-oriented simplification of inferred list types.
+
+Projection produces correct but clumsy expressions such as
+``(p^1?)*, p^1, (p^1?)*, (g^1?)* | (p^1?)*, (g^1?)*, g^1, (g^1?)*``,
+whose language is just ``p^1*, g^1*``.  On top of the general
+language-preserving simplifier this module adds one *semantic* rewrite
+that covers the pattern: an optional-or-nullable alternation whose
+branches only differ in where the mandatory occurrence sits can often
+be replaced by its "fully relaxed" form (every ``+`` loosened to ``*``
+and every non-starred atom made optional is a *candidate*; it is
+adopted only when an exact language-equivalence test confirms it).
+"""
+
+from __future__ import annotations
+
+from ..regex import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    alt,
+    concat,
+    is_equivalent,
+    opt,
+    plus,
+    simplify_deep,
+    star,
+)
+
+
+def _relax(r: Regex) -> Regex:
+    """The fully relaxed candidate: ``+``->``*`` and atoms made optional."""
+    if isinstance(r, Sym):
+        return opt(r)
+    if isinstance(r, (Epsilon, Empty)):
+        return r
+    if isinstance(r, Concat):
+        return concat(*(_relax(item) for item in r.items))
+    if isinstance(r, Alt):
+        return alt(*(_relax(item) for item in r.items))
+    if isinstance(r, (Star, Plus)):
+        return star(_relax_body(r.item))
+    if isinstance(r, Opt):
+        return _relax(r.item)
+    raise TypeError(f"unknown regex node {r!r}")
+
+
+def _relax_body(r: Regex) -> Regex:
+    """Inside a star, relaxing atoms to ``?`` is never needed."""
+    if isinstance(r, (Star, Plus, Opt)):
+        return _relax_body(r.item)
+    if isinstance(r, Concat):
+        return concat(*(_relax_body(item) for item in r.items))
+    if isinstance(r, Alt):
+        return alt(*(_relax_body(item) for item in r.items))
+    return r
+
+
+def _try_relaxations(r: Regex) -> Regex:
+    """Adopt the relaxed form when it is language-equivalent.
+
+    Applied to the whole expression and, failing that, recursively to
+    alternation branches and concatenation items.
+    """
+    candidate = simplify_deep(_relax(r))
+    if candidate != r and is_equivalent(candidate, r):
+        return candidate
+    if isinstance(r, Alt):
+        return alt(*(_try_relaxations(item) for item in r.items))
+    if isinstance(r, Concat):
+        return concat(*(_try_relaxations(item) for item in r.items))
+    if isinstance(r, Opt):
+        inner = _try_relaxations(r.item)
+        return opt(inner)
+    return r
+
+
+def _mark_normal_form(r: Regex) -> Regex | None:
+    """Candidate for refinement results: ``pad*, a1, pad*, ..., ak, pad*``.
+
+    Sequential refinement of a repetition produces an alternation of
+    the possible arrangements of the marked occurrences (Example 4.2's
+    trace); the paper writes the equivalent interleaved form
+    ``publication*, publication^1, publication*, publication^1,
+    publication*`` (D4).  This builds that shape from the branch with
+    the fewest mandatory atoms and the union of all repeated bodies;
+    the caller adopts it only after an equivalence check.
+    """
+    if not isinstance(r, Alt):
+        return None
+    skeletons: list[list[Sym]] = []
+    bodies: list[Regex] = []
+    for branch in r.items:
+        items = branch.items if isinstance(branch, Concat) else (branch,)
+        atoms: list[Sym] = []
+        for item in items:
+            if isinstance(item, Sym):
+                atoms.append(item)
+            elif isinstance(item, (Star, Plus, Opt)):
+                if item.item not in bodies:
+                    bodies.append(item.item)
+                if isinstance(item, Plus):
+                    # A plus carries one mandatory copy of its body.
+                    if not isinstance(item.item, Sym):
+                        return None
+                    atoms.append(item.item)
+            else:
+                return None
+        skeletons.append(atoms)
+    if not bodies:
+        return None
+    skeleton = min(skeletons, key=len)
+    pad = star(alt(*bodies))
+    parts: list[Regex] = [pad]
+    for atom in skeleton:
+        parts.extend((atom, pad))
+    return concat(*parts)
+
+
+def _apply_mark_normal_form(r: Regex) -> Regex:
+    """Adopt the mark-normal form wherever it is language-equivalent."""
+    if isinstance(r, Alt):
+        candidate = _mark_normal_form(r)
+        if candidate is not None and is_equivalent(candidate, r):
+            return candidate
+        return alt(*(_apply_mark_normal_form(item) for item in r.items))
+    if isinstance(r, Concat):
+        return concat(*(_apply_mark_normal_form(item) for item in r.items))
+    if isinstance(r, Star):
+        return star(_apply_mark_normal_form(r.item))
+    if isinstance(r, Plus):
+        return plus(_apply_mark_normal_form(r.item))
+    if isinstance(r, Opt):
+        return opt(_apply_mark_normal_form(r.item))
+    return r
+
+
+def simplify_type(r: Regex) -> Regex:
+    """Simplify an inferred content model without changing its language.
+
+    Used for the specialized types the tightening algorithm produces;
+    adds the mark-normal-form rewrite on top of the general simplifier.
+    """
+    result = simplify_deep(_apply_mark_normal_form(simplify_deep(r)))
+    if __debug__ and not is_equivalent(result, r):  # pragma: no cover
+        raise AssertionError(
+            f"type simplification changed the language: {r} -> {result}"
+        )
+    return result
+
+
+def simplify_list_type(r: Regex) -> Regex:
+    """Simplify an inferred list type without changing its language."""
+    simplified = simplify_deep(r)
+    relaxed = _try_relaxations(simplified)
+    result = simplify_type(relaxed)
+    if __debug__ and not is_equivalent(result, r):  # pragma: no cover
+        raise AssertionError(
+            f"list-type simplification changed the language: {r} -> {result}"
+        )
+    return result

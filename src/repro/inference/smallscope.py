@@ -1,0 +1,236 @@
+"""Small-scope exhaustive verification of inferred view DTDs.
+
+Random testing (``quality.check_soundness``) samples; this module
+*enumerates*: every valid source document whose content words stay
+within per-name width caps, every element tree the inferred (s-)DTD
+describes at the same scope.  Within the scope the results are exact:
+
+* **soundness** (Definition 3.1) holds for *all* scoped documents, not
+  just sampled ones;
+* **structural tightness** (Definition 3.7) becomes checkable: the
+  structural classes described by the view DTD at scope, minus the
+  classes actually produced by the view over all scoped sources, is
+  the *exact* non-tightness gap at that scope.  The paper conjectures
+  the specialized view DTD has no such gap for non-recursive
+  pick-element views (Section 3.3) -- experiment E20 verifies the
+  conjecture exhaustively on the paper's workloads.
+
+Scope caps: ``widths[name]`` bounds the length of the child word of
+``name``-elements (an ``int`` applies to every name).  Enumeration is
+exponential by nature; keep caps small (3-5) and schemas paper-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..dtd import Dtd, Pcdata, SpecializedDtd, TaggedName
+from ..dtd.tightness import StructuralKey, structural_class_key
+from ..regex import Regex, to_dfa
+from ..xmas import Query, evaluate
+from ..xmlmodel import Document, Element, fresh_id
+
+Widths = dict[str, int] | int
+
+
+def _width_of(widths: Widths, name: str, default: int = 3) -> int:
+    if isinstance(widths, int):
+        return widths
+    return widths.get(name, widths.get("*", default))
+
+
+def _words_up_to(model: Regex, max_length: int) -> list[tuple]:
+    """All accepted letter sequences of length <= max_length (DFA BFS)."""
+    dfa = to_dfa(model)
+    letters = sorted(dfa.alphabet)
+    results: list[tuple] = []
+    frontier: list[tuple[int, tuple]] = [(dfa.start, ())]
+    for _ in range(max_length + 1):
+        next_frontier: list[tuple[int, tuple]] = []
+        for state, word in frontier:
+            if state in dfa.accepting:
+                results.append(word)
+            if len(word) == max_length:
+                continue
+            for letter in letters:
+                target = dfa.transitions[state][letter]
+                next_frontier.append((target, word + (letter,)))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results
+
+
+def enumerate_elements(
+    dtd: Dtd,
+    name: str,
+    widths: Widths = 3,
+    string_pool: tuple[str, ...] = ("s",),
+    _memo: dict | None = None,
+) -> list[Element]:
+    """All valid ``name``-elements within the scope (shapes, shared).
+
+    The returned elements share subtrees; deep-copy with fresh IDs
+    before assembling them into documents
+    (:func:`enumerate_documents` does).
+    """
+    memo = _memo if _memo is not None else {}
+    if name in memo:
+        return memo[name]
+    memo[name] = []  # recursion guard: recursive DTDs yield no finite base
+    content = dtd.type_of(name)
+    if isinstance(content, Pcdata):
+        memo[name] = [
+            Element(name, text, fresh_id()) for text in string_pool
+        ]
+        return memo[name]
+    shapes: list[Element] = []
+    for word in _words_up_to(content, _width_of(widths, name)):
+        child_options = [
+            enumerate_elements(dtd, child_name, widths, string_pool, memo)
+            for child_name, _ in word
+        ]
+        if any(not options for options in child_options):
+            continue
+        for combination in product(*child_options):
+            shapes.append(Element(name, list(combination), fresh_id()))
+    memo[name] = shapes
+    return shapes
+
+
+def enumerate_documents(
+    dtd: Dtd,
+    widths: Widths = 3,
+    string_pool: tuple[str, ...] = ("s",),
+) -> list[Document]:
+    """All valid documents within the scope (fresh IDs throughout)."""
+    if dtd.root is None:
+        raise ValueError("the DTD needs a document type for enumeration")
+    return [
+        Document(shape.deep_copy(fresh_ids=True))
+        for shape in enumerate_elements(dtd, dtd.root, widths, string_pool)
+    ]
+
+
+def enumerate_sdtd_elements(
+    sdtd: SpecializedDtd,
+    key: TaggedName,
+    widths: Widths = 3,
+    string_pool: tuple[str, ...] = ("s",),
+    _memo: dict | None = None,
+) -> list[Element]:
+    """All element trees typed ``key`` by the s-DTD, within scope."""
+    memo = _memo if _memo is not None else {}
+    if key in memo:
+        return memo[key]
+    memo[key] = []
+    content = sdtd.type_of(key)
+    if isinstance(content, Pcdata):
+        memo[key] = [
+            Element(key[0], text, fresh_id()) for text in string_pool
+        ]
+        return memo[key]
+    shapes: list[Element] = []
+    for word in _words_up_to(content, _width_of(widths, key[0])):
+        child_options = [
+            enumerate_sdtd_elements(sdtd, letter, widths, string_pool, memo)
+            for letter in word
+        ]
+        if any(not options for options in child_options):
+            continue
+        for combination in product(*child_options):
+            shapes.append(Element(key[0], list(combination), fresh_id()))
+    memo[key] = shapes
+    return shapes
+
+
+@dataclass
+class SmallScopeReport:
+    """Exhaustive verification results at a given scope."""
+
+    source_documents: int
+    #: soundness violations (must be empty)
+    dtd_violations: int
+    sdtd_violations: int
+    #: structural classes of views actually produced
+    achievable: set[StructuralKey] = field(repr=False, default_factory=set)
+    #: classes described by the plain view DTD at scope
+    plain_described: set[StructuralKey] = field(repr=False, default_factory=set)
+    #: classes described by the specialized view DTD at scope
+    sdtd_described: set[StructuralKey] = field(repr=False, default_factory=set)
+
+    @property
+    def sound(self) -> bool:
+        return self.dtd_violations == 0 and self.sdtd_violations == 0
+
+    @property
+    def plain_gap(self) -> set[StructuralKey]:
+        """Classes the plain DTD describes but the view cannot produce."""
+        return self.plain_described - self.achievable
+
+    @property
+    def sdtd_gap(self) -> set[StructuralKey]:
+        """Classes the s-DTD describes but the view cannot produce.
+
+        Empty iff the specialized view DTD is structurally tight at
+        this scope (the paper's Section 3.3 conjecture).
+        """
+        return self.sdtd_described - self.achievable
+
+    @property
+    def sdtd_structurally_tight(self) -> bool:
+        return not self.sdtd_gap
+
+    def summary(self) -> str:
+        return (
+            f"sources={self.source_documents} sound={self.sound} "
+            f"achievable={len(self.achievable)} "
+            f"plain_described={len(self.plain_described)} "
+            f"(gap {len(self.plain_gap)}) "
+            f"sdtd_described={len(self.sdtd_described)} "
+            f"(gap {len(self.sdtd_gap)})"
+        )
+
+
+def small_scope_analysis(
+    source_dtd: Dtd,
+    query: Query,
+    result,
+    source_widths: Widths = 3,
+    view_widths: Widths = 2,
+    string_pool: tuple[str, ...] = ("s",),
+) -> SmallScopeReport:
+    """Exhaustive soundness + structural-tightness analysis.
+
+    ``result`` is an :class:`repro.inference.InferenceResult`.  The
+    view-side enumeration uses ``view_widths`` (keep it at or below
+    what the source scope can produce, or the gap sets will include
+    classes that are only unachievable because the *source* scope is
+    too small).  PCDATA equality conditions in the query only match if
+    their literals appear in ``string_pool``.
+    """
+    from ..dtd import satisfies_sdtd, validate_document
+
+    report = SmallScopeReport(0, 0, 0)
+    for document in enumerate_documents(
+        source_dtd, source_widths, string_pool
+    ):
+        report.source_documents += 1
+        view = evaluate(query, document)
+        if not validate_document(view, result.dtd).ok:
+            report.dtd_violations += 1
+        if not satisfies_sdtd(view.root, result.sdtd):
+            report.sdtd_violations += 1
+        report.achievable.add(structural_class_key(view.root))
+
+    for shape in enumerate_elements(
+        result.dtd, result.dtd.root, view_widths, string_pool
+    ):
+        report.plain_described.add(structural_class_key(shape))
+    root_key = result.sdtd.root
+    for shape in enumerate_sdtd_elements(
+        result.sdtd, root_key, view_widths, string_pool
+    ):
+        report.sdtd_described.add(structural_class_key(shape))
+    return report

@@ -1,0 +1,278 @@
+"""The tightening algorithm (Section 4.2).
+
+Given a source DTD and a (non-recursive, wildcard-expanded) tree
+condition, compute the specialized types of every element that can
+match a condition node, by recursively refining the source types with
+the (tagged) child conditions, and classify every node as
+valid / satisfiable / unsatisfiable.
+
+Differences from the paper's pseudo-code, per DESIGN.md §3:
+
+* Every condition node initially receives a *fresh* specialization tag
+  for each name it can match; tags whose type is equivalent to the
+  base type (or to another specialization) are collapsed afterwards by
+  :func:`repro.inference.collapse.collapse_equivalent` -- this is the
+  paper's footnote 8 ("publication^2 has essentially the same type
+  with publication^1") made systematic, and it also keeps sequential
+  same-name refinement sound (two sibling conditions always demand two
+  distinct occurrences, Example 4.2).
+* Validity is decided exactly (language equivalence) in ``EXACT`` mode
+  and by the paper's structural rule in ``PAPER`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dtd import Dtd, PCDATA, Pcdata, SpecializedDtd, TaggedName
+from ..regex import (
+    Empty,
+    Regex,
+    Sym,
+    alt,
+    image,
+    is_equivalent,
+    names as regex_names,
+    symbols,
+)
+from ..xmas import Condition, Query
+from ..xmas.analysis import check_inference_applicable, resolve_against_dtd
+from .classify import Classification, InferenceMode
+from .refine import RefineTrace, refine
+
+
+@dataclass
+class NodeTyping:
+    """Inference facts for one condition node.
+
+    ``keys[name]`` is the specialized type key assigned to elements of
+    ``name`` matching this node; names missing from ``keys`` cannot
+    match (infeasible).  ``classes[name]`` says whether *every* element
+    of ``name`` matches (VALID) or only some (SATISFIABLE).
+    """
+
+    node: Condition
+    keys: dict[str, TaggedName] = field(default_factory=dict)
+    classes: dict[str, Classification] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Can any element match this node?"""
+        return bool(self.keys)
+
+    @property
+    def classification(self) -> Classification:
+        """The node's combined classification over its feasible names.
+
+        UNSATISFIABLE when no name is feasible; VALID when every
+        feasible name is valid (an element *of a feasible name* always
+        matches); SATISFIABLE otherwise.
+        """
+        if not self.keys:
+            return Classification.UNSATISFIABLE
+        if all(c.is_valid for c in self.classes.values()):
+            return Classification.VALID
+        return Classification.SATISFIABLE
+
+
+@dataclass
+class TightenResult:
+    """Output of the tightening algorithm.
+
+    ``sdtd`` declares every specialized type created plus the untagged
+    source types they reference (the ``pull`` step of the paper's
+    Algorithm Tighten).  ``typings`` maps each condition node (by
+    ``id``) to its :class:`NodeTyping`; ``root`` is the root node's
+    typing, whose :attr:`NodeTyping.classification` is the
+    valid/satisfiable/unsatisfiable side effect of Section 4.2.
+    """
+
+    sdtd: SpecializedDtd
+    typings: dict[int, NodeTyping]
+    root: NodeTyping
+    mode: InferenceMode
+    #: the query after wildcard expansion -- its condition nodes are the
+    #: keys of ``typings`` (the caller's query may differ when
+    #: wildcards were expanded)
+    query: Query | None = None
+
+    def typing_of(self, node: Condition) -> NodeTyping:
+        """The typing computed for a given condition node."""
+        return self.typings[id(node)]
+
+    @property
+    def classification(self) -> Classification:
+        return self.root.classification
+
+
+class _Tightener:
+    def __init__(self, dtd: Dtd, mode: InferenceMode) -> None:
+        self.dtd = dtd
+        self.mode = mode
+        self.types: dict[TaggedName, object] = {}
+        self.typings: dict[int, NodeTyping] = {}
+        self._counters: dict[str, int] = {}
+
+    def fresh_key(self, name: str) -> TaggedName:
+        self._counters[name] = self._counters.get(name, 0) + 1
+        return (name, self._counters[name])
+
+    def visit(self, node: Condition) -> NodeTyping:
+        child_typings = [self.visit(child) for child in node.children]
+        typing = NodeTyping(node)
+        names = node.test.names
+        if names is None:  # pragma: no cover - queries are pre-expanded
+            names = tuple(sorted(self.dtd.names))
+        for name in names:
+            if name not in self.dtd:
+                continue
+            self._type_for_name(node, name, child_typings, typing)
+        self.typings[id(node)] = typing
+        return typing
+
+    def _type_for_name(
+        self,
+        node: Condition,
+        name: str,
+        child_typings: list[NodeTyping],
+        typing: NodeTyping,
+    ) -> None:
+        base = self.dtd.type_of(name)
+
+        # Every matched condition node gets a fresh tag, even when its
+        # type ends up identical to the base type: sequential
+        # refinement needs distinct marks so that two same-name sibling
+        # conditions demand two distinct occurrences (Example 4.2).
+        # Equivalent tags are collapsed afterwards (footnote 8).
+
+        # PCDATA value condition: the type itself is untouched, but the
+        # value constraint means not every instance matches.
+        if node.pcdata is not None:
+            if isinstance(base, Pcdata):
+                key = self.fresh_key(name)
+                self.types[key] = PCDATA
+                typing.keys[name] = key
+                typing.classes[name] = Classification.SATISFIABLE
+            return
+
+        # Pure existence: the base type suffices and every instance
+        # matches.
+        if not node.children:
+            key = self.fresh_key(name)
+            self.types[key] = base
+            typing.keys[name] = key
+            typing.classes[name] = Classification.VALID
+            return
+
+        # Children required: a PCDATA-typed element can never match.
+        if isinstance(base, Pcdata):
+            return
+
+        # Child conditions with no feasible name make this node
+        # unsatisfiable for every name.
+        if any(not ct.feasible for ct in child_typings):
+            return
+
+        trace = RefineTrace()
+        current: Regex = base
+        for ct in child_typings:
+            targets = [
+                Sym(key_name, tag) for key_name, (_, tag) in ct.keys.items()
+            ]
+            current = alt(
+                *(refine(current, target, trace) for target in targets)
+            )
+            if isinstance(current, Empty):
+                return
+
+        key = self.fresh_key(name)
+        self.types[key] = current
+        typing.keys[name] = key
+        typing.classes[name] = self._classify(
+            base, current, child_typings, trace
+        )
+
+    def _classify(
+        self,
+        base: Regex,
+        refined: Regex,
+        child_typings: list[NodeTyping],
+        trace: RefineTrace,
+    ) -> Classification:
+        children_valid = all(
+            ct.classification.is_valid for ct in child_typings
+        )
+        if not children_valid:
+            return Classification.SATISFIABLE
+        if self.mode is InferenceMode.PAPER:
+            # The paper's structural rule: any disjunct elimination or
+            # star refinement means "not satisfied by all instances".
+            if trace.narrowed:
+                return Classification.SATISFIABLE
+            return Classification.VALID
+        # EXACT: the condition holds on every instance iff projecting
+        # the marks away gives back the whole base language.
+        if is_equivalent(image(refined), base):
+            return Classification.VALID
+        return Classification.SATISFIABLE
+
+    def build_sdtd(self) -> SpecializedDtd:
+        """Assemble the s-DTD: created types plus pulled base types."""
+        types: dict[TaggedName, object] = dict(self.types)
+        # The paper's ``pull``: every untagged name occurring in a
+        # stored type (transitively, through the source DTD) gets its
+        # original definition.
+        pending: list[str] = []
+        for content in self.types.values():
+            if isinstance(content, Pcdata):
+                continue
+            pending.extend(
+                sym.name for sym in symbols(content) if sym.tag == 0
+            )
+        seen: set[str] = set()
+        while pending:
+            name = pending.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            base = self.dtd.type_of(name)
+            types[(name, 0)] = base
+            if not isinstance(base, Pcdata):
+                # sorted: frozenset iteration order varies across
+                # processes (hash randomization); rendered output
+                # must be reproducible.
+                pending.extend(sorted(regex_names(base)))
+        result = SpecializedDtd(types, None)
+        result.check_consistency()
+        return result
+
+
+def tighten(
+    dtd: Dtd,
+    query: Query,
+    mode: InferenceMode = InferenceMode.EXACT,
+    collapse: bool = True,
+    strict: bool = True,
+) -> TightenResult:
+    """Run Algorithm Tighten on a pick-element query.
+
+    Preconditions (checked): the query has no recursive path steps and
+    a single pick node; wildcards are expanded against the DTD.
+    ``collapse`` folds equivalent specializations together
+    (footnote 8); disable it to inspect the raw per-condition tags.
+    ``strict=False`` tolerates undeclared names (they classify as
+    unsatisfiable instead of raising -- the query-simplifier setting).
+    """
+    check_inference_applicable(query)
+    resolved = resolve_against_dtd(query, dtd, strict=strict)
+    tightener = _Tightener(dtd, mode)
+    root_typing = tightener.visit(resolved.root)
+    sdtd = tightener.build_sdtd()
+    result = TightenResult(
+        sdtd, tightener.typings, root_typing, mode, resolved
+    )
+    if collapse:
+        from .collapse import collapse_result
+
+        result = collapse_result(result)
+    return result

@@ -1,0 +1,33 @@
+"""The MIX mediator architecture (Figure 1).
+
+Sources export XML + DTDs; the mediator registers XMAS views, infers
+their view DTDs, serves them to clients and stacked mediators, and
+answers queries through the DTD-based simplifier.
+"""
+
+from .composition import compose_query
+from .interface import QueryBuilder, StructureNode, structure_tree
+from .mediator import (
+    Mediator,
+    QueryPlan,
+    QueryStats,
+    UnionViewRegistration,
+    ViewRegistration,
+)
+from .simplifier import SimplifierDecision, simplify_query
+from .source import Source
+
+__all__ = [
+    "Mediator",
+    "QueryBuilder",
+    "QueryPlan",
+    "QueryStats",
+    "SimplifierDecision",
+    "Source",
+    "StructureNode",
+    "UnionViewRegistration",
+    "ViewRegistration",
+    "compose_query",
+    "simplify_query",
+    "structure_tree",
+]

@@ -1,0 +1,205 @@
+"""Query/view composition: rewrite a client query to run on the source.
+
+Section 1's TSIMMIS walkthrough: the mediator "first combines the
+incoming query and the view into a query which refers directly to the
+source data".  For pick-element queries a large, useful subclass
+composes cleanly: the client query navigates *into* the picked
+elements, so its condition chain can be grafted onto the view's pick
+node.  The composed query returns exactly what evaluating the client
+query over the materialized view would -- without materializing.
+
+Composability conditions (checked; :func:`compose_query` returns
+``None`` and the mediator falls back to materialization otherwise):
+
+* the client root tests the view name, carries no text condition, and
+  has exactly one child condition (the common navigate-in case);
+* neither query uses recursive path steps;
+* the client pick is not the view root itself (the view root does not
+  exist in the source);
+* the view's pick names cannot nest within each other in the source
+  DTD (nested picks are *copied* twice into the view, changing answer
+  multiplicities in a way no single source query reproduces).
+
+Correctness (tested on random documents):
+``evaluate(composed, source) == evaluate(client, evaluate(view, source))``
+up to element identity (the materialized path re-IDs copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..dtd import Dtd
+from ..xmas import Condition, NameTest, Query
+from ..xmas.analysis import has_recursive_steps, pick_path
+
+
+def _rename_client_variables(query: Query, taken: frozenset[str]) -> Query:
+    """Prefix client variables that collide with view variables."""
+    collisions = query.root.variables() & taken
+    if not collisions:
+        return query
+    mapping = {name: f"c_{name}" for name in collisions}
+    while set(mapping.values()) & taken:
+        mapping = {k: f"c_{v}" for k, v in mapping.items()}
+
+    def rebuild(node: Condition) -> Condition:
+        return replace(
+            node,
+            variable=mapping.get(node.variable, node.variable),
+            children=tuple(rebuild(child) for child in node.children),
+        )
+
+    return replace(
+        query,
+        root=rebuild(query.root),
+        pick_variable=mapping.get(query.pick_variable, query.pick_variable),
+        inequalities=frozenset(
+            frozenset(mapping.get(v, v) for v in pair)
+            for pair in query.inequalities
+        ),
+    )
+
+
+def _pick_names_can_nest(names: tuple[str, ...], dtd: Dtd | None) -> bool:
+    """Can an element of one pick name contain another pick name?"""
+    if dtd is None:
+        return False  # caller accepts the risk without a DTD
+    from ..dtd import reachable_names
+
+    for outer in names:
+        if outer not in dtd:
+            continue
+        inner_reach = reachable_names(dtd, outer) - {outer}
+        if any(name in inner_reach for name in names):
+            return True
+        # self-nesting (recursion through outer) also counts
+        if outer in {
+            n
+            for ref in dtd.referenced_names(outer)
+            if ref in dtd
+            for n in reachable_names(dtd, ref)
+        }:
+            return True
+    return False
+
+
+def _merge_pick_conditions(
+    view_pick: Condition, client_step: Condition
+) -> Condition | None:
+    """Conjoin the view pick's constraints with the client's step."""
+    if view_pick.test.names is None or client_step.test.names is None:
+        shared = (
+            client_step.test.names
+            if view_pick.test.names is None
+            else view_pick.test.names
+        )
+        if shared is None:
+            return None
+    else:
+        shared = tuple(
+            name
+            for name in view_pick.test.names
+            if name in client_step.test.names
+        )
+    if not shared:
+        return None
+    if view_pick.pcdata is not None or client_step.pcdata is not None:
+        if view_pick.children or client_step.children:
+            return None
+        if (
+            view_pick.pcdata is not None
+            and client_step.pcdata is not None
+            and view_pick.pcdata != client_step.pcdata
+        ):
+            return None
+        pcdata = view_pick.pcdata or client_step.pcdata
+        return Condition(
+            NameTest(shared),
+            client_step.variable,
+            (),
+            pcdata,
+            False,
+        )
+    return Condition(
+        NameTest(shared),
+        client_step.variable,
+        view_pick.children + client_step.children,
+        None,
+        False,
+    )
+
+
+def compose_query(
+    view_query: Query,
+    client_query: Query,
+    source_dtd: Dtd | None = None,
+) -> Query | None:
+    """Rewrite ``client_query``-over-the-view into a source query.
+
+    Returns ``None`` when the pair is outside the composable class;
+    the caller should then materialize the view and evaluate directly.
+    ``source_dtd`` enables the nested-picks safety check; without it,
+    composition is refused whenever the view's pick test has more than
+    one name (conservative).
+    """
+    if has_recursive_steps(view_query) or has_recursive_steps(client_query):
+        return None
+    client_root = client_query.root
+    if not client_root.test.accepts(view_query.view_name):
+        return None
+    if client_root.pcdata is not None or client_root.recursive:
+        return None
+    if len(client_root.children) != 1:
+        return None
+    if client_query.pick_variable == (client_root.variable or ""):
+        return None  # the view root has no source counterpart
+    if client_root.variable is not None:
+        # A binding on the view root cannot be translated; refuse if
+        # anything depends on it.
+        used = {client_query.pick_variable} | {
+            v for pair in client_query.inequalities for v in pair
+        }
+        if client_root.variable in used:
+            return None
+
+    view_path = pick_path(view_query)
+    view_pick = view_path.pick
+    pick_names = view_pick.test.names
+    if pick_names is None:
+        return None
+    if len(pick_names) > 1 or source_dtd is not None:
+        if _pick_names_can_nest(pick_names, source_dtd):
+            return None
+        if len(pick_names) > 1 and source_dtd is None:
+            return None
+
+    client = _rename_client_variables(
+        client_query, view_query.root.variables()
+    )
+    client_step = client.root.children[0]
+    merged_pick = _merge_pick_conditions(view_pick, client_step)
+    if merged_pick is None:
+        return None
+    # Keep the view-pick variable only if the view's inequalities need it.
+    view_needs = {v for pair in view_query.inequalities for v in pair}
+    if view_pick.variable in view_needs and merged_pick.variable is None:
+        merged_pick = replace(merged_pick, variable=view_pick.variable)
+    elif view_pick.variable in view_needs:
+        return None  # both sides bind the pick; renaming both is unsafe
+
+    def graft(node: Condition) -> Condition:
+        if node is view_pick:
+            return merged_pick
+        return replace(
+            node, children=tuple(graft(child) for child in node.children)
+        )
+
+    composed_root = graft(view_query.root)
+    return Query(
+        client.view_name,
+        client.pick_variable,
+        composed_root,
+        view_query.inequalities | client.inequalities,
+        view_query.source,
+    )

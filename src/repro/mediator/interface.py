@@ -1,0 +1,163 @@
+"""The DTD-based query interface (Section 1, citing [BGL+]).
+
+"The view DTD is passed to the DTD-based query interface which
+displays the structure of the view elements and also provides fill-in
+windows and menus that allow the user to place conditions on the
+elements."  This module is the model behind such an interface:
+
+* :func:`structure_tree` renders the element structure a user would
+  browse (names, content descriptions, cardinalities, recursion cuts);
+* :class:`QueryBuilder` turns point-and-click style choices (descend
+  here, require that, fill in this value, pick these elements) into a
+  well-formed pick-element XMAS query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dtd import Dtd, Pcdata
+from ..errors import MediatorError, UnknownNameError
+from ..regex import to_string
+from ..xmas import Condition, Query, cond, query as make_query
+
+
+@dataclass
+class StructureNode:
+    """One element of the structure display."""
+
+    name: str
+    content: str  # the content model, or "#PCDATA"
+    children: list["StructureNode"] = field(default_factory=list)
+    recursive_cut: bool = False  # subtree elided because of recursion
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        suffix = "  (...)" if self.recursive_cut else ""
+        lines = [f"{pad}{self.name} : {self.content}{suffix}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def structure_tree(dtd: Dtd, root: str | None = None, max_depth: int = 12) -> StructureNode:
+    """The browsable structure of a DTD, rooted at the document type."""
+    start = root if root is not None else dtd.root
+    if start is None:
+        raise MediatorError("DTD has no document type; pass root= explicitly")
+
+    def visit(name: str, depth: int, seen: frozenset[str]) -> StructureNode:
+        content = dtd.type_of(name)
+        if isinstance(content, Pcdata):
+            return StructureNode(name, "#PCDATA")
+        rendered = to_string(content)
+        if name in seen or depth >= max_depth:
+            return StructureNode(name, rendered, [], recursive_cut=True)
+        children = [
+            visit(child, depth + 1, seen | {name})
+            for child in sorted(dtd.referenced_names(name))
+        ]
+        return StructureNode(name, rendered, children)
+
+    return visit(start, 0, frozenset())
+
+
+class QueryBuilder:
+    """Assemble a pick-element query from interface gestures.
+
+    Example::
+
+        q = (QueryBuilder(dtd, view_name="withJournals")
+             .descend("department")
+             .condition_text("name", "CS")
+             .descend("professor", "gradStudent", pick=True)
+             .require("publication", containing=["journal"], distinct=2)
+             .build())
+    """
+
+    def __init__(self, dtd: Dtd, view_name: str = "answer") -> None:
+        self.dtd = dtd
+        self.view_name = view_name
+        #: path of (names, side-conditions) from the root downward
+        self._path: list[tuple[tuple[str, ...], list[Condition]]] = []
+        self._pick_level: int | None = None
+        self._inequalities: list[tuple[str, str]] = []
+        self._fresh = 0
+
+    def _check_names(self, names: tuple[str, ...]) -> None:
+        unknown = [name for name in names if name not in self.dtd]
+        if unknown:
+            raise UnknownNameError(
+                f"names {unknown} are not in the DTD (known: "
+                f"{sorted(self.dtd.names)[:10]}...)"
+            )
+
+    def descend(self, *names: str, pick: bool = False) -> "QueryBuilder":
+        """Add a path step matching any of ``names``; mark the pick level."""
+        if not names:
+            raise MediatorError("descend needs at least one name")
+        self._check_names(tuple(names))
+        self._path.append((tuple(names), []))
+        if pick:
+            self._pick_level = len(self._path) - 1
+        return self
+
+    def condition_text(self, name: str, value: str) -> "QueryBuilder":
+        """Require a child whose text equals ``value`` (a fill-in field)."""
+        self._require_current()
+        self._check_names((name,))
+        self._path[-1][1].append(cond(name, pcdata=value))
+        return self
+
+    def require(
+        self,
+        *names: str,
+        containing: list[str] | None = None,
+        distinct: int = 1,
+    ) -> "QueryBuilder":
+        """Require ``distinct`` different children matching ``names``.
+
+        ``containing`` lists grandchild names each required child must
+        contain (a checkbox per nested element in the interface).
+        """
+        self._require_current()
+        self._check_names(tuple(names))
+        inner = tuple(cond(child) for child in (containing or []))
+        variables: list[str] = []
+        for _ in range(distinct):
+            self._fresh += 1
+            variable = f"V{self._fresh}"
+            variables.append(variable)
+            self._path[-1][1].append(
+                cond(*names, var=variable, children=inner)
+            )
+        for i, left in enumerate(variables):
+            for right in variables[i + 1:]:
+                self._inequalities.append((left, right))
+        return self
+
+    def _require_current(self) -> None:
+        if not self._path:
+            raise MediatorError("descend into an element before adding conditions")
+
+    def build(self, pick_variable: str = "P") -> Query:
+        """Produce the query; the deepest ``pick=True`` step is selected."""
+        if not self._path:
+            raise MediatorError("empty query: descend at least once")
+        if self._pick_level is None:
+            raise MediatorError("no pick level marked (descend(..., pick=True))")
+        node: Condition | None = None
+        for level in range(len(self._path) - 1, -1, -1):
+            names, side = self._path[level]
+            children = list(side)
+            if node is not None:
+                children.append(node)
+            variable = pick_variable if level == self._pick_level else None
+            node = cond(*names, var=variable, children=tuple(children))
+        assert node is not None
+        return make_query(
+            self.view_name,
+            pick_variable,
+            node,
+            self._inequalities,
+        )

@@ -1,0 +1,337 @@
+"""The MIX mediator (Figure 1).
+
+A mediator exports XMAS views over registered sources.  When a view is
+registered the View DTD Inference module derives its (specialized and
+plain) view DTD; the DTD is served to clients -- users formulating
+queries through the DTD-based interface, query processors, and *other
+mediators stacked on top* (``as_source`` exports a view as a new
+source whose DTD is the inferred one).
+
+Answering a query against a view goes through the DTD-based query
+simplifier first: provably empty queries never touch a source, and
+valid sub-conditions are pruned before evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd import Dtd, SpecializedDtd
+from ..errors import MediatorError
+from ..inference import (
+    Classification,
+    InferenceMode,
+    InferenceResult,
+    infer_view_dtd,
+)
+from ..xmas import Query, evaluate_many
+from ..xmlmodel import Document
+from .simplifier import SimplifierDecision, simplify_query
+from .source import Source
+
+
+@dataclass
+class ViewRegistration:
+    """A mediated view: its definition, source, and inferred DTDs."""
+
+    query: Query
+    source_name: str
+    inference: InferenceResult
+
+    @property
+    def name(self) -> str:
+        return self.query.view_name
+
+    @property
+    def dtd(self) -> Dtd:
+        """The plain view DTD (after Merge)."""
+        return self.inference.dtd
+
+    @property
+    def sdtd(self) -> SpecializedDtd:
+        """The specialized view DTD (the tight description)."""
+        return self.inference.sdtd
+
+
+@dataclass
+class QueryPlan:
+    """The mediator's plan for a query against a view (see ``explain``)."""
+
+    view_name: str
+    classification: "Classification"
+    pruned_nodes: int
+    #: "empty-answer" | "compose" | "materialize"
+    strategy: str
+    composed_query: Query | None
+    effective_query: Query
+
+    def describe(self) -> str:
+        lines = [
+            f"query against view {self.view_name!r}:",
+            f"  classification: {self.classification.value}",
+            f"  conditions pruned: {self.pruned_nodes}",
+            f"  strategy: {self.strategy}",
+        ]
+        if self.composed_query is not None:
+            lines.append("  composed source query:")
+            lines.append(
+                "    " + str(self.composed_query).replace("\n", "\n    ")
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class UnionViewRegistration:
+    """A registered multi-source union view."""
+
+    name: str
+    branches: list
+    source_names: list[str]
+    inference: "UnionInferenceResult"
+
+    @property
+    def dtd(self) -> Dtd:
+        return self.inference.dtd
+
+    @property
+    def sdtd(self) -> SpecializedDtd:
+        return self.inference.sdtd
+
+
+@dataclass
+class QueryStats:
+    """Bookkeeping for the simplifier-benefit experiments (E10)."""
+
+    queries: int = 0
+    answered_without_source: int = 0
+    conditions_pruned: int = 0
+    composed: int = 0
+
+
+class Mediator:
+    """An on-demand XML mediator with DTD support."""
+
+    def __init__(self, name: str = "mediator", mode: InferenceMode = InferenceMode.EXACT) -> None:
+        self.name = name
+        self.mode = mode
+        self.sources: dict[str, Source] = {}
+        self.views: dict[str, ViewRegistration] = {}
+        self.union_views: dict[str, "UnionViewRegistration"] = {}
+        self.stats = QueryStats()
+
+    # -- administration --------------------------------------------------
+
+    def add_source(self, source: Source) -> None:
+        """Register a wrapped source."""
+        if source.name in self.sources:
+            raise MediatorError(f"source {source.name!r} already registered")
+        self.sources[source.name] = source
+
+    def register_view(self, query: Query, source_name: str | None = None) -> ViewRegistration:
+        """Register a view definition; infers its view DTD immediately.
+
+        ``source_name`` defaults to the query's own ``source`` field,
+        or to the only registered source.
+        """
+        target = source_name or query.source
+        if target is None:
+            if len(self.sources) != 1:
+                raise MediatorError(
+                    "query names no source and the mediator has "
+                    f"{len(self.sources)} sources"
+                )
+            target = next(iter(self.sources))
+        if target not in self.sources:
+            raise MediatorError(f"unknown source {target!r}")
+        if query.view_name in self.views:
+            raise MediatorError(
+                f"view {query.view_name!r} already registered"
+            )
+        source = self.sources[target]
+        inference = infer_view_dtd(source.dtd, query, self.mode)
+        registration = ViewRegistration(query, target, inference)
+        self.views[query.view_name] = registration
+        return registration
+
+    # -- the DTD services ------------------------------------------------
+
+    def view_dtd(self, view_name: str) -> Dtd:
+        """The inferred plain view DTD (what a generic client asks for)."""
+        return self._view(view_name).dtd
+
+    def view_sdtd(self, view_name: str) -> SpecializedDtd:
+        """The inferred specialized view DTD (for stacked mediators)."""
+        return self._view(view_name).sdtd
+
+    # -- query answering ---------------------------------------------------
+
+    def materialize(self, view_name: str) -> Document:
+        """Evaluate a view against its source."""
+        registration = self._view(view_name)
+        source = self.sources[registration.source_name]
+        return source.query(registration.query)
+
+    def query_view(
+        self,
+        query: Query,
+        view_name: str,
+        use_simplifier: bool = True,
+        strategy: str = "auto",
+    ) -> Document:
+        """Answer a query posed against a mediated view.
+
+        With the simplifier on, the view DTD is consulted first: an
+        unsatisfiable query is answered with the empty view without
+        materializing anything, and valid sub-conditions are pruned.
+
+        ``strategy`` selects the execution plan:
+
+        * ``"auto"`` -- compose the query with the view definition into
+          a direct source query when the pair is composable (the
+          TSIMMIS rewriting step of Section 1), otherwise materialize;
+        * ``"compose"`` -- composition only; raises when not composable;
+        * ``"materialize"`` -- always evaluate over the materialized view.
+        """
+        if strategy not in ("auto", "compose", "materialize"):
+            raise MediatorError(f"unknown strategy {strategy!r}")
+        registration = self._view(view_name)
+        self.stats.queries += 1
+        effective = query
+        if use_simplifier:
+            decision: SimplifierDecision = simplify_query(
+                query, registration.dtd, self.mode
+            )
+            if decision.answer_is_empty:
+                self.stats.answered_without_source += 1
+                from ..xmlmodel import Element, fresh_id
+
+                return Document(
+                    Element(query.view_name, [], fresh_id())
+                )
+            self.stats.conditions_pruned += decision.pruned_nodes
+            effective = decision.query
+        if strategy in ("auto", "compose"):
+            from .composition import compose_query
+
+            source = self.sources[registration.source_name]
+            composed = compose_query(
+                registration.query, effective, source.dtd
+            )
+            if composed is not None:
+                self.stats.composed += 1
+                return source.query(composed)
+            if strategy == "compose":
+                raise MediatorError(
+                    "query is not composable with the view definition"
+                )
+        materialized = self.materialize(view_name)
+        return evaluate_many(effective, [materialized])
+
+    def as_source(self, view_name: str) -> Source:
+        """Export a view as a source for a higher-level mediator.
+
+        The exported source's DTD is the inferred view DTD -- this is
+        exactly what makes mediator stacking work: "it is important
+        that the lower level mediators can derive and provide their
+        view DTDs to the higher level ones" (Section 1).
+        """
+        registration = self._view(view_name)
+        document = self.materialize(view_name)
+        return Source(
+            name=f"{self.name}.{view_name}",
+            dtd=registration.dtd,
+            documents=[document],
+        )
+
+    def explain(self, query: Query, view_name: str) -> "QueryPlan":
+        """Describe how a query against a view would be answered.
+
+        Runs the simplifier and the composability check without
+        touching any source -- the "query processor derives more
+        efficient plans" story of Section 1, made inspectable.
+        """
+        registration = self._view(view_name)
+        decision = simplify_query(query, registration.dtd, self.mode)
+        composed = None
+        if not decision.answer_is_empty:
+            from .composition import compose_query
+
+            source = self.sources[registration.source_name]
+            composed = compose_query(
+                registration.query, decision.query, source.dtd
+            )
+        if decision.answer_is_empty:
+            strategy = "empty-answer"
+        elif composed is not None:
+            strategy = "compose"
+        else:
+            strategy = "materialize"
+        return QueryPlan(
+            view_name=view_name,
+            classification=decision.classification,
+            pruned_nodes=decision.pruned_nodes,
+            strategy=strategy,
+            composed_query=composed,
+            effective_query=decision.query,
+        )
+
+    # -- union views -------------------------------------------------------
+
+    def register_union_view(
+        self, queries: list[Query], view_name: str
+    ) -> "UnionViewRegistration":
+        """Register a view unioning picks from several sources.
+
+        Each query's ``source`` field names its source.  The combined
+        view DTD is inferred per branch and merged (name collisions
+        across sources become specializations -- see
+        :mod:`repro.inference.union`).
+        """
+        from ..inference.union import UnionBranch, infer_union_view_dtd
+
+        if view_name in self.views or view_name in self.union_views:
+            raise MediatorError(f"view {view_name!r} already registered")
+        branches: list[UnionBranch] = []
+        source_names: list[str] = []
+        for query in queries:
+            if query.source is None:
+                raise MediatorError(
+                    "every union branch must name its source"
+                )
+            if query.source not in self.sources:
+                raise MediatorError(f"unknown source {query.source!r}")
+            branches.append(
+                UnionBranch(self.sources[query.source].dtd, query)
+            )
+            source_names.append(query.source)
+        inference = infer_union_view_dtd(branches, view_name, self.mode)
+        registration = UnionViewRegistration(
+            view_name, branches, source_names, inference
+        )
+        self.union_views[view_name] = registration
+        return registration
+
+    def materialize_union(self, view_name: str) -> Document:
+        """Evaluate a union view across its sources."""
+        from ..inference.union import evaluate_union
+
+        registration = self._union_view(view_name)
+        documents = [
+            self.sources[name].documents
+            for name in registration.source_names
+        ]
+        return evaluate_union(
+            registration.branches, documents, view_name
+        )
+
+    def _union_view(self, view_name: str) -> "UnionViewRegistration":
+        try:
+            return self.union_views[view_name]
+        except KeyError:
+            raise MediatorError(f"unknown union view {view_name!r}")
+
+    def _view(self, view_name: str) -> ViewRegistration:
+        try:
+            return self.views[view_name]
+        except KeyError:
+            raise MediatorError(f"unknown view {view_name!r}")

@@ -1,0 +1,58 @@
+"""Sources and wrappers.
+
+A :class:`Source` models a wrapped repository: it exports XML documents
+together with the DTD describing them (the paper's premise is that XML
+sources, unlike OEM sources, ship a DTD).  The wrapper's job --
+translating native data to XML -- is outside our scope; a source here
+simply holds valid documents and answers pick-element queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dtd import Dtd, validate_document
+from ..errors import MediatorError, ValidationError
+from ..xmas import Query, evaluate_many
+from ..xmlmodel import Document
+
+
+@dataclass
+class Source:
+    """A wrapped XML repository with a DTD.
+
+    Documents are validated on insertion; a source never holds a
+    document that violates its own DTD (that is what makes the view
+    DTD inference sound end-to-end).
+    """
+
+    name: str
+    dtd: Dtd
+    documents: list[Document] = field(default_factory=list)
+    #: set False to skip validation for trusted bulk loads (benchmarks)
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        existing, self.documents = self.documents, []
+        for document in existing:
+            self.add_document(document)
+
+    def add_document(self, document: Document) -> None:
+        """Add a document, validating it against the source DTD."""
+        if self.validate:
+            report = validate_document(document, self.dtd)
+            if not report.ok:
+                raise ValidationError(
+                    f"document rejected by source {self.name!r}: {report}"
+                )
+        self.documents.append(document)
+
+    def query(self, query: Query) -> Document:
+        """Answer a pick-element query over all documents."""
+        if not self.documents:
+            raise MediatorError(f"source {self.name!r} holds no documents")
+        return evaluate_many(query, self.documents)
+
+    def size(self) -> int:
+        """Total number of elements across all documents."""
+        return sum(document.size() for document in self.documents)

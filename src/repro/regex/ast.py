@@ -1,0 +1,347 @@
+"""Regular-expression abstract syntax over element names.
+
+DTD content models are regular expressions over element names
+(Definition 2.2 of the paper).  Specialized DTDs (Definition 3.8) use
+*tagged* names ``n^i``; we represent both uniformly with :class:`Sym`
+carrying an integer ``tag`` where tag ``0`` means "unspecialized" and is
+printed bare.
+
+The node set mirrors XML 1.0 content-model syntax:
+
+========== =====================================
+node       XML / paper notation
+========== =====================================
+``Sym``    ``name`` or tagged ``name^i``
+``Epsilon``the empty sequence (paper's ``e``)
+``Empty``  the empty language (paper's ``fail``)
+``Concat`` ``r1, r2``
+``Alt``    ``r1 | r2``
+``Star``   ``r*``
+``Plus``   ``r+``
+``Opt``    ``r?``
+========== =====================================
+
+All nodes are immutable and hashable.  Use the smart constructors
+:func:`concat`, :func:`alt`, :func:`star`, :func:`plus` and :func:`opt`
+rather than the dataclass constructors: they apply the *safe local*
+normalizations (flattening, identity and absorption laws for ``Epsilon``
+and ``Empty``) that keep the paper's ``⊕`` / ``∥`` operators trivial, while
+never changing the described language.
+
+``Plus`` and ``Opt`` are first-class (not desugared) so that inferred
+types print the way the paper writes them; the automata layer desugars
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for regular-expression nodes."""
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        from .printer import to_string
+
+        return to_string(self)
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A (possibly tagged) element name.
+
+    ``Sym("publication")`` is the plain name; ``Sym("publication", 1)``
+    is the specialization ``publication^1`` of Definition 3.8.
+    """
+
+    name: str
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("element name must be non-empty")
+        if self.tag < 0:
+            raise ValueError("specialization tag must be non-negative")
+
+    @property
+    def is_tagged(self) -> bool:
+        """True when this symbol is a proper specialization (tag != 0)."""
+        return self.tag != 0
+
+    def image(self) -> "Sym":
+        """The untagged symbol, per Definition 3.9."""
+        return self if self.tag == 0 else Sym(self.name, 0)
+
+    def key(self) -> tuple[str, int]:
+        """Hashable (name, tag) pair used as an automaton alphabet letter."""
+        return (self.name, self.tag)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty sequence."""
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language -- the paper's ``fail`` value."""
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Sequence ``r1, r2, ..., rk`` (k >= 2 after normalization)."""
+
+    items: tuple[Regex, ...]
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Alternation ``r1 | r2 | ... | rk`` (k >= 2 after normalization)."""
+
+    items: tuple[Regex, ...]
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure ``r*``."""
+
+    item: Regex
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """One-or-more ``r+`` (equivalent to ``r, r*``)."""
+
+    item: Regex
+
+
+@dataclass(frozen=True)
+class Opt(Regex):
+    """Zero-or-one ``r?`` (equivalent to ``r | epsilon``)."""
+
+    item: Regex
+
+
+#: Singletons for the two constant languages.
+EPSILON = Epsilon()
+EMPTY = Empty()
+
+
+def sym(name: str, tag: int = 0) -> Sym:
+    """Construct a (possibly tagged) name symbol."""
+    return Sym(name, tag)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Sequence the given expressions.
+
+    Applies the identities ``r, epsilon = r`` and ``r, fail = fail`` and
+    flattens nested concatenations.  With zero arguments returns
+    ``EPSILON``.  This is exactly the paper's ``⊕`` operator extended to
+    n-ary form: ``fail`` is absorbing.
+    """
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.items)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alt(*parts: Regex) -> Regex:
+    """Alternate the given expressions.
+
+    Applies ``r | fail = r`` (the paper's ``∥`` operator: ``fail`` is the
+    identity), flattens nested alternations, and drops syntactic
+    duplicates (keeping first occurrence order).  With zero arguments
+    returns ``EMPTY``.
+    """
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        members = part.items if isinstance(part, Alt) else (part,)
+        for member in members:
+            if member not in seen:
+                seen.add(member)
+                flat.append(member)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(item: Regex) -> Regex:
+    """Kleene closure with the identities on constants and idempotence."""
+    if isinstance(item, (Epsilon, Empty)):
+        return EPSILON
+    if isinstance(item, (Star, Plus)):
+        return Star(item.item)
+    if isinstance(item, Opt):
+        return Star(item.item)
+    return Star(item)
+
+
+def plus(item: Regex) -> Regex:
+    """One-or-more with the identities on constants."""
+    if isinstance(item, (Epsilon, Empty)):
+        return item
+    if isinstance(item, (Star, Opt)):
+        return star(item.item)
+    if isinstance(item, Plus):
+        return item
+    return Plus(item)
+
+
+def opt(item: Regex) -> Regex:
+    """Zero-or-one with the identities on constants."""
+    if isinstance(item, Epsilon):
+        return EPSILON
+    if isinstance(item, Empty):
+        return EPSILON
+    if isinstance(item, (Star, Opt)):
+        return item
+    if isinstance(item, Plus):
+        return star(item.item)
+    return Opt(item)
+
+
+def symbols(r: Regex) -> Iterator[Sym]:
+    """Yield every symbol occurrence in ``r`` in left-to-right order."""
+    stack: list[Regex] = [r]
+    out: list[Sym] = []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Sym):
+            out.append(node)
+        elif isinstance(node, (Concat, Alt)):
+            stack.extend(reversed(node.items))
+        elif isinstance(node, (Star, Plus, Opt)):
+            stack.append(node.item)
+    # The stack discipline above visits in order already because we push
+    # children reversed; collect then yield to keep the generator simple.
+    yield from out
+
+
+def alphabet(r: Regex) -> frozenset[Sym]:
+    """The set of distinct symbols appearing in ``r``."""
+    return frozenset(symbols(r))
+
+
+def names(r: Regex) -> frozenset[str]:
+    """The set of distinct element names (tags ignored) appearing in ``r``."""
+    return frozenset(s.name for s in symbols(r))
+
+
+def image(r: Regex) -> Regex:
+    """Project specialization tags away, per Definition 3.9.
+
+    The image of a tagged regular expression replaces every ``n^i``
+    with ``n``.
+    """
+    if isinstance(r, Sym):
+        return r.image()
+    if isinstance(r, Concat):
+        return concat(*(image(i) for i in r.items))
+    if isinstance(r, Alt):
+        return alt(*(image(i) for i in r.items))
+    if isinstance(r, Star):
+        return star(image(r.item))
+    if isinstance(r, Plus):
+        return plus(image(r.item))
+    if isinstance(r, Opt):
+        return opt(image(r.item))
+    return r
+
+
+def rename(r: Regex, mapping: dict[tuple[str, int], Sym]) -> Regex:
+    """Replace symbols of ``r`` according to ``mapping`` (key -> new symbol).
+
+    Symbols whose key is not in the mapping are kept unchanged.
+    """
+    if isinstance(r, Sym):
+        return mapping.get(r.key(), r)
+    if isinstance(r, Concat):
+        return concat(*(rename(i, mapping) for i in r.items))
+    if isinstance(r, Alt):
+        return alt(*(rename(i, mapping) for i in r.items))
+    if isinstance(r, Star):
+        return star(rename(r.item, mapping))
+    if isinstance(r, Plus):
+        return plus(rename(r.item, mapping))
+    if isinstance(r, Opt):
+        return opt(rename(r.item, mapping))
+    return r
+
+
+def substitute(r: Regex, replacements: dict[tuple[str, int], Regex]) -> Regex:
+    """Replace symbols of ``r`` by whole expressions.
+
+    This implements the *one-level extension* substitution of
+    Definition 4.3: replacing a name by its (parenthesized) type.
+    """
+    if isinstance(r, Sym):
+        return replacements.get(r.key(), r)
+    if isinstance(r, Concat):
+        return concat(*(substitute(i, replacements) for i in r.items))
+    if isinstance(r, Alt):
+        return alt(*(substitute(i, replacements) for i in r.items))
+    if isinstance(r, Star):
+        return star(substitute(r.item, replacements))
+    if isinstance(r, Plus):
+        return plus(substitute(r.item, replacements))
+    if isinstance(r, Opt):
+        return opt(substitute(r.item, replacements))
+    return r
+
+
+@lru_cache(maxsize=65536)
+def nullable(r: Regex) -> bool:
+    """True when the empty sequence belongs to ``L(r)``."""
+    if isinstance(r, (Epsilon, Star, Opt)):
+        return True
+    if isinstance(r, (Empty, Sym)):
+        return False
+    if isinstance(r, Concat):
+        return all(nullable(i) for i in r.items)
+    if isinstance(r, Alt):
+        return any(nullable(i) for i in r.items)
+    if isinstance(r, Plus):
+        return nullable(r.item)
+    raise TypeError(f"unknown regex node {r!r}")
+
+
+def size(r: Regex) -> int:
+    """Number of AST nodes; a convenient complexity measure for benches."""
+    if isinstance(r, (Sym, Epsilon, Empty)):
+        return 1
+    if isinstance(r, (Concat, Alt)):
+        return 1 + sum(size(i) for i in r.items)
+    if isinstance(r, (Star, Plus, Opt)):
+        return 1 + size(r.item)
+    raise TypeError(f"unknown regex node {r!r}")
+
+
+def is_tagged(r: Regex) -> bool:
+    """True when ``r`` mentions at least one proper specialization."""
+    return any(s.is_tagged for s in symbols(r))
+
+
+def from_word(word: Iterable[Sym]) -> Regex:
+    """The regex denoting exactly the given sequence of symbols."""
+    return concat(*word)

@@ -1,0 +1,81 @@
+"""Counting words of a regular language by length.
+
+The *looseness factor* experiments (DESIGN.md, E12) quantify the
+paper's Section 3.2 information-loss discussion: a looser content model
+accepts strictly more child-name sequences, and counting the accepted
+sequences of each length measures exactly how much looser it is.
+
+Counting uses the transfer matrix of the (minimized) DFA: the number of
+accepted words of length k is ``e_start · M^k · accept`` where ``M`` is
+the state-to-state edge-count matrix.  Counts grow exponentially, so we
+use exact Python integers (not floats).
+"""
+
+from __future__ import annotations
+
+from .ast import Regex
+from .dfa import Dfa
+from .language import minimal_dfa
+
+
+def _transfer_matrix(dfa: Dfa) -> list[list[int]]:
+    n = dfa.n_states
+    matrix = [[0] * n for _ in range(n)]
+    for state in range(n):
+        for target in dfa.transitions[state].values():
+            matrix[state][target] += 1
+    return matrix
+
+
+def count_words_by_length(regex: Regex, max_length: int) -> list[int]:
+    """``result[k]`` = number of words of length exactly ``k`` in L(regex).
+
+    Counts are exact arbitrary-precision integers.
+    """
+    dfa = minimal_dfa(regex)
+    matrix = _transfer_matrix(dfa)
+    n = dfa.n_states
+    # row vector: number of paths from start to each state, by length.
+    row = [0] * n
+    row[dfa.start] = 1
+    counts: list[int] = []
+    for _ in range(max_length + 1):
+        counts.append(sum(row[s] for s in dfa.accepting))
+        row = [
+            sum(row[s] * matrix[s][t] for s in range(n) if matrix[s][t])
+            for t in range(n)
+        ]
+    return counts
+
+
+def count_words_up_to(regex: Regex, max_length: int) -> int:
+    """Total number of words of length at most ``max_length``."""
+    return sum(count_words_by_length(regex, max_length))
+
+
+def looseness_factor(loose: Regex, tight: Regex, max_length: int) -> float:
+    """How many times more sequences ``loose`` admits than ``tight``.
+
+    Both are counted up to ``max_length``.  Returns ``inf`` when the
+    tight language is empty but the loose one is not.
+    """
+    loose_count = count_words_up_to(loose, max_length)
+    tight_count = count_words_up_to(tight, max_length)
+    if tight_count == 0:
+        return float("inf") if loose_count else 1.0
+    return loose_count / tight_count
+
+
+def language_density(regex: Regex, max_length: int) -> list[float]:
+    """Accepted fraction of all possible words per length.
+
+    The denominator is ``|alphabet|^k``; useful to compare content
+    models over the same alphabet on a normalized scale.
+    """
+    dfa = minimal_dfa(regex)
+    k = len(dfa.alphabet)
+    counts = count_words_by_length(regex, max_length)
+    return [
+        count / (k ** length) if k else (1.0 if count else 0.0)
+        for length, count in enumerate(counts)
+    ]

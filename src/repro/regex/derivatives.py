@@ -1,0 +1,79 @@
+"""Brzozowski-derivative engine.
+
+An independent second implementation of regular-language membership,
+used by the property-based tests to cross-check the Glushkov/DFA path:
+two engines built from different theory are unlikely to share a bug.
+
+The derivative of a language L with respect to a letter a is
+``{w : aw in L}``; a word belongs to L iff the iterated derivative is
+nullable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    alt,
+    concat,
+    nullable,
+    star,
+)
+
+
+@lru_cache(maxsize=65536)
+def derivative(regex: Regex, letter: tuple[str, int]) -> Regex:
+    """The Brzozowski derivative of ``regex`` by ``letter``."""
+    if isinstance(regex, Sym):
+        return EPSILON if regex.key() == letter else EMPTY
+    if isinstance(regex, (Epsilon, Empty)):
+        return EMPTY
+    if isinstance(regex, Concat):
+        head, *tail = regex.items
+        rest = concat(*tail)
+        with_head = concat(derivative(head, letter), rest)
+        if nullable(head):
+            return alt(with_head, derivative(rest, letter))
+        return with_head
+    if isinstance(regex, Alt):
+        return alt(*(derivative(item, letter) for item in regex.items))
+    if isinstance(regex, Star):
+        return concat(derivative(regex.item, letter), star(regex.item))
+    if isinstance(regex, Plus):
+        # r+ = r, r*
+        return concat(derivative(regex.item, letter), star(regex.item))
+    if isinstance(regex, Opt):
+        return derivative(regex.item, letter)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def matches(regex: Regex, word: Sequence[Sym]) -> bool:
+    """Membership by iterated derivatives."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol.key())
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)
+
+
+def matches_letters(regex: Regex, word: Sequence[tuple[str, int]]) -> bool:
+    """Membership over raw (name, tag) letters."""
+    current = regex
+    for letter in word:
+        current = derivative(current, letter)
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)

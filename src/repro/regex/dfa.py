@@ -1,0 +1,294 @@
+"""Deterministic finite automata over (name, tag) letters.
+
+DFAs here are the workhorse for the *exact* language questions the
+inference algorithms ask: emptiness, membership, inclusion and
+equivalence.  They are built from Glushkov automata by the subset
+construction and minimized with Hopcroft's algorithm.
+
+A DFA is always *complete* over its declared alphabet (a sink state is
+added when needed), which makes complementation trivial.  Letters not
+in the alphabet are implicitly rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .ast import Regex, alphabet
+from .nfa import build_nfa
+
+Letter = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Dfa:
+    """A complete DFA.
+
+    Attributes:
+        alphabet: the letters the automaton is defined over.
+        n_states: number of states, numbered ``0..n_states-1``.
+        start: the start state.
+        accepting: the accepting states.
+        transitions: ``transitions[state][letter]`` is the next state;
+            every (state, letter) pair over the alphabet is present.
+    """
+
+    alphabet: frozenset[Letter]
+    n_states: int
+    start: int
+    accepting: frozenset[int]
+    transitions: tuple[dict[Letter, int], ...]
+
+    def step(self, state: int, letter: Letter) -> int | None:
+        """Next state, or None when the letter is outside the alphabet."""
+        return self.transitions[state].get(letter)
+
+    def accepts(self, word: Sequence[Letter]) -> bool:
+        """Run the automaton on ``word``."""
+        state = self.start
+        for letter in word:
+            next_state = self.step(state, letter)
+            if next_state is None:
+                return False
+            state = next_state
+        return state in self.accepting
+
+    def is_empty(self) -> bool:
+        """True when the automaton accepts no word."""
+        return not self._reachable_accepting()
+
+    def _reachable_accepting(self) -> bool:
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            if state in self.accepting:
+                return True
+            for target in self.transitions[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return False
+
+    def shortest_word(self) -> list[Letter] | None:
+        """A shortest accepted word, or None when the language is empty."""
+        from collections import deque
+
+        parents: dict[int, tuple[int, Letter] | None] = {self.start: None}
+        queue: deque[int] = deque([self.start])
+        goal: int | None = None
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                goal = state
+                break
+            for letter, target in sorted(self.transitions[state].items()):
+                if target not in parents:
+                    parents[target] = (state, letter)
+                    queue.append(target)
+        if goal is None:
+            return None
+        word: list[Letter] = []
+        state = goal
+        while parents[state] is not None:
+            state, letter = parents[state]  # type: ignore[misc]
+            word.append(letter)
+        word.reverse()
+        return word
+
+
+def dfa_from_regex(regex: Regex, extra_alphabet: Iterable[Letter] = ()) -> Dfa:
+    """Subset-construct a complete DFA from the Glushkov automaton.
+
+    ``extra_alphabet`` extends the automaton's alphabet beyond the
+    letters occurring in the expression; inclusion checks between two
+    expressions must use the union of their alphabets.
+    """
+    nfa = build_nfa(regex)
+    letters = frozenset(nfa.labels) | frozenset(extra_alphabet)
+    # Each DFA state is a frozenset of Glushkov positions; the virtual
+    # position 0 is the pre-first start state.
+    start_key: frozenset[int] = frozenset((0,))
+    subset_ids: dict[frozenset[int], int] = {start_key: 0}
+    transitions: list[dict[Letter, int]] = [{}]
+    accepting: set[int] = set()
+    if nfa.accepts_epsilon:
+        accepting.add(0)
+    sink: int | None = None
+
+    def successors(subset: frozenset[int]) -> dict[Letter, frozenset[int]]:
+        by_letter: dict[Letter, set[int]] = {}
+        for position in subset:
+            source = nfa.first if position == 0 else nfa.follow_of(position)
+            for successor in source:
+                by_letter.setdefault(nfa.label(successor), set()).add(successor)
+        return {letter: frozenset(s) for letter, s in by_letter.items()}
+
+    worklist = [start_key]
+    while worklist:
+        subset = worklist.pop()
+        state_id = subset_ids[subset]
+        if subset & nfa.last:
+            accepting.add(state_id)
+        succ = successors(subset)
+        for letter in letters:
+            targets = succ.get(letter, frozenset())
+            if not targets:
+                if sink is None:
+                    sink = len(transitions)
+                    transitions.append({})
+                transitions[state_id][letter] = sink
+                continue
+            if targets not in subset_ids:
+                subset_ids[targets] = len(transitions)
+                transitions.append({})
+                worklist.append(targets)
+            transitions[state_id][letter] = subset_ids[targets]
+    if sink is not None:
+        for letter in letters:
+            transitions[sink][letter] = sink
+    return Dfa(
+        alphabet=letters,
+        n_states=len(transitions),
+        start=0,
+        accepting=frozenset(accepting),
+        transitions=tuple(transitions),
+    )
+
+
+def complement(dfa: Dfa) -> Dfa:
+    """The complement DFA (relative to the DFA's own alphabet)."""
+    return Dfa(
+        alphabet=dfa.alphabet,
+        n_states=dfa.n_states,
+        start=dfa.start,
+        accepting=frozenset(range(dfa.n_states)) - dfa.accepting,
+        transitions=dfa.transitions,
+    )
+
+
+def product(left: Dfa, right: Dfa, accept) -> Dfa:
+    """Product automaton; ``accept(a_ok, b_ok)`` defines acceptance.
+
+    Both inputs must share the same alphabet (use ``with_alphabet`` to
+    align them first).
+    """
+    if left.alphabet != right.alphabet:
+        raise ValueError("product requires aligned alphabets")
+    letters = left.alphabet
+    start = (left.start, right.start)
+    ids: dict[tuple[int, int], int] = {start: 0}
+    transitions: list[dict[Letter, int]] = [{}]
+    accepting: set[int] = set()
+    worklist = [start]
+    while worklist:
+        pair = worklist.pop()
+        state_id = ids[pair]
+        a, b = pair
+        if accept(a in left.accepting, b in right.accepting):
+            accepting.add(state_id)
+        for letter in letters:
+            target = (left.transitions[a][letter], right.transitions[b][letter])
+            if target not in ids:
+                ids[target] = len(transitions)
+                transitions.append({})
+                worklist.append(target)
+            transitions[state_id][letter] = ids[target]
+    return Dfa(
+        alphabet=letters,
+        n_states=len(transitions),
+        start=0,
+        accepting=frozenset(accepting),
+        transitions=tuple(transitions),
+    )
+
+
+def with_alphabet(dfa: Dfa, letters: frozenset[Letter]) -> Dfa:
+    """Extend a DFA to a superset alphabet (new letters go to a sink)."""
+    if letters == dfa.alphabet:
+        return dfa
+    if not letters >= dfa.alphabet:
+        raise ValueError("target alphabet must be a superset")
+    new_letters = letters - dfa.alphabet
+    sink = dfa.n_states
+    transitions = [dict(t) for t in dfa.transitions]
+    transitions.append({})
+    for table in transitions:
+        for letter in new_letters:
+            table[letter] = sink
+    for letter in letters:
+        transitions[sink][letter] = sink
+    return Dfa(
+        alphabet=letters,
+        n_states=dfa.n_states + 1,
+        start=dfa.start,
+        accepting=dfa.accepting,
+        transitions=tuple(transitions),
+    )
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Hopcroft minimization (on the reachable part of the DFA)."""
+    # Restrict to reachable states first.
+    reachable: list[int] = [dfa.start]
+    seen = {dfa.start}
+    for state in reachable:
+        for target in dfa.transitions[state].values():
+            if target not in seen:
+                seen.add(target)
+                reachable.append(target)
+    remap = {old: new for new, old in enumerate(reachable)}
+    n = len(reachable)
+    letters = sorted(dfa.alphabet)
+    delta = [
+        {letter: remap[dfa.transitions[old][letter]] for letter in letters}
+        for old in reachable
+    ]
+    accepting = frozenset(remap[s] for s in dfa.accepting if s in remap)
+
+    # Hopcroft partition refinement.
+    non_accepting = frozenset(range(n)) - accepting
+    partition: list[set[int]] = [set(p) for p in (accepting, non_accepting) if p]
+    worklist: list[frozenset[int]] = [frozenset(p) for p in partition]
+    # Precompute inverse transitions.
+    inverse: dict[tuple[Letter, int], set[int]] = {}
+    for state in range(n):
+        for letter in letters:
+            inverse.setdefault((letter, delta[state][letter]), set()).add(state)
+
+    while worklist:
+        splitter = worklist.pop()
+        for letter in letters:
+            predecessors: set[int] = set()
+            for target in splitter:
+                predecessors |= inverse.get((letter, target), set())
+            if not predecessors:
+                continue
+            new_partition: list[set[int]] = []
+            for block in partition:
+                inside = block & predecessors
+                outside = block - predecessors
+                if inside and outside:
+                    new_partition.extend((inside, outside))
+                    smaller = frozenset(min(inside, outside, key=len))
+                    worklist.append(smaller)
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    block_of: dict[int, int] = {}
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_id
+    transitions = [
+        {letter: block_of[delta[next(iter(block))][letter]] for letter in letters}
+        for block in partition
+    ]
+    return Dfa(
+        alphabet=dfa.alphabet,
+        n_states=len(partition),
+        start=block_of[remap[dfa.start]],
+        accepting=frozenset(block_of[s] for s in accepting),
+        transitions=tuple(transitions),
+    )

@@ -1,0 +1,109 @@
+"""Exact language-level decision procedures on regular expressions.
+
+These are the questions the view-DTD inference machinery asks:
+
+* membership   -- does a child-name sequence match a content model?
+* emptiness    -- did a refinement produce an unsatisfiable type?
+* inclusion    -- is one type *tighter* than another (Definition 3.3)?
+* equivalence  -- did a refinement actually change the type (validity)?
+
+All procedures are exact (automata-based), not syntactic approximations.
+Results are cached: the inference algorithms ask the same questions
+about the same types repeatedly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from .ast import Regex, Sym, alphabet
+from .dfa import Dfa, Letter, dfa_from_regex, minimize, product, with_alphabet
+
+
+@lru_cache(maxsize=4096)
+def _dfa(regex: Regex) -> Dfa:
+    return dfa_from_regex(regex)
+
+
+def to_dfa(regex: Regex) -> Dfa:
+    """The (cached) complete DFA of ``regex`` over its own alphabet."""
+    return _dfa(regex)
+
+
+def matches(regex: Regex, word: Sequence[Sym]) -> bool:
+    """Membership: is the symbol sequence in ``L(regex)``?"""
+    return _dfa(regex).accepts([s.key() for s in word])
+
+
+def matches_letters(regex: Regex, word: Sequence[Letter]) -> bool:
+    """Membership over raw (name, tag) letters."""
+    return _dfa(regex).accepts(list(word))
+
+
+@lru_cache(maxsize=4096)
+def is_empty(regex: Regex) -> bool:
+    """True when ``L(regex)`` is the empty language."""
+    return _dfa(regex).is_empty()
+
+
+def _aligned(left: Regex, right: Regex) -> tuple[Dfa, Dfa]:
+    letters = frozenset(s.key() for s in alphabet(left) | alphabet(right))
+    return (
+        with_alphabet(_dfa(left), letters),
+        with_alphabet(_dfa(right), letters),
+    )
+
+
+@lru_cache(maxsize=4096)
+def is_subset(left: Regex, right: Regex) -> bool:
+    """Inclusion: ``L(left) ⊆ L(right)``.
+
+    This is the paper's "tighter than" relation on types
+    (Definition 3.3): ``left`` is tighter than ``right``.
+    """
+    a, b = _aligned(left, right)
+    difference = product(a, b, lambda x, y: x and not y)
+    return difference.is_empty()
+
+
+@lru_cache(maxsize=4096)
+def is_equivalent(left: Regex, right: Regex) -> bool:
+    """Language equality of the two expressions."""
+    a, b = _aligned(left, right)
+    symmetric = product(a, b, lambda x, y: x != y)
+    return symmetric.is_empty()
+
+
+def is_proper_subset(left: Regex, right: Regex) -> bool:
+    """Strict inclusion: tighter and not equivalent."""
+    return is_subset(left, right) and not is_subset(right, left)
+
+
+def intersection_dfa(left: Regex, right: Regex) -> Dfa:
+    """DFA for ``L(left) ∩ L(right)``."""
+    a, b = _aligned(left, right)
+    return product(a, b, lambda x, y: x and y)
+
+
+def difference_witness(left: Regex, right: Regex) -> list[Letter] | None:
+    """A shortest word in ``L(left) \\ L(right)``, or None if included.
+
+    Used to produce counterexamples in tightness reports and tests.
+    """
+    a, b = _aligned(left, right)
+    difference = product(a, b, lambda x, y: x and not y)
+    return difference.shortest_word()
+
+
+def minimal_dfa(regex: Regex) -> Dfa:
+    """The minimized DFA; state count is a canonical complexity measure."""
+    return minimize(_dfa(regex))
+
+
+def clear_caches() -> None:
+    """Drop all memoized automata (useful between benchmark rounds)."""
+    _dfa.cache_clear()
+    is_empty.cache_clear()
+    is_subset.cache_clear()
+    is_equivalent.cache_clear()

@@ -1,0 +1,131 @@
+"""Parser for DTD content-model expressions.
+
+Accepts the notation used in the paper and in XML 1.0 element type
+declarations::
+
+    name, professor+, gradStudent+, course*
+    title, author+, (journal | conference)
+    firstName, lastName, publication*, publication^1, publication*
+
+Grammar (standard precedence: ``|`` loosest, then ``,``, then postfix)::
+
+    alt      := concat ("|" concat)*
+    concat   := postfix ("," postfix)*
+    postfix  := atom ("*" | "+" | "?")*
+    atom     := "(" alt ")" | "()" | "#FAIL" | name ("^" int)?
+    name     := [A-Za-z_][A-Za-z0-9_.-]*
+
+``()`` denotes the empty sequence and ``#FAIL`` the empty language;
+both appear only in intermediate expressions.  ``#PCDATA`` is *not*
+part of this grammar -- character content is a separate kind of type at
+the DTD level (see ``repro.dtd``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import RegexSyntaxError
+from .ast import EMPTY, EPSILON, Regex, alt, concat, opt, plus, star, sym
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+_WS_RE = re.compile(r"\s+")
+
+
+class _Parser:
+    """Recursive-descent parser over a content-model string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.text, self.pos)
+
+    def skip_ws(self) -> None:
+        match = _WS_RE.match(self.text, self.pos)
+        if match:
+            self.pos = match.end()
+
+    def peek(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text):
+            return ""
+        return self.text[self.pos]
+
+    def take(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse(self) -> Regex:
+        result = self.parse_alt()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("unexpected trailing input")
+        return result
+
+    def parse_alt(self) -> Regex:
+        parts = [self.parse_concat()]
+        while self.peek() == "|":
+            self.pos += 1
+            parts.append(self.parse_concat())
+        return alt(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while self.peek() == ",":
+            self.pos += 1
+            parts.append(self.parse_postfix())
+        return concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_postfix(self) -> Regex:
+        result = self.parse_atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                result = star(result)
+            elif char == "+":
+                result = plus(result)
+            elif char == "?":
+                result = opt(result)
+            else:
+                return result
+            self.pos += 1
+
+    def parse_atom(self) -> Regex:
+        char = self.peek()
+        if char == "(":
+            self.pos += 1
+            if self.peek() == ")":
+                self.pos += 1
+                return EPSILON
+            inner = self.parse_alt()
+            self.take(")")
+            return inner
+        if char == "#":
+            if self.text.startswith("#FAIL", self.pos):
+                self.pos += len("#FAIL")
+                return EMPTY
+            raise self.error("unknown # token (only #FAIL is recognized)")
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name or '('")
+        self.pos = match.end()
+        tag = 0
+        if self.pos < len(self.text) and self.text[self.pos] == "^":
+            self.pos += 1
+            digits = re.match(r"\d+", self.text[self.pos:])
+            if not digits:
+                raise self.error("expected a tag number after '^'")
+            tag = int(digits.group())
+            self.pos += digits.end()
+        return sym(match.group(), tag)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a DTD content-model expression.
+
+    Raises :class:`repro.errors.RegexSyntaxError` on malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,85 @@
+"""Rendering regular expressions back to DTD content-model syntax.
+
+The printer emits the notation used throughout the paper: ``,`` for
+sequence, ``|`` for alternation, postfix ``*``, ``+``, ``?``, and
+``name^i`` for specialized (tagged) names.  Parentheses are inserted
+only where required by precedence, so round-tripping through the parser
+is stable.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+)
+
+#: Precedence levels, loosest first: Alt < Concat < postfix < atom.
+_PREC_ALT = 0
+_PREC_CONCAT = 1
+_PREC_POSTFIX = 2
+_PREC_ATOM = 3
+
+
+def _precedence(r: Regex) -> int:
+    if isinstance(r, Alt):
+        return _PREC_ALT
+    if isinstance(r, Concat):
+        return _PREC_CONCAT
+    if isinstance(r, (Star, Plus, Opt)):
+        return _PREC_POSTFIX
+    return _PREC_ATOM
+
+
+def _wrap(r: Regex, parent_prec: int) -> str:
+    text = to_string(r)
+    if _precedence(r) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def to_string(r: Regex) -> str:
+    """Render ``r`` in DTD content-model notation.
+
+    ``Epsilon`` prints as ``()`` and ``Empty`` as ``#FAIL``; both occur
+    only in intermediate results, never in finished DTDs.
+    """
+    if isinstance(r, Sym):
+        if r.tag == 0:
+            return r.name
+        return f"{r.name}^{r.tag}"
+    if isinstance(r, Epsilon):
+        return "()"
+    if isinstance(r, Empty):
+        return "#FAIL"
+    if isinstance(r, Concat):
+        return ", ".join(_wrap(i, _PREC_CONCAT) for i in r.items)
+    if isinstance(r, Alt):
+        return " | ".join(_wrap(i, _PREC_CONCAT) for i in r.items)
+    if isinstance(r, Star):
+        return _wrap(r.item, _PREC_ATOM) + "*"
+    if isinstance(r, Plus):
+        return _wrap(r.item, _PREC_ATOM) + "+"
+    if isinstance(r, Opt):
+        return _wrap(r.item, _PREC_ATOM) + "?"
+    raise TypeError(f"unknown regex node {r!r}")
+
+
+def to_xml_content_model(r: Regex) -> str:
+    """Render ``r`` in strict XML 1.0 ``<!ELEMENT>`` syntax.
+
+    XML requires the content model to be parenthesized as a whole and
+    uses no whitespace conventions; tags are not representable, so the
+    caller should pass an untagged expression (see ``regex.ast.image``).
+    """
+    text = to_string(r)
+    if not text.startswith("("):
+        text = f"({text})"
+    return text

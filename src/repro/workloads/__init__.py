@@ -1,0 +1,22 @@
+"""Workloads: the paper's examples and synthetic generators."""
+
+from . import bibdb, paper
+from .synthetic import (
+    ScalingPoint,
+    dtd_size_sweep,
+    layered_dtd,
+    path_query,
+    query_depth_sweep,
+    random_workload,
+)
+
+__all__ = [
+    "ScalingPoint",
+    "bibdb",
+    "dtd_size_sweep",
+    "layered_dtd",
+    "paper",
+    "path_query",
+    "query_depth_sweep",
+    "random_workload",
+]

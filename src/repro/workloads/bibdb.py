@@ -1,0 +1,148 @@
+"""A realistic DBLP-style bibliography workload.
+
+The paper's department schema is small; real mediation targets of the
+era (DBLP, SIGMOD Record, publisher sites) are wider and deeper.  This
+workload provides a 32-name bibliography schema with the structural
+variety the algorithms must handle -- optional blocks, nested
+repetition, disjunctions at several levels -- plus a family of
+realistic view definitions and a corpus generator.  Used by the
+scaling benchmarks and available for examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dtd import Dtd, dtd, generate_document
+from ..xmas import Query, parse_query
+from ..xmlmodel import Document
+
+
+def bibdb_dtd() -> Dtd:
+    """A DBLP-like bibliography schema (32 element names)."""
+    return dtd(
+        {
+            "bibdb": "meta, venue+, personIndex?",
+            "meta": "dbName, release, curator*",
+            "venue": "venueName, (journalInfo | conferenceInfo), volume+",
+            "journalInfo": "publisher, issn?",
+            "conferenceInfo": "location, series?",
+            "volume": "volLabel, issue+",
+            "issue": "issueLabel?, article+",
+            "article": (
+                "title, author+, pages?, abstract?, "
+                "(doi | url)?, citation*"
+            ),
+            "citation": "refTitle, refAuthor*",
+            "personIndex": "person*",
+            "person": "fullName, affiliation?, alias*",
+            # leaves
+            "dbName": "#PCDATA",
+            "release": "#PCDATA",
+            "curator": "#PCDATA",
+            "venueName": "#PCDATA",
+            "publisher": "#PCDATA",
+            "issn": "#PCDATA",
+            "location": "#PCDATA",
+            "series": "#PCDATA",
+            "volLabel": "#PCDATA",
+            "issueLabel": "#PCDATA",
+            "title": "#PCDATA",
+            "author": "#PCDATA",
+            "pages": "#PCDATA",
+            "abstract": "#PCDATA",
+            "doi": "#PCDATA",
+            "url": "#PCDATA",
+            "refTitle": "#PCDATA",
+            "refAuthor": "#PCDATA",
+            "fullName": "#PCDATA",
+            "affiliation": "#PCDATA",
+            "alias": "#PCDATA",
+        },
+        root="bibdb",
+    )
+
+
+def journal_articles_view() -> Query:
+    """Articles published in journal venues, with a DOI."""
+    return parse_query(
+        """
+        journalArticles =
+          SELECT A
+          WHERE <bibdb>
+                  <venue>
+                    <journalInfo/>
+                    <volume>
+                      <issue>
+                        A:<article><doi/></article>
+                      </>
+                    </>
+                  </>
+                </>
+        """
+    )
+
+
+def cited_articles_view() -> Query:
+    """Articles that cite at least two other works."""
+    return parse_query(
+        """
+        wellCited =
+          SELECT A
+          WHERE <bibdb>
+                  <venue>
+                    <volume>
+                      <issue>
+                        A:<article>
+                          <citation id=C1/>
+                          <citation id=C2/>
+                        </>
+                      </>
+                    </>
+                  </>
+                </>
+          AND C1 != C2
+        """
+    )
+
+
+def people_view() -> Query:
+    """Indexed people with an affiliation."""
+    return parse_query(
+        """
+        affiliated =
+          SELECT P
+          WHERE <bibdb>
+                  <personIndex>
+                    P:<person><affiliation/></person>
+                  </>
+                </>
+        """
+    )
+
+
+def all_views() -> list[Query]:
+    """The workload's view suite."""
+    return [journal_articles_view(), cited_articles_view(), people_view()]
+
+
+def corpus(
+    n_documents: int,
+    rng: random.Random,
+    star_mean: float = 1.4,
+) -> list[Document]:
+    """A random bibliography corpus valid under :func:`bibdb_dtd`."""
+    schema = bibdb_dtd()
+    return [
+        generate_document(
+            schema,
+            rng,
+            star_mean=star_mean,
+            string_pool=(
+                "TODS", "TKDE", "VLDB J.", "ICDE", "SIGMOD",
+                "Papakonstantinou", "Velikhov", "Widom", "Abiteboul",
+                "10.1109/x", "1999", "San Diego",
+            ),
+        )
+        for _ in range(n_documents)
+    ]

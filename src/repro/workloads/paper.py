@@ -1,0 +1,329 @@
+"""Every DTD and query appearing in the paper.
+
+The paper's examples reference a department schema (D1/D11), a
+professor publication schema (D9), and a recursive section schema
+(Example 3.5).  Leaf element types are not spelled out in the paper;
+we declare them PCDATA, the natural reading (names, titles, authors,
+and the journal/conference markers carry text).
+
+Expected outputs (D2, D3, D4, D10, T6-T8, ``(title, author*)*``) are
+provided as parsed artifacts so the experiment harness can compare
+inferred results against the paper's by language equivalence.
+"""
+
+from __future__ import annotations
+
+from ..dtd import Dtd, SpecializedDtd, dtd, sdtd
+from ..regex import Regex, parse_regex
+from ..xmas import Query, parse_query
+
+# ---------------------------------------------------------------------------
+# Source DTDs
+# ---------------------------------------------------------------------------
+
+_LEAVES = {
+    "name": "#PCDATA",
+    "firstName": "#PCDATA",
+    "lastName": "#PCDATA",
+    "title": "#PCDATA",
+    "author": "#PCDATA",
+    "journal": "#PCDATA",
+    "conference": "#PCDATA",
+    "teaches": "#PCDATA",
+    "course": "#PCDATA",
+}
+
+
+def d1() -> Dtd:
+    """DTD (D1), Example 3.1: the department schema."""
+    return dtd(
+        {
+            "department": "name, professor+, gradStudent+, course*",
+            "professor": "firstName, lastName, publication+, teaches",
+            "gradStudent": "firstName, lastName, publication+",
+            "publication": "title, author+, (journal | conference)",
+            **_LEAVES,
+        },
+        root="department",
+    )
+
+
+def d9() -> Dtd:
+    """DTD (D9), Example 4.1: professors with journal/conference lists."""
+    return dtd(
+        {
+            "professor": "name, (journal | conference)*",
+            "name": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+        },
+        root="professor",
+    )
+
+
+def d11() -> Dtd:
+    """DTD (D11), Example 4.4: like D1 but gradStudent has one publication
+    and publication has ``author*``."""
+    return dtd(
+        {
+            "department": "name, professor+, gradStudent+, course*",
+            "professor": "firstName, lastName, publication+, teaches",
+            "gradStudent": "firstName, lastName, publication",
+            "publication": "title, author*, (journal | conference)",
+            **_LEAVES,
+        },
+        root="department",
+    )
+
+
+def section_dtd() -> Dtd:
+    """The recursive DTD of Example 3.5."""
+    return dtd(
+        {
+            "section": "prolog, section*, conclusion",
+            "prolog": "#PCDATA",
+            "conclusion": "#PCDATA",
+        },
+        root="section",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def q2() -> Query:
+    """(Q2): professors or grad students with >= 2 journal publications."""
+    return parse_query(
+        """
+        withJournals =
+          SELECT P
+          WHERE <department>
+                  <name>CS</name>
+                  P:<professor | gradStudent>
+                    <publication id=Pub1><journal/></publication>
+                    <publication id=Pub2><journal/></publication>
+                  </>
+                </>
+          AND Pub1 != Pub2
+        """
+    )
+
+
+def q3() -> Query:
+    """(Q3): all journal publications of professors or grad students."""
+    return parse_query(
+        """
+        publist =
+          SELECT P
+          WHERE <department>
+                  <name>CS</name>
+                  <professor | gradStudent>
+                    P:<publication><journal/></publication>
+                  </>
+                </>
+        """
+    )
+
+
+def q4() -> Query:
+    """The recursive query of Example 3.5 (startsAndEnds)."""
+    return parse_query(
+        """
+        startsAndEnds =
+          SELECT X
+          WHERE <section*>
+                  X:<prolog | conclusion/>
+                </>
+        """
+    )
+
+
+def q6() -> Query:
+    """(Q6): professors with at least one journal publication (over D9)."""
+    return parse_query(
+        """
+        answer =
+          SELECT X
+          WHERE X:<professor><journal/></professor>
+        """
+    )
+
+
+def q7() -> Query:
+    """(Q7): professors with two different journal publications (over D9)."""
+    return parse_query(
+        """
+        answer =
+          SELECT X
+          WHERE X:<professor>
+                  <journal id=J1/>
+                  <journal id=J2/>
+                </>
+          AND J1 != J2
+        """
+    )
+
+
+def q12() -> Query:
+    """(Q12): titles and authors of grad-student publications (over D11)."""
+    return parse_query(
+        """
+        papers =
+          SELECT P
+          WHERE D:<department>
+                  G:<gradStudent>
+                    X:<publication>
+                      P:<title | author/>
+                    </>
+                  </>
+                </>
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expected outputs from the paper
+# ---------------------------------------------------------------------------
+
+
+def d2_expected() -> Dtd:
+    """DTD (D2): the paper's tightest plain view DTD for (Q2) over (D1).
+
+    The paper prints ``withJournals : professor+, gradStudent+`` and an
+    unrefined ``publication+`` for professors; our pipeline derives the
+    sound/tighter ``professor*, gradStudent*`` list and a >=2
+    publications constraint -- EXPERIMENTS.md E1 records both.
+    """
+    return dtd(
+        {
+            "withJournals": "professor*, gradStudent*",
+            "professor": "firstName, lastName, publication, publication, publication*, teaches",
+            "gradStudent": "firstName, lastName, publication, publication, publication*",
+            "publication": "title, author+, (journal | conference)",
+            **{
+                k: v
+                for k, v in _LEAVES.items()
+                if k in (
+                    "firstName",
+                    "lastName",
+                    "title",
+                    "author",
+                    "journal",
+                    "conference",
+                    "teaches",
+                )
+            },
+        },
+        root="withJournals",
+    )
+
+
+def d2_paper_literal() -> Dtd:
+    """DTD (D2) exactly as printed in the paper (unsound list type)."""
+    return dtd(
+        {
+            "withJournals": "professor+, gradStudent+",
+            "professor": "firstName, lastName, publication+, teaches",
+            "gradStudent": "firstName, lastName, publication+",
+            "publication": "title, author+, (journal | conference)",
+            **{
+                k: v
+                for k, v in _LEAVES.items()
+                if k in (
+                    "firstName",
+                    "lastName",
+                    "title",
+                    "author",
+                    "journal",
+                    "conference",
+                    "teaches",
+                )
+            },
+        },
+        root="withJournals",
+    )
+
+
+def d3_expected() -> Dtd:
+    """DTD (D3): Example 3.2's view DTD for (Q3) -- disjunction removed."""
+    return dtd(
+        {
+            "publist": "publication*",
+            "publication": "title, author+, journal",
+            "title": "#PCDATA",
+            "author": "#PCDATA",
+            "journal": "#PCDATA",
+        },
+        root="publist",
+    )
+
+
+def d4_expected() -> SpecializedDtd:
+    """DTD (D4): Example 3.4's structurally tight specialized DTD."""
+    return sdtd(
+        {
+            "withJournals": "professor^1*, gradStudent^1*",
+            "professor^1": (
+                "firstName, lastName, publication*, publication^1, "
+                "publication*, publication^1, publication*, teaches"
+            ),
+            "gradStudent^1": (
+                "firstName, lastName, publication*, publication^1, "
+                "publication*, publication^1, publication*"
+            ),
+            "publication": "title, author+, (journal | conference)",
+            "publication^1": "title, author+, journal",
+            "firstName": "#PCDATA",
+            "lastName": "#PCDATA",
+            "title": "#PCDATA",
+            "author": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+            "teaches": "#PCDATA",
+        },
+        root="withJournals",
+    )
+
+
+def q6_refined_expected() -> Regex:
+    """Example 4.1's result: ``name, (journal|conference)*, journal,
+    (journal|conference)*``."""
+    return parse_regex("name, (journal | conference)*, journal, (journal | conference)*")
+
+
+def q12_list_type_paper() -> Regex:
+    """Example 4.4's final answer: ``(title, author*)*``."""
+    return parse_regex("(title, author*)*")
+
+
+def q12_list_type_exact() -> Regex:
+    """The tighter list type our EXACT mode proves: ``(title, author*)+``."""
+    return parse_regex("(title, author*)+")
+
+
+def t_chain(k: int) -> Regex:
+    """A strictly-tightening chain of sound ``startsAndEnds`` types
+    (Example 3.5's T6 ≺ T7 ≺ T8 ≺ ...).
+
+    The picks of (Q4) over the section DTD form the bracket sequence
+    of the section tree (prolog = open, conclusion = close), which is
+    not regular; sound regular types can only bound the nesting depth
+    they track.  ``t_chain(k)`` is exact down to depth ``k`` and
+    unconstrained below::
+
+        T(0) = prolog, (prolog | conclusion)*,            conclusion
+        T(1) = prolog, (prolog, (prolog|conclusion)*, conclusion)*, conclusion
+        ...
+
+    Every ``t_chain(k)`` contains all producible pick sequences, and
+    ``t_chain(k+1)`` is strictly tighter than ``t_chain(k)`` -- the
+    no-tightest-DTD phenomenon, verified in experiment E4.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    inner = "(prolog | conclusion)*"
+    for _ in range(k):
+        inner = f"(prolog, {inner}, conclusion)*"
+    return parse_regex(f"prolog, {inner}, conclusion")

@@ -1,0 +1,136 @@
+"""Parameterized synthetic workloads for the scaling experiments (E13).
+
+Generators for layered "department-like" DTDs of configurable width
+and depth, documents of configurable size, and pick-element queries
+drawn against a DTD (existence conditions along a random root-to-leaf
+path with random side conditions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..dtd import Dtd, DtdShape, Pcdata, dtd as make_dtd, random_dtd
+from ..regex import names as regex_names
+from ..xmas import Condition, Query, cond, query as make_query
+
+
+def layered_dtd(depth: int, width: int, leaf_pcdata: bool = True) -> Dtd:
+    """A full ``width``-ary layered DTD of the given depth.
+
+    Level-``i`` elements contain one of each level-``i+1`` name plus a
+    starred tail, giving content models with stars, pluses, and a
+    disjunction -- the operator mix the refinement algorithm exercises.
+    """
+    declarations: dict[str, str] = {}
+    for level in range(depth):
+        for index in range(width):
+            name = f"e{level}_{index}"
+            if level == depth - 1:
+                declarations[name] = "#PCDATA" if leaf_pcdata else "()"
+                continue
+            children = [f"e{level + 1}_{i}" for i in range(width)]
+            first, *rest = children
+            parts = [f"{first}+"]
+            parts.extend(f"{child}*" for child in rest)
+            if len(children) > 1:
+                parts.append(f"({children[0]} | {children[-1]})?")
+            declarations[name] = ", ".join(parts)
+    return make_dtd(declarations, root="e0_0")
+
+
+def path_query(
+    dtd: Dtd,
+    depth: int,
+    rng: random.Random,
+    side_conditions: int = 1,
+    view_name: str = "view",
+) -> Query:
+    """A pick-element query descending ``depth`` levels from the root.
+
+    Each step adds up to ``side_conditions`` sibling existence
+    conditions on other names its parent can contain; the pick is the
+    last step.
+    """
+    if dtd.root is None:
+        raise ValueError("DTD needs a document type")
+
+    def children_of(name: str) -> list[str]:
+        content = dtd.type_of(name)
+        if isinstance(content, Pcdata):
+            return []
+        return sorted(regex_names(content) & dtd.names)
+
+    path_names: list[str] = [dtd.root]
+    while len(path_names) < depth:
+        options = children_of(path_names[-1])
+        if not options:
+            break
+        path_names.append(rng.choice(options))
+
+    node: Condition | None = None
+    for level in range(len(path_names) - 1, -1, -1):
+        name = path_names[level]
+        children: list[Condition] = []
+        if node is not None:
+            children.append(node)
+            siblings = [
+                option
+                for option in children_of(name)
+                if option != path_names[level + 1]
+            ]
+            rng.shuffle(siblings)
+            for sibling in siblings[:side_conditions]:
+                children.append(cond(sibling))
+        variable = "P" if level == len(path_names) - 1 else None
+        node = cond(name, var=variable, children=tuple(children))
+    assert node is not None
+    return make_query(view_name, "P", node)
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a scaling sweep."""
+
+    label: str
+    dtd: Dtd
+    query: Query
+
+
+def dtd_size_sweep(widths: list[int], depth: int = 3) -> list[ScalingPoint]:
+    """DTDs of growing width (number of names per layer)."""
+    rng = random.Random(11)
+    points = []
+    for width in widths:
+        d = layered_dtd(depth, width)
+        q = path_query(d, depth - 1, rng, side_conditions=1)
+        points.append(ScalingPoint(f"width={width}", d, q))
+    return points
+
+
+def query_depth_sweep(depths: list[int], width: int = 3) -> list[ScalingPoint]:
+    """Queries descending deeper into a fixed DTD."""
+    rng = random.Random(13)
+    max_depth = max(depths) + 1
+    d = layered_dtd(max_depth, width)
+    points = []
+    for depth in depths:
+        q = path_query(d, depth, rng, side_conditions=1)
+        points.append(ScalingPoint(f"depth={depth}", d, q))
+    return points
+
+
+def random_workload(
+    n_dtds: int,
+    shape: DtdShape,
+    rng: random.Random,
+    query_depth: int = 3,
+) -> list[ScalingPoint]:
+    """Random DTD/query pairs for the soundness property sweeps."""
+    points = []
+    for index in range(n_dtds):
+        d = random_dtd(shape, rng)
+        q = path_query(d, query_depth, rng, side_conditions=1)
+        points.append(ScalingPoint(f"random-{index}", d, q))
+    return points

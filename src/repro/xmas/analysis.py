@@ -1,0 +1,129 @@
+"""Static analysis of pick-element queries.
+
+The inference algorithms need to know (a) whether the query uses
+recursive path steps (outside their scope, Section 4.4 fn. 9), (b) the
+*pick path* -- the chain of conditions from the root to the pick node
+(the ``L_0 ... L_k`` of Section 4.4), and (c) whether the query is a
+well-formed pick-element query with respect to a DTD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtd import Dtd
+from ..errors import QueryAnalysisError, UnknownNameError
+from .ast import Condition, Query, expand_wildcards
+
+
+def has_recursive_steps(query: Query) -> bool:
+    """Does any condition use a recursive (starred) path step?"""
+    return any(node.recursive for node in query.root.iter_nodes())
+
+
+@dataclass(frozen=True)
+class PickPath:
+    """The root-to-pick chain of conditions.
+
+    ``steps[0]`` is the query root and ``steps[-1]`` is the pick node;
+    ``off_path_children[i]`` are the children of ``steps[i]`` that are
+    *not* on the path (the ``condition_{i,j}`` side conditions of the
+    Section 4.4 query form).
+    """
+
+    steps: tuple[Condition, ...]
+    off_path_children: tuple[tuple[Condition, ...], ...]
+
+    @property
+    def pick(self) -> Condition:
+        return self.steps[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+
+def pick_path(query: Query) -> PickPath:
+    """Locate the unique root-to-pick path.
+
+    Raises :class:`QueryAnalysisError` when the pick variable is bound
+    at several nodes (outside the pick-element class).
+    """
+    picks = query.pick_nodes()
+    if len(picks) != 1:
+        raise QueryAnalysisError(
+            f"pick variable {query.pick_variable!r} bound at "
+            f"{len(picks)} nodes; pick-element queries need exactly one"
+        )
+    target = picks[0]
+
+    def find(node: Condition, trail: list[Condition]) -> list[Condition] | None:
+        trail = trail + [node]
+        if node is target:
+            return trail
+        for child in node.children:
+            found = find(child, trail)
+            if found is not None:
+                return found
+        return None
+
+    steps = find(query.root, [])
+    if steps is None:  # pragma: no cover - pick_nodes guarantees presence
+        raise QueryAnalysisError("pick node not reachable from the root")
+    off_path = []
+    for index, step in enumerate(steps):
+        if index + 1 < len(steps):
+            next_step = steps[index + 1]
+            off_path.append(
+                tuple(child for child in step.children if child is not next_step)
+            )
+        else:
+            off_path.append(())
+    return PickPath(tuple(steps), tuple(off_path))
+
+
+def check_inference_applicable(query: Query) -> None:
+    """Raise unless the query is in the class Section 4 handles.
+
+    Requirements: single pick node and no recursive path steps.
+    """
+    if has_recursive_steps(query):
+        raise QueryAnalysisError(
+            "query uses recursive path steps; view DTD inference does not "
+            "apply (Section 4.4, footnote 9; see also Example 3.5 on the "
+            "non-existence of tightest DTDs under recursion)"
+        )
+    pick_path(query)  # raises on multiple pick nodes
+
+
+def resolve_against_dtd(query: Query, dtd: Dtd, strict: bool = True) -> Query:
+    """Preprocess a query for a DTD.
+
+    Expands wildcard name tests to the disjunction of all DTD names
+    (the paper's preprocessing).  With ``strict`` (the default for view
+    registration) undeclared constant names raise; without it they are
+    tolerated -- an undeclared name simply never matches, making the
+    condition unsatisfiable, which is the right reading for ad-hoc
+    queries hitting a view DTD.
+    """
+    resolved = expand_wildcards(query, dtd.names) if _has_wildcards(query) else query
+    if strict:
+        unknown: set[str] = set()
+        for node in resolved.root.iter_nodes():
+            if node.test.names is None:  # pragma: no cover - expanded above
+                continue
+            unknown.update(name for name in node.test.names if name not in dtd)
+        if unknown:
+            raise UnknownNameError(
+                f"query mentions undeclared element names: {sorted(unknown)}"
+            )
+    return resolved
+
+
+def _has_wildcards(query: Query) -> bool:
+    return any(node.test.is_wildcard for node in query.root.iter_nodes())
+
+
+def condition_size(query: Query) -> int:
+    """Number of condition nodes (a benchmark measure)."""
+    return sum(1 for _ in query.root.iter_nodes())

@@ -1,0 +1,195 @@
+"""Evaluation of pick-element XMAS queries over documents.
+
+Semantics (Section 2.1):
+
+* The tree condition is matched against the *document root*.
+* Nesting in the condition means direct-child containment; a
+  ``recursive`` step matches a chain of nested elements and applies its
+  child conditions at the chain's end.
+* Sibling conditions bind to pairwise-distinct children (the paper's
+  standing assumption); explicit ``AND v1 != v2`` clauses additionally
+  constrain variable bindings to distinct elements (ID inequality, the
+  only negation in the language).
+* The answer is a new document whose root is named after the view and
+  whose content is the elements bound to the pick variable, in document
+  order (depth-first left-to-right), each element contributed once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..xmlmodel import Document, Element, fresh_id
+from .ast import Condition, Query
+
+Binding = dict[str, Element]
+
+
+def _check_inequalities(env: Binding, query: Query) -> bool:
+    for pair in query.inequalities:
+        first, second = tuple(pair)
+        if first in env and second in env and env[first].id == env[second].id:
+            return False
+    return True
+
+
+class _Matcher:
+    """Backtracking tree-condition matcher with memoized subtree tests."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        #: memo[(node id, element id)] -> does the subtree match at all
+        #: (ignoring variable constraints)?  Used to prune the search.
+        self._memo: dict[tuple[int, str], bool] = {}
+
+    # -- pure structural match (no variables), used for pruning ---------
+
+    def may_match(self, node: Condition, element: Element) -> bool:
+        key = (id(node), element.id)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._may_match_here(node, element)
+        if not result and node.recursive and node.test.accepts(element.name):
+            result = any(
+                self.may_match(node, child) for child in element.children
+            )
+        self._memo[key] = result
+        return result
+
+    def _may_match_here(self, node: Condition, element: Element) -> bool:
+        if not node.test.accepts(element.name):
+            return False
+        if node.pcdata is not None:
+            return element.is_pcdata and element.text == node.pcdata
+        if not node.children:
+            return True
+        if element.is_pcdata:
+            return False
+        return self._children_assignable(node.children, element.children)
+
+    def _children_assignable(
+        self,
+        conditions: tuple[Condition, ...],
+        children: list[Element],
+    ) -> bool:
+        """Injective matching of conditions to children (backtracking)."""
+
+        def assign(index: int, used: frozenset[int]) -> bool:
+            if index == len(conditions):
+                return True
+            condition = conditions[index]
+            for position, child in enumerate(children):
+                if position in used:
+                    continue
+                if self.may_match(condition, child):
+                    if assign(index + 1, used | {position}):
+                        return True
+            return False
+
+        return assign(0, frozenset())
+
+    # -- full search producing variable environments --------------------
+
+    def search(
+        self, node: Condition, element: Element, env: Binding
+    ) -> Iterator[Binding]:
+        """All environments extending ``env`` that match ``node`` at
+        ``element`` (including chain descents for recursive steps)."""
+        if not self.may_match(node, element):
+            return
+        if node.test.accepts(element.name):
+            yield from self._search_here(node, element, env)
+        if node.recursive and node.test.accepts(element.name):
+            for child in element.children:
+                yield from self.search(node, child, env)
+
+    def _search_here(
+        self, node: Condition, element: Element, env: Binding
+    ) -> Iterator[Binding]:
+        if not self._may_match_here(node, element):
+            return
+        if node.variable is not None:
+            existing = env.get(node.variable)
+            if existing is not None and existing.id != element.id:
+                return
+            env = dict(env)
+            env[node.variable] = element
+            if not _check_inequalities(env, self.query):
+                return
+        if not node.children:
+            yield env
+            return
+        yield from self._assign_children(
+            node.children, element.children, 0, frozenset(), env
+        )
+
+    def _assign_children(
+        self,
+        conditions: tuple[Condition, ...],
+        children: list[Element],
+        index: int,
+        used: frozenset[int],
+        env: Binding,
+    ) -> Iterator[Binding]:
+        if index == len(conditions):
+            yield env
+            return
+        condition = conditions[index]
+        for position, child in enumerate(children):
+            if position in used:
+                continue
+            for extended in self.search(condition, child, env):
+                yield from self._assign_children(
+                    conditions, children, index + 1, used | {position}, extended
+                )
+
+
+def bindings(query: Query, document: Document) -> Iterator[Binding]:
+    """All complete variable environments matching the query."""
+    matcher = _Matcher(query)
+    yield from matcher.search(query.root, document.root, {})
+
+
+def picked_elements(query: Query, document: Document) -> list[Element]:
+    """Elements bound to the pick variable, document order, no repeats."""
+    picked_ids: set[str] = set()
+    for env in bindings(query, document):
+        element = env.get(query.pick_variable)
+        if element is not None:
+            picked_ids.add(element.id)
+    return [
+        element for element in document.iter() if element.id in picked_ids
+    ]
+
+
+def evaluate(query: Query, document: Document) -> Document:
+    """Run the query: the view document with the picked elements.
+
+    The picked elements are deep-copied with fresh IDs so the result
+    is itself a well-formed document (unique IDs).
+    """
+    picks = picked_elements(query, document)
+    root = Element(
+        query.view_name,
+        [element.deep_copy(fresh_ids=True) for element in picks],
+        fresh_id(),
+    )
+    return Document(root)
+
+
+def evaluate_many(query: Query, documents: list[Document]) -> Document:
+    """Run the query over several documents of the same source.
+
+    Pick-element queries apply to one source; a source may hold many
+    documents, whose picks are concatenated in document order.
+    """
+    picks: list[Element] = []
+    for document in documents:
+        picks.extend(picked_elements(query, document))
+    root = Element(
+        query.view_name,
+        [element.deep_copy(fresh_ids=True) for element in picks],
+        fresh_id(),
+    )
+    return Document(root)

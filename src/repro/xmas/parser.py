@@ -1,0 +1,219 @@
+"""Parser for the paper's XMAS surface syntax.
+
+Accepted form (whitespace-insensitive)::
+
+    withJournals =
+      SELECT P
+      WHERE <department>
+              <name>CS</name>
+              P:<professor | gradStudent>
+                <publication id=Pub1><journal/></publication>
+                <publication id=Pub2><journal/></publication>
+              </>
+            </>
+      AND Pub1 != Pub2
+
+Details:
+
+* ``V:`` before an element pattern binds variable ``V``; ``id=V``
+  inside the open tag does the same (the paper uses both notations).
+* The tag-name position holds a name, a ``|``-disjunction of names, a
+  ``*`` wildcard, or ``name*`` for a recursive path step.
+* Closing tags may be ``</>`` or ``</name>``; ``<name/>`` self-closes.
+* Bare text between tags is a PCDATA equality condition.
+* ``AND X != Y`` clauses add ID inequalities.
+* An optional leading ``viewName =`` names the view; otherwise the
+  view is called ``answer``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QuerySyntaxError
+from .ast import Condition, NameTest, Query, WILDCARD
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        return consumed.count("\n") + 1, self.pos - (consumed.rfind("\n") + 1) + 1
+
+    def error(self, message: str) -> QuerySyntaxError:
+        line, column = self.location()
+        return QuerySyntaxError(message, line, column)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek_word(self) -> str:
+        self.skip_ws()
+        match = _NAME_RE.match(self.text, self.pos)
+        return match.group() if match else ""
+
+    def read_word(self) -> str:
+        self.skip_ws()
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group()
+
+    def expect(self, literal: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def try_take(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+
+def _parse_name_test(scanner: _Scanner) -> tuple[NameTest, bool]:
+    """Parse the tag-name position; returns (test, recursive)."""
+    scanner.skip_ws()
+    if scanner.try_take("*"):
+        return WILDCARD, False
+    names = [scanner.read_word()]
+    recursive = False
+    while True:
+        scanner.skip_ws()
+        if scanner.pos < len(scanner.text) and scanner.text[scanner.pos] == "*":
+            # name* : recursive step (only valid for a single name or
+            # after a full disjunction).
+            scanner.pos += 1
+            recursive = True
+            continue
+        if scanner.try_take("|"):
+            names.append(scanner.read_word())
+            continue
+        break
+    return NameTest(tuple(names)), recursive
+
+
+def _parse_condition(scanner: _Scanner) -> Condition:
+    variable: str | None = None
+    scanner.skip_ws()
+    # Optional "V:" binder before the pattern.
+    word_match = _NAME_RE.match(scanner.text, scanner.pos)
+    if word_match:
+        after = word_match.end()
+        rest = scanner.text[after:]
+        if rest.lstrip().startswith(":"):
+            variable = word_match.group()
+            scanner.pos = after
+            scanner.expect(":")
+    scanner.expect("<")
+    test, recursive = _parse_name_test(scanner)
+    scanner.skip_ws()
+    # Optional id=Var attribute.
+    while scanner.peek_word() and not scanner.text.startswith(
+        (">", "/"), scanner.pos
+    ):
+        attr = scanner.read_word()
+        if attr.lower() != "id":
+            raise scanner.error(f"unknown pattern attribute {attr!r}")
+        scanner.expect("=")
+        bound = scanner.read_word()
+        if variable is not None and variable != bound:
+            raise scanner.error(
+                f"pattern binds both {variable!r} and id={bound!r}"
+            )
+        variable = bound
+        scanner.skip_ws()
+    if scanner.try_take("/>"):
+        return Condition(test, variable, (), None, recursive)
+    scanner.expect(">")
+
+    children: list[Condition] = []
+    text_parts: list[str] = []
+    while True:
+        scanner.skip_ws()
+        if scanner.at_end():
+            raise scanner.error("unterminated pattern")
+        # Closing tag?
+        if scanner.text.startswith("</", scanner.pos):
+            scanner.pos += 2
+            scanner.skip_ws()
+            if not scanner.try_take(">"):
+                scanner.read_word()  # tolerate </name>
+                scanner.expect(">")
+            break
+        # Child pattern (possibly with binder)?
+        if _looks_like_pattern(scanner):
+            children.append(_parse_condition(scanner))
+            continue
+        # Otherwise: PCDATA condition text up to the next '<'.
+        next_lt = scanner.text.find("<", scanner.pos)
+        if next_lt < 0:
+            raise scanner.error("unterminated pattern")
+        text_parts.append(scanner.text[scanner.pos:next_lt].strip())
+        scanner.pos = next_lt
+
+    pcdata = " ".join(part for part in text_parts if part) or None
+    if pcdata is not None and children:
+        raise scanner.error("mixed text and child patterns in a condition")
+    return Condition(test, variable, tuple(children), pcdata, recursive)
+
+
+def _looks_like_pattern(scanner: _Scanner) -> bool:
+    """Lookahead: a '<' opener or a 'V:<' binder prefix."""
+    scanner.skip_ws()
+    if scanner.text.startswith("<", scanner.pos):
+        return not scanner.text.startswith("</", scanner.pos)
+    match = _NAME_RE.match(scanner.text, scanner.pos)
+    if not match:
+        return False
+    rest = scanner.text[match.end():].lstrip()
+    return rest.startswith(":") and rest[1:].lstrip().startswith("<")
+
+
+def parse_query(text: str, source: str | None = None) -> Query:
+    """Parse an XMAS pick-element query."""
+    scanner = _Scanner(text)
+    view_name = "answer"
+    # Optional "viewName =" header.
+    first = scanner.peek_word()
+    if first and first.upper() != "SELECT":
+        saved = scanner.pos
+        word = scanner.read_word()
+        if scanner.try_take("="):
+            view_name = word
+        else:
+            scanner.pos = saved
+    keyword = scanner.read_word()
+    if keyword.upper() != "SELECT":
+        raise scanner.error("expected SELECT")
+    pick = scanner.read_word()
+    keyword = scanner.read_word()
+    if keyword.upper() != "WHERE":
+        raise scanner.error("expected WHERE")
+    root = _parse_condition(scanner)
+
+    inequalities: set[frozenset[str]] = set()
+    while not scanner.at_end():
+        keyword = scanner.read_word()
+        if keyword.upper() != "AND":
+            raise scanner.error(f"expected AND, found {keyword!r}")
+        left = scanner.read_word()
+        scanner.expect("!=")
+        right = scanner.read_word()
+        if left == right:
+            raise scanner.error(f"inequality {left} != {right} is trivially false")
+        inequalities.add(frozenset((left, right)))
+    return Query(view_name, pick, root, frozenset(inequalities), source)

@@ -1,0 +1,186 @@
+"""The XML abstraction of Section 2 of the paper.
+
+An element (Definition 2.1) is a triplet of a *name*, a unique *ID*,
+and *content*, where content is either a sequence of elements or a
+PCDATA string.  A valid document (Definition 2.4) is an element
+together with a DTD and a root document type.
+
+Following the paper's simplifying assumptions, there are no attributes
+other than ID, no empty elements, no mixed content, and no entities.
+Elements *with empty content* (an empty sequence of children) are
+allowed and distinct from PCDATA elements with the empty string.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Union
+
+_id_counter = itertools.count(1)
+
+
+def fresh_id() -> str:
+    """A document-unique element ID (``e1``, ``e2``, ...)."""
+    return f"e{next(_id_counter)}"
+
+
+@dataclass(eq=False)
+class Element:
+    """An XML element per Definition 2.1.
+
+    ``content`` is either a list of child elements (element content) or
+    a string (PCDATA content).  Identity (the ID attribute) is explicit
+    so that queries can express ID inequality (``Pub1 != Pub2``).
+    Structural equality is provided by :meth:`structurally_equal`;
+    ``==`` stays identity-based because two distinct elements with the
+    same shape are different objects in a document.
+    """
+
+    name: str
+    content: Union[list["Element"], str]
+    id: str = field(default_factory=fresh_id)
+    #: non-ID attributes (Appendix A layer; empty under the core model)
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("element name must be non-empty")
+
+    @property
+    def is_pcdata(self) -> bool:
+        """True when this element has character (string) content."""
+        return isinstance(self.content, str)
+
+    @property
+    def children(self) -> list["Element"]:
+        """Child elements; empty for PCDATA content."""
+        if isinstance(self.content, str):
+            return []
+        return self.content
+
+    @property
+    def text(self) -> str | None:
+        """The PCDATA string, or None for element content."""
+        if isinstance(self.content, str):
+            return self.content
+        return None
+
+    def child_names(self) -> list[str]:
+        """The name sequence of the children (what content models see)."""
+        return [child.name for child in self.children]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first, left-to-right traversal including self.
+
+        This is the document order used by the paper for view results.
+        """
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find_all(self, predicate: Callable[["Element"], bool]) -> list["Element"]:
+        """All descendants-or-self satisfying ``predicate``, document order."""
+        return [e for e in self.iter() if predicate(e)]
+
+    def descendants_named(self, name: str) -> list["Element"]:
+        """All descendants-or-self with the given name, document order."""
+        return self.find_all(lambda e: e.name == name)
+
+    def structurally_equal(self, other: "Element") -> bool:
+        """Shape equality ignoring IDs but comparing strings.
+
+        Two documents in the same *structural class* (Definition 3.5)
+        additionally allow string renaming; see
+        :func:`repro.dtd.tightness.same_structural_class`.
+        """
+        if self.name != other.name:
+            return False
+        if self.attributes != other.attributes:
+            return False
+        if self.is_pcdata != other.is_pcdata:
+            return False
+        if self.is_pcdata:
+            return self.content == other.content
+        mine, theirs = self.children, other.children
+        if len(mine) != len(theirs):
+            return False
+        return all(a.structurally_equal(b) for a, b in zip(mine, theirs))
+
+    def deep_copy(self, fresh_ids: bool = False) -> "Element":
+        """A structural copy; ``fresh_ids`` re-IDs every element."""
+        new_id = fresh_id() if fresh_ids else self.id
+        if isinstance(self.content, str):
+            return Element(self.name, self.content, new_id, dict(self.attributes))
+        return Element(
+            self.name,
+            [child.deep_copy(fresh_ids=fresh_ids) for child in self.children],
+            new_id,
+            dict(self.attributes),
+        )
+
+    def size(self) -> int:
+        """Number of elements in the subtree (a benchmark measure)."""
+        return sum(1 for _ in self.iter())
+
+    def depth(self) -> int:
+        """Height of the subtree (a single element has depth 1)."""
+        if self.is_pcdata or not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def __repr__(self) -> str:
+        if self.is_pcdata:
+            return f"<{self.name} {self.id}>{self.content!r}"
+        return f"<{self.name} {self.id}>[{len(self.children)} children]"
+
+
+@dataclass(eq=False)
+class Document:
+    """A document: a root element (and, conceptually, its DTD).
+
+    The DTD itself lives in :mod:`repro.dtd`; a *valid* document pairs
+    the two -- see :func:`repro.dtd.validation.validate_document`.
+    """
+
+    root: Element
+
+    @property
+    def root_type(self) -> str:
+        """The document type: the name of the root element."""
+        return self.root.name
+
+    def iter(self) -> Iterator[Element]:
+        """Document-order traversal of all elements."""
+        return self.root.iter()
+
+    def check_unique_ids(self) -> list[str]:
+        """IDs appearing more than once (valid documents have none)."""
+        seen: set[str] = set()
+        duplicates: list[str] = []
+        for element in self.iter():
+            if element.id in seen:
+                duplicates.append(element.id)
+            seen.add(element.id)
+        return duplicates
+
+    def element_by_id(self, element_id: str) -> Element | None:
+        """Look up an element by its ID attribute."""
+        for element in self.iter():
+            if element.id == element_id:
+                return element
+        return None
+
+    def size(self) -> int:
+        """Number of elements in the document."""
+        return self.root.size()
+
+
+def elem(name: str, *children: Element, id: str | None = None) -> Element:
+    """Build an element with element content."""
+    return Element(name, list(children), id if id is not None else fresh_id())
+
+
+def text_elem(name: str, value: str, id: str | None = None) -> Element:
+    """Build an element with PCDATA content."""
+    return Element(name, value, id if id is not None else fresh_id())

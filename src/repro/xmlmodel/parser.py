@@ -1,0 +1,220 @@
+"""Parser for the XML subset of the paper's model.
+
+Accepted syntax::
+
+    <department id="d1">
+      <name>CS</name>
+      <professor>...</professor>
+    </department>
+
+* An optional ``id="..."`` attribute (the model's ID); further
+  attributes are parsed and carried on the element for the Appendix A
+  layer (``repro.dtd.attributes``), the core model ignores them.
+* Element content (children only) or PCDATA content (text only);
+  mixing raises, matching the paper's "no mixed content" assumption.
+  Whitespace between child elements is ignored.
+* ``<name/>`` self-closing forms denote empty *element content* (the
+  model has no EMPTY elements, only empty content).
+* Entities ``&lt; &gt; &amp; &quot; &apos;`` in PCDATA.
+* Comments ``<!-- ... -->`` and XML/DOCTYPE prologs are skipped (a
+  DOCTYPE's internal subset is NOT interpreted here -- use
+  ``repro.dtd.parser`` for DTDs).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XmlSyntaxError
+from .element import Document, Element, fresh_id
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XmlSyntaxError:
+        line, column = self.location()
+        return XmlSyntaxError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments, XML declaration, DOCTYPE."""
+        while True:
+            self.skip_ws()
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        depth = 0
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self.pos += 1
+                return
+            self.pos += 1
+        raise self.error("unterminated DOCTYPE")
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group()
+
+
+def _decode_entities(scanner: _Scanner, raw: str) -> str:
+    def replace(match: re.Match[str]) -> str:
+        entity = match.group(1)
+        if entity.startswith("#"):
+            try:
+                code = int(entity[2:], 16) if entity[1] in "xX" else int(entity[1:])
+            except ValueError:
+                raise scanner.error(f"bad character reference &{entity};")
+            return chr(code)
+        if entity not in _ENTITIES:
+            raise scanner.error(f"unknown entity &{entity};")
+        return _ENTITIES[entity]
+
+    return re.sub(r"&([^;]+);", replace, raw)
+
+
+def _parse_element(scanner: _Scanner) -> Element:
+    scanner.expect("<")
+    name = scanner.read_name()
+    scanner.skip_ws()
+    element_id: str | None = None
+    attributes: dict[str, str] = {}
+    while not scanner.at_end() and scanner.text[scanner.pos] not in ">/":
+        attr = scanner.read_name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        quote = scanner.text[scanner.pos] if not scanner.at_end() else ""
+        if quote not in "\"'":
+            raise scanner.error("expected a quoted attribute value")
+        scanner.pos += 1
+        end = scanner.text.find(quote, scanner.pos)
+        if end < 0:
+            raise scanner.error("unterminated attribute value")
+        value = _decode_entities(scanner, scanner.text[scanner.pos:end])
+        scanner.pos = end + 1
+        scanner.skip_ws()
+        if attr.lower() == "id":
+            element_id = value
+        elif attr in attributes:
+            raise scanner.error(f"duplicate attribute {attr!r}")
+        else:
+            # Appendix A layer: non-ID attributes are carried on the
+            # element; the core model ignores them.
+            attributes[attr] = value
+    if scanner.text.startswith("/>", scanner.pos):
+        scanner.pos += 2
+        return Element(name, [], element_id or fresh_id(), attributes)
+    scanner.expect(">")
+
+    children: list[Element] = []
+    text_parts: list[str] = []
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{name}>")
+        next_lt = scanner.text.find("<", scanner.pos)
+        if next_lt < 0:
+            raise scanner.error(f"unterminated element <{name}>")
+        raw = scanner.text[scanner.pos:next_lt]
+        if raw:
+            text_parts.append(_decode_entities(scanner, raw))
+            scanner.pos = next_lt
+        if scanner.text.startswith("</", scanner.pos):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != name:
+                raise scanner.error(
+                    f"mismatched closing tag </{closing}> for <{name}>"
+                )
+            scanner.skip_ws()
+            scanner.expect(">")
+            break
+        if scanner.text.startswith("<!--", scanner.pos):
+            end = scanner.text.find("-->", scanner.pos + 4)
+            if end < 0:
+                raise scanner.error("unterminated comment")
+            scanner.pos = end + 3
+            continue
+        children.append(_parse_element(scanner))
+
+    text = "".join(text_parts)
+    if children:
+        if text.strip():
+            raise scanner.error(
+                f"mixed content in <{name}> is outside the paper's model"
+            )
+        return Element(name, children, element_id or fresh_id(), attributes)
+    if text_parts and (text.strip() or not children):
+        # Pure character content (possibly all-whitespace text counts
+        # as PCDATA only when nothing else is present and it is
+        # non-empty after stripping; otherwise it is empty content).
+        if text.strip():
+            return Element(name, text, element_id or fresh_id(), attributes)
+    return Element(name, [], element_id or fresh_id(), attributes)
+
+
+def parse_document(text: str) -> Document:
+    """Parse an XML document string into a :class:`Document`."""
+    scanner = _Scanner(text)
+    scanner.skip_misc()
+    if scanner.at_end() or scanner.text[scanner.pos] != "<":
+        raise scanner.error("expected a root element")
+    root = _parse_element(scanner)
+    scanner.skip_misc()
+    if not scanner.at_end():
+        raise scanner.error("content after the root element")
+    return Document(root)
+
+
+def parse_element(text: str) -> Element:
+    """Parse a single element (fragment) from a string."""
+    scanner = _Scanner(text)
+    scanner.skip_misc()
+    element = _parse_element(scanner)
+    scanner.skip_misc()
+    if not scanner.at_end():
+        raise scanner.error("content after the element")
+    return element

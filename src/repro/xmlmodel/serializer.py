@@ -1,0 +1,51 @@
+"""Serialization of documents back to XML text."""
+
+from __future__ import annotations
+
+from .element import Document, Element
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+
+
+def _escape(text: str) -> str:
+    for raw, entity in _ESCAPES.items():
+        text = text.replace(raw, entity)
+    return text
+
+
+def serialize_element(
+    element: Element,
+    indent: int = 2,
+    include_ids: bool = False,
+    _level: int = 0,
+) -> str:
+    """Render an element as XML text.
+
+    ``include_ids`` emits the ID attributes (off by default: generated
+    IDs are noise in goldens and examples).
+    """
+    pad = " " * (indent * _level)
+    id_attr = f' id="{element.id}"' if include_ids else ""
+    for attr_name in sorted(element.attributes):
+        value = _escape(element.attributes[attr_name]).replace('"', "&quot;")
+        id_attr += f' {attr_name}="{value}"'
+
+    if element.is_pcdata:
+        return f"{pad}<{element.name}{id_attr}>{_escape(element.text or '')}</{element.name}>"
+    if not element.children:
+        return f"{pad}<{element.name}{id_attr}/>"
+    inner = "\n".join(
+        serialize_element(child, indent, include_ids, _level + 1)
+        for child in element.children
+    )
+    return f"{pad}<{element.name}{id_attr}>\n{inner}\n{pad}</{element.name}>"
+
+
+def serialize_document(
+    document: Document,
+    indent: int = 2,
+    include_ids: bool = False,
+) -> str:
+    """Render a document (root element) as XML text with a declaration."""
+    body = serialize_element(document.root, indent, include_ids)
+    return f'<?xml version="1.0"?>\n{body}\n'

@@ -1,0 +1,12 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

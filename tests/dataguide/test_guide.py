@@ -1,0 +1,156 @@
+"""Tests for the dataguide baseline (Related Work, Section 5)."""
+
+import random
+
+import pytest
+
+from repro.dataguide import (
+    build_dataguide,
+    conforms,
+    dataguide_to_sdtd,
+)
+from repro.dtd import generate_document, satisfies_sdtd
+from repro.workloads import paper
+from repro.xmas import evaluate
+from repro.xmlmodel import Document, parse_document
+
+
+def corpus(n=5, seed=0, star_mean=1.6):
+    rng = random.Random(seed)
+    d1 = paper.d1()
+    return [generate_document(d1, rng, star_mean=star_mean) for _ in range(n)]
+
+
+class TestBuild:
+    def test_one_node_per_label_path(self):
+        docs = corpus()
+        guide = build_dataguide(docs)
+        paths = guide.paths()
+        assert len(paths) == len(set(paths))  # strong dataguide
+
+    def test_counts(self):
+        doc = parse_document("<a><b/><b/><c/></a>")
+        guide = build_dataguide([Document(doc.root)])
+        assert guide.root.count == 1
+        assert guide.root.children["b"].count == 2
+        assert guide.root.children["c"].count == 1
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataguide([])
+
+    def test_mixed_roots_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataguide(
+                [parse_document("<a/>"), parse_document("<b/>")]
+            )
+
+    def test_render(self):
+        guide = build_dataguide(corpus(2))
+        text = guide.render()
+        assert "department" in text
+        assert "publication" in text
+
+
+class TestConformance:
+    def test_corpus_conforms_to_own_guide(self):
+        docs = corpus()
+        guide = build_dataguide(docs)
+        assert all(conforms(doc, guide) for doc in docs)
+
+    def test_unseen_path_rejected(self):
+        guide = build_dataguide([parse_document("<a><b>x</b></a>")])
+        assert not conforms(parse_document("<a><c>x</c></a>"), guide)
+
+    def test_wrong_root_rejected(self):
+        guide = build_dataguide([parse_document("<a/>")])
+        assert not conforms(parse_document("<z/>"), guide)
+
+    def test_dataguide_overfits_valid_data(self):
+        """The paper's implicit point: dataguides are data-derived and
+        may reject valid documents a DTD-based description admits."""
+        from repro.dtd import validate_document
+
+        train = parse_document(
+            "<department><name>CS</name>"
+            "<professor><firstName>a</firstName><lastName>b</lastName>"
+            "<publication><title>t</title><author>x</author>"
+            "<journal>J</journal></publication>"
+            "<teaches>c</teaches></professor>"
+            "<gradStudent><firstName>c</firstName><lastName>d</lastName>"
+            "<publication><title>u</title><author>y</author>"
+            "<journal>K</journal></publication></gradStudent>"
+            "</department>"
+        )
+        guide = build_dataguide([train])
+        # A valid document whose professor has a *conference* paper:
+        # the source DTD admits it, the trained dataguide does not.
+        fresh = parse_document(
+            "<department><name>CS</name>"
+            "<professor><firstName>a</firstName><lastName>b</lastName>"
+            "<publication><title>t</title><author>x</author>"
+            "<conference>ICDE</conference></publication>"
+            "<teaches>c</teaches></professor>"
+            "<gradStudent><firstName>c</firstName><lastName>d</lastName>"
+            "<publication><title>u</title><author>y</author>"
+            "<journal>K</journal></publication></gradStudent>"
+            "</department>"
+        )
+        assert validate_document(fresh, paper.d1()).ok
+        assert not conforms(fresh, guide)
+
+
+class TestConversion:
+    def test_sdtd_loses_order_and_cardinality(self):
+        # Build the guide of Q2's view and compare its description of
+        # professor against the inferred tight type.
+        from repro.inference import infer_view_dtd
+        from repro.regex import is_proper_subset
+
+        d1 = paper.d1()
+        q2 = paper.q2()
+        result = infer_view_dtd(d1, q2)
+        rng = random.Random(3)
+        views = []
+        while len(views) < 4:
+            doc = generate_document(d1, rng, star_mean=2.2)
+            view = evaluate(q2, doc)
+            if view.root.children:
+                views.append(view)
+        guide = build_dataguide(views)
+        guide_sdtd = dataguide_to_sdtd(guide)
+        prof_keys = [
+            key for key in guide_sdtd.types if key[0] == "professor"
+        ]
+        assert prof_keys
+        guide_type = guide_sdtd.types[prof_keys[0]]
+        tight_type = result.dtd.types["professor"]
+        # (f | l | pub | teaches)* admits strictly more sequences than
+        # the ordered, cardinality-constrained DTD type.
+        assert is_proper_subset(tight_type, guide_type)
+
+    def test_view_corpus_satisfies_guide_sdtd(self):
+        docs = corpus(4, seed=5)
+        guide = build_dataguide(docs)
+        guide_sdtd = dataguide_to_sdtd(guide)
+        for doc in docs:
+            assert satisfies_sdtd(doc.root, guide_sdtd)
+
+    def test_same_label_different_paths_specialized(self):
+        # 'name' under both a and b: two guide nodes, potentially two
+        # specializations (here both PCDATA, so they may share tag 0
+        # after our first-occurrence-gets-0 policy -- assert at least
+        # that both paths are represented).
+        doc = parse_document(
+            "<r><a><x><y>1</y></x></a><b><x>t</x></b></r>"
+        )
+        guide = build_dataguide([doc])
+        sdtd = dataguide_to_sdtd(guide)
+        x_keys = [key for key in sdtd.types if key[0] == "x"]
+        assert len(x_keys) == 2  # element-content x vs PCDATA x
+        assert satisfies_sdtd(doc.root, sdtd)
+
+    def test_empty_content_node(self):
+        doc = parse_document("<r><empty/></r>")
+        sdtd = dataguide_to_sdtd(build_dataguide([doc]))
+        assert satisfies_sdtd(doc.root, sdtd)

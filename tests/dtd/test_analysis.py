@@ -1,0 +1,103 @@
+"""Tests for DTD structural analysis."""
+
+from repro.dtd import (
+    dtd,
+    is_recursive,
+    is_xml_deterministic,
+    max_document_depth,
+    nondeterministic_names,
+    prune_unreachable,
+    reachable_names,
+    recursive_names,
+    sdtd,
+)
+from repro.dtd.analysis import prune_unreachable_sdtd, reachable_keys
+
+
+def department():
+    return dtd(
+        {
+            "department": "name, professor+",
+            "professor": "name, publication*",
+            "publication": "title",
+            "name": "#PCDATA",
+            "title": "#PCDATA",
+            "orphan": "name",
+        },
+        root="department",
+    )
+
+
+class TestReachability:
+    def test_reachable_from_root(self):
+        assert reachable_names(department()) == frozenset(
+            {"department", "professor", "publication", "name", "title"}
+        )
+
+    def test_prune_drops_orphans(self):
+        pruned = prune_unreachable(department())
+        assert "orphan" not in pruned
+        assert pruned.root == "department"
+
+    def test_reachable_from_other_start(self):
+        assert reachable_names(department(), "publication") == frozenset(
+            {"publication", "title"}
+        )
+
+    def test_sdtd_reachability(self):
+        s = sdtd(
+            {
+                "v": "a^1*",
+                "a^1": "b",
+                "a": "b*",
+                "b": "#PCDATA",
+                "c": "#PCDATA",
+            },
+            root="v",
+        )
+        keys = reachable_keys(s)
+        assert ("a", 1) in keys
+        assert ("a", 0) not in keys
+        assert ("c", 0) not in keys
+        pruned = prune_unreachable_sdtd(s)
+        assert ("c", 0) not in pruned.types
+        assert ("a", 0) not in pruned.types
+
+
+class TestRecursion:
+    def test_section_dtd_recursive(self):
+        from repro.workloads.paper import section_dtd
+
+        d = section_dtd()
+        assert is_recursive(d)
+        assert recursive_names(d) == frozenset({"section"})
+        assert max_document_depth(d) is None
+
+    def test_non_recursive(self):
+        d = department()
+        assert not is_recursive(d)
+        assert max_document_depth(d) == 4  # department>professor>publication>title
+
+    def test_mutual_recursion(self):
+        d = dtd({"a": "b?", "b": "a?"}, root="a")
+        assert recursive_names(d) == frozenset({"a", "b"})
+
+
+class TestDeterminism:
+    def test_deterministic(self):
+        assert is_xml_deterministic(department())
+
+    def test_nondeterministic_model_detected(self):
+        # (a, b) | (a, c) is the classic XML-nondeterministic model.
+        d = dtd(
+            {"r": "(a, b) | (a, c)", "a": "#PCDATA", "b": "#PCDATA", "c": "#PCDATA"},
+            root="r",
+        )
+        assert nondeterministic_names(d) == frozenset({"r"})
+
+    def test_deterministic_equivalent(self):
+        d = dtd(
+            {"r": "a, (b | c)", "a": "#PCDATA", "b": "#PCDATA", "c": "#PCDATA"},
+            root="r",
+        )
+        assert is_xml_deterministic(d)

@@ -1,0 +1,183 @@
+"""Tests for the Appendix A attribute layer."""
+
+import pytest
+
+from repro.dtd import (
+    AttributeDecl,
+    AttributeKind,
+    DefaultMode,
+    apply_defaults,
+    carry_over_attributes,
+    dtd,
+    parse_dtd,
+    serialize_dtd,
+    validate_attributes,
+    validate_document,
+)
+from repro.errors import DtdSyntaxError
+from repro.xmlmodel import parse_document
+
+ATTR_DTD = """
+<!DOCTYPE pub [
+  <!ELEMENT pub (title)>
+  <!ELEMENT title (#PCDATA)>
+  <!ATTLIST pub
+            key    ID                       #REQUIRED
+            cites  IDREFS                   #IMPLIED
+            lang   (en | fr | el)           "en"
+            kind   CDATA                    #FIXED "article">
+  <!ATTLIST title weight NMTOKEN #IMPLIED>
+]>
+"""
+
+
+@pytest.fixture
+def attr_dtd():
+    return parse_dtd(ATTR_DTD)
+
+
+class TestParsing:
+    def test_attlist_parsed(self, attr_dtd):
+        decls = attr_dtd.attributes["pub"]
+        assert decls["key"].kind is AttributeKind.ID
+        assert decls["key"].mode is DefaultMode.REQUIRED
+        assert decls["cites"].kind is AttributeKind.IDREFS
+        assert decls["lang"].kind is AttributeKind.ENUMERATED
+        assert decls["lang"].enumeration == ("en", "fr", "el")
+        assert decls["lang"].default == "en"
+        assert decls["kind"].mode is DefaultMode.FIXED
+        assert decls["kind"].default == "article"
+        assert attr_dtd.attributes["title"]["weight"].kind is AttributeKind.NMTOKEN
+
+    def test_round_trip(self, attr_dtd):
+        again = parse_dtd(serialize_dtd(attr_dtd))
+        assert again.attributes == attr_dtd.attributes
+
+    def test_attlist_for_undeclared_element(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA)>"
+                "<!ATTLIST ghost x CDATA #IMPLIED>"
+            )
+
+    def test_two_id_attributes_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA)>"
+                "<!ATTLIST a one ID #REQUIRED two ID #REQUIRED>"
+            )
+
+    def test_id_with_default_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA)>"
+                '<!ATTLIST a key ID "preset">'
+            )
+
+    def test_enumerated_needs_values(self):
+        with pytest.raises(DtdSyntaxError):
+            AttributeDecl("x", AttributeKind.ENUMERATED, DefaultMode.IMPLIED)
+
+
+class TestValidation:
+    def test_valid_document(self, attr_dtd):
+        doc = parse_document(
+            '<pub key="p1" kind="article"><title>t</title></pub>'
+        )
+        assert validate_document(doc, attr_dtd).ok
+
+    def test_required_missing(self, attr_dtd):
+        doc = parse_document('<pub kind="article"><title>t</title></pub>')
+        report = validate_document(doc, attr_dtd)
+        assert any("required" in str(v) for v in report.violations)
+
+    def test_fixed_mismatch(self, attr_dtd):
+        doc = parse_document(
+            '<pub key="p1" kind="thesis"><title>t</title></pub>'
+        )
+        report = validate_document(doc, attr_dtd)
+        assert any("#FIXED" in str(v) for v in report.violations)
+
+    def test_enumeration_out_of_range(self, attr_dtd):
+        doc = parse_document(
+            '<pub key="p1" kind="article" lang="de"><title>t</title></pub>'
+        )
+        assert not validate_document(doc, attr_dtd).ok
+
+    def test_undeclared_attribute(self, attr_dtd):
+        doc = parse_document(
+            '<pub key="p1" kind="article" extra="x"><title>t</title></pub>'
+        )
+        report = validate_document(doc, attr_dtd)
+        assert any("not declared" in str(v) for v in report.violations)
+
+    def test_idref_resolution(self):
+        d = parse_dtd(
+            "<!DOCTYPE r [<!ELEMENT r (a, a)><!ELEMENT a (#PCDATA)>"
+            "<!ATTLIST a key ID #REQUIRED ref IDREF #IMPLIED>]>"
+        )
+        ok = parse_document(
+            '<r><a key="x" ref="y">1</a><a key="y">2</a></r>'
+        )
+        assert validate_document(ok, d).ok
+        dangling = parse_document(
+            '<r><a key="x" ref="zzz">1</a><a key="y">2</a></r>'
+        )
+        report = validate_document(dangling, d)
+        assert any("IDREF" in str(v) for v in report.violations)
+
+    def test_duplicate_id_values(self):
+        d = parse_dtd(
+            "<!DOCTYPE r [<!ELEMENT r (a, a)><!ELEMENT a (#PCDATA)>"
+            "<!ATTLIST a key ID #REQUIRED>]>"
+        )
+        doc = parse_document('<r><a key="x">1</a><a key="x">2</a></r>')
+        report = validate_document(doc, d)
+        assert any("duplicate ID" in str(v) for v in report.violations)
+
+    def test_idrefs_tokens(self):
+        d = parse_dtd(
+            "<!DOCTYPE r [<!ELEMENT r (a, a, a)><!ELEMENT a (#PCDATA)>"
+            "<!ATTLIST a key ID #REQUIRED refs IDREFS #IMPLIED>]>"
+        )
+        doc = parse_document(
+            '<r><a key="x" refs="y z">1</a><a key="y">2</a>'
+            '<a key="z">3</a></r>'
+        )
+        assert validate_document(doc, d).ok
+
+
+class TestDefaults:
+    def test_apply_defaults(self, attr_dtd):
+        doc = parse_document('<pub key="p1"><title>t</title></pub>')
+        apply_defaults(doc, attr_dtd.attributes)
+        assert doc.root.attributes["lang"] == "en"
+        assert doc.root.attributes["kind"] == "article"
+        assert validate_document(doc, attr_dtd).ok
+
+    def test_defaults_do_not_overwrite(self, attr_dtd):
+        doc = parse_document(
+            '<pub key="p1" lang="fr"><title>t</title></pub>'
+        )
+        apply_defaults(doc, attr_dtd.attributes)
+        assert doc.root.attributes["lang"] == "fr"
+
+
+class TestCarryOver:
+    def test_view_dtd_inherits_attlists(self):
+        from repro.inference import infer_view_dtd
+        from repro.xmas import parse_query
+
+        source = parse_dtd(
+            "<!DOCTYPE r [<!ELEMENT r (pub*)>"
+            "<!ELEMENT pub (title)><!ELEMENT title (#PCDATA)>"
+            "<!ATTLIST pub lang (en | fr) \"en\">]>"
+        )
+        query = parse_query("v = SELECT P WHERE <r> P:<pub/> </>")
+        result = infer_view_dtd(source, query)
+        assert "pub" in result.dtd.attributes
+        assert (
+            result.dtd.attributes["pub"]["lang"].enumeration == ("en", "fr")
+        )
+        # names absent from the view carry nothing
+        assert "r" not in result.dtd.attributes

@@ -1,0 +1,53 @@
+"""Unit tests for the Dtd model and constructors."""
+
+import pytest
+
+from repro.dtd import PCDATA, Dtd, dtd
+from repro.errors import DtdConsistencyError, UnknownNameError
+from repro.regex import parse_regex
+
+
+class TestDtd:
+    def test_constructor_from_strings(self):
+        d = dtd(
+            {"a": "b*, c", "b": "#PCDATA", "c": "#PCDATA"},
+            root="a",
+        )
+        assert d.root == "a"
+        assert d.type_of("a") == parse_regex("b*, c")
+        assert d.type_of("b") is PCDATA or d.type_of("b") == PCDATA
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DtdConsistencyError):
+            Dtd({"a": PCDATA}, root="zzz")
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(DtdConsistencyError):
+            dtd({"a": "missing"}, root="a")
+
+    def test_type_of_unknown(self):
+        d = dtd({"a": "#PCDATA"})
+        with pytest.raises(UnknownNameError):
+            d.type_of("b")
+
+    def test_contains_and_iter(self):
+        d = dtd({"a": "b", "b": "#PCDATA"}, root="a")
+        assert "a" in d
+        assert "z" not in d
+        assert set(d) == {"a", "b"}
+
+    def test_referenced_names(self):
+        d = dtd({"a": "b, (c | b)*", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        assert d.referenced_names("a") == frozenset({"b", "c"})
+        assert d.referenced_names("b") == frozenset()
+
+    def test_with_root(self):
+        d = dtd({"a": "b", "b": "#PCDATA"})
+        assert d.root is None
+        assert d.with_root("b").root == "b"
+
+    def test_copy_is_independent(self):
+        d = dtd({"a": "#PCDATA"})
+        c = d.copy()
+        c.types["b"] = PCDATA
+        assert "b" not in d

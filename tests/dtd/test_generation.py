@@ -1,0 +1,93 @@
+"""Tests for random DTD and document generation."""
+
+import random
+
+import pytest
+
+from repro.dtd import (
+    DtdShape,
+    dtd,
+    generate_document,
+    generate_element,
+    is_recursive,
+    random_dtd,
+    validate_document,
+    validate_element,
+)
+
+
+class TestRandomDtd:
+    def test_consistent_and_rooted(self, rng):
+        d = random_dtd(DtdShape(n_names=10), rng)
+        d.check_consistency()
+        assert d.root is not None
+
+    def test_non_recursive_by_default(self, rng):
+        for seed in range(10):
+            d = random_dtd(DtdShape(n_names=8), random.Random(seed))
+            assert not is_recursive(d)
+
+    def test_recursion_allowed(self):
+        # With recursion allowed, at least some seeds produce cycles.
+        found = False
+        for seed in range(30):
+            d = random_dtd(
+                DtdShape(n_names=6, allow_recursion=True), random.Random(seed)
+            )
+            if is_recursive(d):
+                found = True
+                break
+        assert found
+
+    def test_shapes_vary(self, rng):
+        small = random_dtd(DtdShape(n_names=3), rng)
+        large = random_dtd(DtdShape(n_names=20), rng)
+        assert len(large.names) > len(small.names)
+
+
+class TestGenerateDocument:
+    def test_documents_are_valid(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            d = random_dtd(DtdShape(n_names=8), rng)
+            doc = generate_document(d, rng)
+            report = validate_document(doc, d)
+            assert report.ok, f"seed {seed}: {report}"
+
+    def test_paper_dtd_documents_valid(self, rng):
+        from repro.workloads.paper import d1
+
+        d = d1()
+        for _ in range(10):
+            doc = generate_document(d, rng, star_mean=2.0)
+            assert validate_document(doc, d).ok
+
+    def test_recursive_dtd_bounded(self, rng):
+        from repro.workloads.paper import section_dtd
+
+        d = section_dtd()
+        doc = generate_document(d, rng, star_mean=0.8, max_depth=10)
+        assert validate_document(doc, d).ok
+        assert doc.root.depth() <= 10
+
+    def test_specific_element(self, rng):
+        from repro.workloads.paper import d1
+
+        d = d1()
+        prof = generate_element("professor", d, rng)
+        assert prof.name == "professor"
+        assert validate_element(prof, d).ok
+
+    def test_unsatisfiable_content_raises(self, rng):
+        d = dtd({"a": "a"}, root="a")  # requires infinite nesting
+        with pytest.raises(ValueError):
+            generate_document(d, rng, max_depth=5)
+
+    def test_string_pool_used(self, rng):
+        from repro.workloads.paper import d9
+
+        doc = generate_document(
+            d9(), rng, string_pool=("only-this",)
+        )
+        texts = {e.text for e in doc.iter() if e.is_pcdata}
+        assert texts <= {"only-this"}

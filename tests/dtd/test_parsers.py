@@ -1,0 +1,111 @@
+"""Tests for the DTD parsers (standard and paper notation)."""
+
+import pytest
+
+from repro.dtd import (
+    dtd,
+    equivalent_dtds,
+    parse_dtd,
+    parse_paper_dtd,
+    parse_paper_sdtd,
+    serialize_dtd,
+    serialize_paper_sdtd,
+)
+from repro.errors import DtdSyntaxError
+from repro.regex import parse_regex
+
+STANDARD = """
+<!DOCTYPE department [
+  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+  <!ELEMENT professor (firstName, lastName)>
+  <!ELEMENT gradStudent (firstName, lastName)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT firstName (#PCDATA)>
+  <!ELEMENT lastName (#PCDATA)>
+  <!ELEMENT course (#PCDATA)>
+]>
+"""
+
+PAPER = """
+{<department : name, professor+, gradStudent+, course*>
+ <professor : firstName, lastName>
+ <gradStudent : firstName, lastName>
+ <name : #PCDATA> <firstName : #PCDATA> <lastName : #PCDATA>
+ <course : #PCDATA>}
+"""
+
+
+class TestStandardSyntax:
+    def test_parse_with_doctype(self):
+        d = parse_dtd(STANDARD)
+        assert d.root == "department"
+        assert d.type_of("department") == parse_regex(
+            "name, professor+, gradStudent+, course*"
+        )
+
+    def test_round_trip(self):
+        d = parse_dtd(STANDARD)
+        again = parse_dtd(serialize_dtd(d))
+        assert equivalent_dtds(d, again)
+        assert again.root == d.root
+
+    def test_bare_declarations(self):
+        d = parse_dtd("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>")
+        assert d.root is None
+
+    def test_any_expands_per_remark_1(self):
+        d = parse_dtd(
+            "<!ELEMENT a ANY><!ELEMENT b (#PCDATA)>", root="a"
+        )
+        # ANY == (a | b)*
+        assert d.type_of("a") == parse_regex("(a | b)*")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>")
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a (#PCDATA | b)><!ELEMENT b (#PCDATA)>")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT a (#PCDATA)>")
+
+    def test_no_declarations(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("nothing here")
+
+
+class TestPaperSyntax:
+    def test_parse(self):
+        d = parse_paper_dtd(PAPER)
+        assert d.root == "department"  # first declaration
+        assert d.type_of("professor") == parse_regex("firstName, lastName")
+
+    def test_matches_standard(self):
+        assert equivalent_dtds(parse_paper_dtd(PAPER), parse_dtd(STANDARD))
+
+    def test_specialized(self):
+        s = parse_paper_sdtd(
+            """
+            {<answer : professor^1?>
+             <professor^1 : name, journal>
+             <professor : name, (journal | conference)*>
+             <name : #PCDATA> <journal : #PCDATA> <conference : #PCDATA>}
+            """
+        )
+        assert ("professor", 1) in s
+        assert s.root == ("answer", 0)
+        assert s.spec("professor") == 1
+
+    def test_plain_rejects_tags(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_paper_dtd("{<a : b^1> <b^1 : #PCDATA>}")
+
+    def test_sdtd_round_trip(self):
+        s = parse_paper_sdtd(
+            "{<a : b*, b^1, b*> <b : #PCDATA> <b^1 : #PCDATA>}"
+        )
+        again = parse_paper_sdtd(serialize_paper_sdtd(s), root=("a", 0))
+        assert again.types == s.types

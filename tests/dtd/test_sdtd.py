@@ -1,0 +1,105 @@
+"""Unit tests for the SpecializedDtd model itself."""
+
+import pytest
+
+from repro.dtd import (
+    PCDATA,
+    SpecializedDtd,
+    dtd,
+    format_tagged,
+    from_dtd,
+    sdtd,
+    serialize_sdtd_as_xml_dtd,
+)
+from repro.errors import DtdConsistencyError, UnknownNameError
+from repro.regex import parse_regex
+
+
+@pytest.fixture
+def journals():
+    return sdtd(
+        {
+            "answer": "professor^1?",
+            "professor^1": "name, journal+",
+            "professor": "name, (journal | conference)*",
+            "name": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+        },
+        root="answer",
+    )
+
+
+class TestModel:
+    def test_spec(self, journals):
+        assert journals.spec("professor") == 1
+        assert journals.spec("name") == 0
+        with pytest.raises(UnknownNameError):
+            journals.spec("stranger")
+
+    def test_specializations_ordered(self, journals):
+        assert journals.specializations("professor") == [
+            ("professor", 0),
+            ("professor", 1),
+        ]
+
+    def test_base_names(self, journals):
+        assert "professor" in journals.base_names
+        assert "answer" in journals.base_names
+
+    def test_type_of_unknown(self, journals):
+        with pytest.raises(UnknownNameError):
+            journals.type_of(("professor", 9))
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(DtdConsistencyError):
+            sdtd({"a": "b^2", "b": "#PCDATA"}, root="a")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DtdConsistencyError):
+            SpecializedDtd({("a", 0): PCDATA}, root=("zzz", 0))
+
+    def test_format_tagged(self):
+        assert format_tagged(("pub", 0)) == "pub"
+        assert format_tagged(("pub", 2)) == "pub^2"
+
+    def test_str_contains_tags(self, journals):
+        text = str(journals)
+        assert "professor^1" in text
+        assert "(root) answer" in text
+
+    def test_copy_independent(self, journals):
+        clone = journals.copy()
+        clone.types[("extra", 0)] = PCDATA
+        assert ("extra", 0) not in journals
+
+
+class TestConversions:
+    def test_from_dtd_round_trip(self):
+        plain = dtd(
+            {"a": "b*", "b": "#PCDATA"},
+            root="a",
+        )
+        lifted = from_dtd(plain)
+        assert lifted.is_plain()
+        assert lifted.root == ("a", 0)
+        back = lifted.to_plain()
+        assert back.root == "a"
+        assert back.types == plain.types
+
+    def test_to_plain_rejects_specializations(self, journals):
+        assert not journals.is_plain()
+        with pytest.raises(DtdConsistencyError):
+            journals.to_plain()
+
+    def test_serialize_as_xml_dtd(self, journals):
+        text = serialize_sdtd_as_xml_dtd(journals)
+        assert "<!ELEMENT professor" in text
+        assert "<!ELEMENT answer" in text
+        # specializations of professor were unioned per name
+        assert text.count("<!ELEMENT professor") == 1
+        # and the result parses back as a standard DTD
+        from repro.dtd import parse_dtd
+
+        parsed = parse_dtd(text)
+        assert "professor" in parsed

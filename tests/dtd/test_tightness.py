@@ -1,0 +1,112 @@
+"""Tests for the tightness relations (Definitions 3.2-3.7)."""
+
+from repro.dtd import (
+    compare_tightness,
+    dtd,
+    equivalent_dtds,
+    is_strictly_tighter,
+    is_tighter,
+    same_structural_class,
+    structural_class_key,
+    type_tighter,
+)
+from repro.dtd.dtd import PCDATA
+from repro.regex import parse_regex
+from repro.xmlmodel import elem, text_elem
+
+
+def loose_view():
+    return dtd(
+        {
+            "publist": "publication*",
+            "publication": "title, (journal | conference)",
+            "title": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+        },
+        root="publist",
+    )
+
+
+def tight_view():
+    return dtd(
+        {
+            "publist": "publication*",
+            "publication": "title, journal",
+            "title": "#PCDATA",
+            "journal": "#PCDATA",
+        },
+        root="publist",
+    )
+
+
+class TestTypeTightness:
+    def test_regex_inclusion(self):
+        assert type_tighter(parse_regex("a+"), parse_regex("a*"))
+        assert not type_tighter(parse_regex("a*"), parse_regex("a+"))
+
+    def test_pcdata(self):
+        assert type_tighter(PCDATA, PCDATA)
+        assert not type_tighter(PCDATA, parse_regex("a"))
+        assert not type_tighter(parse_regex("a"), PCDATA)
+
+
+class TestDtdTightness:
+    def test_tighter(self):
+        assert is_tighter(tight_view(), loose_view())
+        assert not is_tighter(loose_view(), tight_view())
+
+    def test_strictly(self):
+        assert is_strictly_tighter(tight_view(), loose_view())
+        assert not is_strictly_tighter(tight_view(), tight_view())
+
+    def test_report_details(self):
+        report = compare_tightness(tight_view(), loose_view())
+        assert report.tighter
+        assert "publication" in report.strictly_tighter_names
+        reverse = compare_tightness(loose_view(), tight_view())
+        assert not reverse.tighter
+        assert "publication" in reverse.failures
+
+    def test_root_mismatch(self):
+        a = dtd({"x": "#PCDATA"}, root="x")
+        b = dtd({"x": "#PCDATA", "y": "x"}, root="y")
+        assert not is_tighter(a, b)
+
+    def test_equivalence_ignores_unreachable(self):
+        a = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        b = dtd({"r": "x", "x": "#PCDATA", "junk": "x*"}, root="r")
+        assert equivalent_dtds(a, b)
+
+    def test_missing_name(self):
+        a = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        b = dtd({"r": "r?"}, root="r")
+        report = compare_tightness(a, b)
+        assert not report.tighter
+        assert "x" in report.failures
+
+
+class TestStructuralClasses:
+    def test_same_shape_different_strings(self):
+        # Different strings but the same equality pattern: same class.
+        a = elem("p", text_elem("t", "x"), text_elem("t", "x"))
+        b = elem("p", text_elem("t", "y"), text_elem("t", "y"))
+        assert same_structural_class(a, b)
+
+    def test_equality_pattern_matters(self):
+        a = elem("p", text_elem("t", "x"), text_elem("t", "x"))
+        b = elem("p", text_elem("t", "x"), text_elem("t", "z"))
+        assert not same_structural_class(a, b)
+
+    def test_ids_ignored(self):
+        a = elem("p", elem("q", id="i1"), id="i2")
+        b = elem("p", elem("q", id="j1"), id="j2")
+        assert same_structural_class(a, b)
+
+    def test_different_structure(self):
+        assert not same_structural_class(elem("p", elem("q")), elem("p"))
+
+    def test_key_is_canonical(self):
+        a = elem("p", text_elem("t", "hello"))
+        b = elem("p", text_elem("t", "world"))
+        assert structural_class_key(a) == structural_class_key(b)

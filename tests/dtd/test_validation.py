@@ -1,0 +1,175 @@
+"""Tests for Definition 2.3 validation and s-DTD satisfaction."""
+
+import pytest
+
+from repro.dtd import (
+    dtd,
+    admissible_tags,
+    require_valid,
+    satisfies_sdtd,
+    satisfies_sdtd_image,
+    sdtd,
+    validate_document,
+    validate_element,
+    validate_sdtd,
+)
+from repro.errors import ValidationError
+from repro.xmlmodel import Document, elem, parse_document, text_elem
+
+
+@pytest.fixture
+def prof_dtd():
+    return dtd(
+        {
+            "professor": "name, (journal | conference)*",
+            "name": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+        },
+        root="professor",
+    )
+
+
+class TestPlainValidation:
+    def test_valid(self, prof_dtd):
+        doc = parse_document(
+            "<professor><name>Y</name><journal>a</journal></professor>"
+        )
+        assert validate_document(doc, prof_dtd).ok
+
+    def test_wrong_root_type(self, prof_dtd):
+        doc = parse_document("<journal>x</journal>")
+        report = validate_document(doc, prof_dtd)
+        assert not report.ok
+        assert "document type" in str(report)
+
+    def test_content_model_violation(self, prof_dtd):
+        doc = parse_document("<professor><journal>a</journal></professor>")
+        report = validate_document(doc, prof_dtd)
+        assert not report.ok
+        assert "content model" in str(report)
+
+    def test_undeclared_name(self, prof_dtd):
+        doc = parse_document("<professor><name>Y</name><blog>b</blog></professor>")
+        assert not validate_document(doc, prof_dtd).ok
+
+    def test_pcdata_type_with_children(self, prof_dtd):
+        doc = Document(
+            elem("professor", elem("name", elem("journal")))
+        )
+        report = validate_document(doc, prof_dtd)
+        assert not report.ok
+        assert "#PCDATA" in str(report)
+
+    def test_element_type_with_text(self, prof_dtd):
+        doc = Document(elem("professor", text_elem("professor", "oops")))
+        assert not validate_document(doc, prof_dtd).ok
+
+    def test_empty_content_vs_pcdata(self):
+        # An element declared with empty content model must have no
+        # children; a PCDATA element with empty text is different.
+        d = dtd({"a": "()", "b": "#PCDATA"}, root="a")
+        assert validate_element(elem("a"), d).ok
+        assert not validate_element(text_elem("a", ""), d).ok
+
+    def test_duplicate_ids(self, prof_dtd):
+        doc = Document(
+            elem(
+                "professor",
+                text_elem("name", "Y", id="dup"),
+                text_elem("journal", "j", id="dup"),
+            )
+        )
+        report = validate_document(doc, prof_dtd)
+        assert any("duplicate" in str(v) for v in report.violations)
+
+    def test_violation_path(self, prof_dtd):
+        doc = parse_document(
+            "<professor><name>Y</name><journal>a</journal></professor>"
+        )
+        doc.root.children[1].content = [elem("x")]
+        report = validate_document(doc, prof_dtd)
+        assert any("journal[1]" in v.path for v in report.violations)
+
+    def test_require_valid_raises(self, prof_dtd):
+        with pytest.raises(ValidationError):
+            require_valid(parse_document("<professor/>"), prof_dtd)
+
+
+@pytest.fixture
+def journals_sdtd():
+    """Example 3.4 style: professors must have two journal publications."""
+    return sdtd(
+        {
+            "answer": "professor^1*",
+            "professor^1": (
+                "name, publication*, publication^1, publication*, "
+                "publication^1, publication*"
+            ),
+            "professor": "name, publication+",
+            "publication": "title, (journal | conference)",
+            "publication^1": "title, journal",
+            "name": "#PCDATA",
+            "title": "#PCDATA",
+            "journal": "#PCDATA",
+            "conference": "#PCDATA",
+        },
+        root="answer",
+    )
+
+
+def _prof(*kinds: str):
+    return elem(
+        "professor",
+        text_elem("name", "n"),
+        *[
+            elem("publication", text_elem("title", "t"), text_elem(kind, ""))
+            for kind in kinds
+        ],
+    )
+
+
+class TestSdtdSatisfaction:
+    def test_two_journals_ok(self, journals_sdtd):
+        doc = elem("answer", _prof("journal", "conference", "journal"))
+        assert satisfies_sdtd(doc, journals_sdtd)
+
+    def test_one_journal_rejected(self, journals_sdtd):
+        doc = elem("answer", _prof("conference", "journal"))
+        assert not satisfies_sdtd(doc, journals_sdtd)
+
+    def test_empty_answer_ok(self, journals_sdtd):
+        assert satisfies_sdtd(elem("answer"), journals_sdtd)
+
+    def test_literal_image_semantics_is_weaker(self, journals_sdtd):
+        # Definition 3.10 read literally only checks images, so the
+        # one-journal professor *passes* -- demonstrating why the
+        # tree-automaton semantics is the right reading (DESIGN.md §3).
+        doc = elem("answer", _prof("conference", "journal"))
+        assert satisfies_sdtd_image(doc, journals_sdtd)
+        assert not satisfies_sdtd(doc, journals_sdtd)
+
+    def test_admissible_tags(self, journals_sdtd):
+        good = _prof("journal", "journal")
+        bad = _prof("conference")
+        assert admissible_tags(good, journals_sdtd) == frozenset({0, 1})
+        assert admissible_tags(bad, journals_sdtd) == frozenset({0})
+
+    def test_root_specialization_required(self):
+        s = sdtd(
+            {"a^1": "b, b", "a": "b*", "b": "#PCDATA"},
+            root=("a", 1),
+        )
+        assert satisfies_sdtd(elem("a", text_elem("b", ""), text_elem("b", "")), s)
+        assert not satisfies_sdtd(elem("a", text_elem("b", "")), s)
+
+    def test_validate_sdtd_reports_smallest_failure(self, journals_sdtd):
+        doc = elem("answer", _prof("journal", "journal"), _prof("conference"))
+        report = validate_sdtd(doc, journals_sdtd)
+        assert not report.ok
+        # The failing subtree is the root: the second professor can be
+        # typed professor^0, but then the answer content model fails.
+        assert report.violations
+
+    def test_unknown_name(self, journals_sdtd):
+        assert not satisfies_sdtd(elem("stranger"), journals_sdtd)

@@ -1,0 +1,135 @@
+"""E14: classification accuracy against brute-force ground truth.
+
+The tightening side effect says a condition is valid / satisfiable /
+unsatisfiable with respect to the source DTD.  Ground truth is
+approximated by sampling many random valid documents and evaluating
+the query: an UNSATISFIABLE verdict must never see a non-empty answer;
+a VALID verdict (for queries whose pick existence is implied) must
+never see an empty answer on documents where the root matches.
+"""
+
+import random
+
+import pytest
+
+from repro.dtd import dtd, generate_document
+from repro.inference import Classification, InferenceMode, tighten
+from repro.workloads import synthetic
+from repro.xmas import evaluate, parse_query
+
+
+def brute_force_status(source_dtd, query, trials=80, star_mean=1.4):
+    """(ever_matched, ever_failed) over random documents."""
+    rng = random.Random(99)
+    ever_matched = False
+    ever_failed = False
+    for _ in range(trials):
+        doc = generate_document(source_dtd, rng, star_mean=star_mean)
+        picks = evaluate(query, doc).root.children
+        if picks:
+            ever_matched = True
+        else:
+            ever_failed = True
+    return ever_matched, ever_failed
+
+
+CASES = [
+    # (dtd declarations, root, query, expected classification)
+    (
+        {"a": "b, c", "b": "#PCDATA", "c": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/></a>",
+        Classification.VALID,
+    ),
+    (
+        {"a": "b*", "b": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/></a>",
+        Classification.SATISFIABLE,
+    ),
+    (
+        {"a": "b", "b": "#PCDATA", "c": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><c/></a>",
+        Classification.UNSATISFIABLE,
+    ),
+    (
+        {"a": "b+", "b": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/><b/></a>",
+        Classification.SATISFIABLE,
+    ),
+    (
+        {"a": "b, b", "b": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/><b/></a>",
+        Classification.VALID,
+    ),
+    (
+        {"a": "b, b?", "b": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/><b/><b/></a>",
+        Classification.UNSATISFIABLE,
+    ),
+    (
+        {"a": "(b | c)+", "b": "#PCDATA", "c": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/></a>",
+        Classification.SATISFIABLE,
+    ),
+    (
+        {"a": "(b | c), b", "b": "#PCDATA", "c": "#PCDATA"},
+        "a",
+        "SELECT X WHERE X:<a><b/></a>",
+        Classification.VALID,
+    ),
+]
+
+
+@pytest.mark.parametrize("decls,root,query_text,expected", CASES)
+def test_expected_classification(decls, root, query_text, expected):
+    source_dtd = dtd(decls, root=root)
+    query = parse_query(query_text)
+    result = tighten(source_dtd, query)
+    assert result.classification is expected
+
+
+@pytest.mark.parametrize("decls,root,query_text,expected", CASES)
+def test_classification_agrees_with_brute_force(decls, root, query_text, expected):
+    source_dtd = dtd(decls, root=root)
+    query = parse_query(query_text)
+    verdict = tighten(source_dtd, query).classification
+    ever_matched, ever_failed = brute_force_status(source_dtd, query)
+    if verdict is Classification.UNSATISFIABLE:
+        assert not ever_matched
+    elif verdict is Classification.VALID:
+        assert not ever_failed
+    else:
+        # Satisfiable: sampling should find both outcomes for these
+        # small DTDs (they all have genuine variation).
+        assert ever_matched
+        assert ever_failed
+
+
+def test_exact_never_looser_than_paper_on_random_workloads():
+    """EXACT's verdicts refine PAPER's: same unsatisfiable set, and
+    everything PAPER calls valid EXACT calls valid too."""
+    order = {
+        Classification.VALID: 0,
+        Classification.SATISFIABLE: 1,
+        Classification.UNSATISFIABLE: 2,
+    }
+    for depth, width in [(3, 2), (3, 3)]:
+        source_dtd = synthetic.layered_dtd(depth, width)
+        for seed in range(6):
+            rng = random.Random(seed)
+            query = synthetic.path_query(source_dtd, depth - 1, rng)
+            exact = tighten(source_dtd, query, InferenceMode.EXACT)
+            paper_mode = tighten(source_dtd, query, InferenceMode.PAPER)
+            assert (
+                order[exact.classification] <= order[paper_mode.classification]
+            )
+            # Unsatisfiability is structural, identical in both modes.
+            assert (
+                exact.classification is Classification.UNSATISFIABLE
+            ) == (paper_mode.classification is Classification.UNSATISFIABLE)

@@ -1,0 +1,117 @@
+"""Tests for CONSTRUCT view-DTD inference."""
+
+import random
+
+import pytest
+
+from repro.dtd import (
+    generate_document,
+    satisfies_sdtd,
+    validate_document,
+)
+from repro.errors import QueryAnalysisError
+from repro.inference import (
+    Classification,
+    infer_construct_view_dtd,
+)
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads import paper
+from repro.xmas import evaluate_construct, parse_construct_query
+
+PAIRS = """
+pairs =
+  CONSTRUCT <pair> $F $L </pair>
+  WHERE <department>
+          <professor> F:<firstName/> L:<lastName/> </>
+        </>
+"""
+
+
+class TestInference:
+    def test_template_structure_becomes_types(self):
+        q = parse_construct_query(PAIRS)
+        result = infer_construct_view_dtd(paper.d1(), q)
+        assert is_equivalent(
+            result.dtd.types["pairs"], parse_regex("pair*")
+        )
+        assert is_equivalent(
+            result.dtd.types["pair"], parse_regex("firstName, lastName")
+        )
+
+    def test_slot_gets_specialized_type(self):
+        # The slot's publication carries the journal refinement.
+        q = parse_construct_query(
+            "jp = CONSTRUCT <row> $P </row> "
+            "WHERE <department> <professor> "
+            "P:<publication><journal/></publication> </> </>"
+        )
+        result = infer_construct_view_dtd(paper.d1(), q)
+        assert is_equivalent(
+            result.dtd.types["publication"],
+            parse_regex("title, author+, journal"),
+        )
+
+    def test_disjunctive_slot(self):
+        q = parse_construct_query(
+            "people = CONSTRUCT <row> $X </row> "
+            "WHERE <department> X:<professor | gradStudent/> </>"
+        )
+        result = infer_construct_view_dtd(paper.d1(), q)
+        assert is_equivalent(
+            result.dtd.types["row"],
+            parse_regex("professor | gradStudent"),
+        )
+
+    def test_text_literal_template_is_pcdata(self):
+        from repro.dtd import Pcdata
+
+        q = parse_construct_query(
+            't = CONSTRUCT <row> <kind>"prof"</kind> $F </row> '
+            "WHERE <department> <professor> F:<firstName/> </> </>"
+        )
+        result = infer_construct_view_dtd(paper.d1(), q)
+        assert isinstance(result.dtd.types["kind"], Pcdata)
+
+    def test_unsatisfiable_slot_gives_empty_view(self):
+        q = parse_construct_query(
+            "v = CONSTRUCT <row> $X </row> "
+            "WHERE <department> X:<professor><course/></professor> </>"
+        )
+        result = infer_construct_view_dtd(paper.d1(), q)
+        assert result.is_empty_view
+        assert is_equivalent(result.dtd.types["v"], parse_regex("()"))
+
+    def test_template_name_collision_rejected(self):
+        q = parse_construct_query(
+            "v = CONSTRUCT <professor> $F </professor> "
+            "WHERE <department> <professor> F:<firstName/> </> </>"
+        )
+        with pytest.raises(QueryAnalysisError):
+            infer_construct_view_dtd(paper.d1(), q)
+
+    def test_classification(self):
+        q = parse_construct_query(PAIRS)
+        result = infer_construct_view_dtd(paper.d1(), q)
+        # Every professor has firstName and lastName: valid.
+        assert result.classification is Classification.VALID
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_construct_views_satisfy_inferred_dtds(self, seed):
+        queries = [
+            PAIRS,
+            "jp = CONSTRUCT <row> $P </row> WHERE <department> "
+            "<professor> P:<publication><journal/></publication> </> </>",
+            "people = CONSTRUCT <entry> $X <tag>\"x\"</tag> </entry> "
+            "WHERE <department> X:<professor | gradStudent/> </>",
+        ]
+        d1 = paper.d1()
+        rng = random.Random(seed)
+        doc = generate_document(d1, rng, star_mean=1.8)
+        for text in queries:
+            q = parse_construct_query(text)
+            result = infer_construct_view_dtd(d1, q)
+            view = evaluate_construct(q, doc)
+            assert validate_document(view, result.dtd).ok, text
+            assert satisfies_sdtd(view.root, result.sdtd), text

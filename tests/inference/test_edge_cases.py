@@ -1,0 +1,163 @@
+"""Edge cases of the inference pipeline."""
+
+import random
+
+import pytest
+
+from repro.dtd import dtd, generate_document, satisfies_sdtd, validate_document
+from repro.inference import Classification, infer_view_dtd
+from repro.regex import is_equivalent, parse_regex
+from repro.xmas import evaluate, parse_query
+
+
+@pytest.fixture
+def mixed_dtd():
+    return dtd(
+        {
+            "r": "name, item*",
+            "name": "#PCDATA",
+            "item": "tag*",
+            "tag": "#PCDATA",
+        },
+        root="r",
+    )
+
+
+class TestPcdataPicks:
+    def test_pcdata_pick_with_value_condition(self, mixed_dtd):
+        q = parse_query("v = SELECT X WHERE <r> X:<name>CS</name> </>")
+        result = infer_view_dtd(mixed_dtd, q)
+        # Exactly one name per r, but the value may differ: name?.
+        assert is_equivalent(result.dtd.types["v"], parse_regex("name?"))
+        assert result.classification is Classification.SATISFIABLE
+
+    def test_pcdata_pick_without_value_condition(self, mixed_dtd):
+        q = parse_query("v = SELECT X WHERE <r> X:<name/> </>")
+        result = infer_view_dtd(mixed_dtd, q)
+        assert is_equivalent(result.dtd.types["v"], parse_regex("name"))
+        assert result.classification is Classification.VALID
+
+    def test_pcdata_pick_sound(self, mixed_dtd):
+        q = parse_query("v = SELECT X WHERE <r> X:<name>alpha</name> </>")
+        result = infer_view_dtd(mixed_dtd, q)
+        rng = random.Random(4)
+        for _ in range(20):
+            doc = generate_document(
+                mixed_dtd, rng, string_pool=("alpha", "beta")
+            )
+            view = evaluate(q, doc)
+            assert validate_document(view, result.dtd).ok
+            assert satisfies_sdtd(view.root, result.sdtd)
+
+
+class TestMixedKindDisjunction:
+    def test_infeasible_pcdata_branch_dropped(self, mixed_dtd):
+        # <name | item> requiring a tag child: name is PCDATA and can
+        # never host children; only item survives.
+        q = parse_query("v = SELECT X WHERE <r> X:<name | item><tag/></> </>")
+        result = infer_view_dtd(mixed_dtd, q)
+        assert is_equivalent(result.dtd.types["v"], parse_regex("item*"))
+        assert "name" not in result.dtd
+
+    def test_pcdata_branch_kept_for_value_condition(self, mixed_dtd):
+        q = parse_query("v = SELECT X WHERE <r> X:<name | tag>hello</> </>")
+        result = infer_view_dtd(mixed_dtd, q)
+        # name is a direct child of r; tag is not, so only name can
+        # match at this level.
+        assert is_equivalent(result.dtd.types["v"], parse_regex("name?"))
+
+
+class TestDeepDistinctness:
+    def test_three_way_distinct(self):
+        d = dtd({"r": "x*", "x": "#PCDATA"}, root="r")
+        q = parse_query(
+            "v = SELECT R WHERE R:<r> <x id=A/> <x id=B/> <x id=C/> </> "
+            "AND A != B AND B != C AND A != C"
+        )
+        result = infer_view_dtd(d, q)
+        assert is_equivalent(
+            result.dtd.types["r"], parse_regex("x, x, x, x*")
+        )
+
+    def test_nested_same_name_conditions(self):
+        d = dtd(
+            {"r": "box*", "box": "box*, coin*", "coin": "#PCDATA"},
+            root="r",
+        )
+        # A box containing a box containing a coin.
+        q = parse_query(
+            "v = SELECT B WHERE <r> B:<box> <box><coin/></box> </> </>"
+        )
+        result = infer_view_dtd(d, q)
+        assert result.classification is Classification.SATISFIABLE
+        rng = random.Random(5)
+        for _ in range(15):
+            doc = generate_document(d, rng, star_mean=1.2, max_depth=8)
+            view = evaluate(q, doc)
+            assert validate_document(view, result.dtd).ok
+            assert satisfies_sdtd(view.root, result.sdtd)
+
+
+class TestQueryStrRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_synthetic_queries_round_trip(self, seed):
+        from repro.workloads import synthetic
+        from repro.xmas import parse_query as reparse
+
+        d = synthetic.layered_dtd(4, 3)
+        rng = random.Random(seed)
+        q = synthetic.path_query(d, 3, rng, side_conditions=2)
+        again = reparse(str(q))
+        assert str(again) == str(q)
+        assert again.pick_variable == q.pick_variable
+        assert again.inequalities == q.inequalities
+
+
+class TestSiblingPickOverlap:
+    """Regression: hypothesis found that a sibling condition on the
+    pick's own name made the old projection unsound (the sibling's
+    witness was counted as a guaranteed pick, but distinctness can
+    exclude it)."""
+
+    def test_sibling_condition_on_pick_name(self):
+        from repro.dtd import dtd as make_dtd
+
+        d = make_dtd(
+            {
+                "r": "a+, b*, c?",
+                "a": "(x | y)*, z?",
+                "b": "x, y?",
+                "c": "#PCDATA",
+                "x": "#PCDATA",
+                "y": "#PCDATA",
+                "z": "w*",
+                "w": "#PCDATA",
+            },
+            root="r",
+        )
+        q = parse_query("v = SELECT P WHERE <r> <a><x/></a> P:<a/> </>")
+        result = infer_view_dtd(d, q)
+        # The side-condition witness may or may not be picked: a*.
+        assert is_equivalent(result.dtd.types["v"], parse_regex("a*"))
+        rng = random.Random(17)
+        for _ in range(100):
+            doc = generate_document(d, rng, star_mean=1.2)
+            view = evaluate(q, doc)
+            assert validate_document(view, result.dtd).ok
+            assert satisfies_sdtd(view.root, result.sdtd)
+
+    def test_pcdata_value_pick_over_multiple_slots(self):
+        from repro.dtd import dtd as make_dtd
+
+        d = make_dtd({"r": "name, name", "name": "#PCDATA"}, root="r")
+        q = parse_query("v = SELECT X WHERE <r> X:<name>CS</name> </>")
+        result = infer_view_dtd(d, q)
+        # Each of the two names independently matches or not.
+        assert is_equivalent(
+            result.dtd.types["v"], parse_regex("name?, name?")
+        )
+        rng = random.Random(5)
+        for _ in range(60):
+            doc = generate_document(d, rng, string_pool=("CS", "EE"))
+            view = evaluate(q, doc)
+            assert validate_document(view, result.dtd).ok

@@ -1,0 +1,55 @@
+"""Golden-output regression tests for the paper workloads.
+
+The equivalence-based tests guard correctness; these guard the exact
+*rendered* output (type shapes, tag numbering, simplified forms) so
+that an innocent-looking change to the simplifier or collapse pass
+cannot silently degrade the readability of inferred DTDs.
+
+Regenerate after an intentional change with::
+
+    UPDATE_GOLDENS=1 pytest tests/inference/test_goldens.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.inference import InferenceMode, infer_view_dtd
+from repro.workloads import paper
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+CASES = {
+    "q2_exact": (paper.d1, paper.q2, InferenceMode.EXACT),
+    "q3_exact": (paper.d1, paper.q3, InferenceMode.EXACT),
+    "q6_exact": (paper.d9, paper.q6, InferenceMode.EXACT),
+    "q7_exact": (paper.d9, paper.q7, InferenceMode.EXACT),
+    "q12_exact": (paper.d11, paper.q12, InferenceMode.EXACT),
+    "q12_paper": (paper.d11, paper.q12, InferenceMode.PAPER),
+}
+
+
+def render(case: str) -> str:
+    dtd_fn, query_fn, mode = CASES[case]
+    result = infer_view_dtd(dtd_fn(), query_fn(), mode)
+    return result.describe() + "\n"
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_golden(case):
+    golden_path = GOLDEN_DIR / f"{case}.txt"
+    actual = render(case)
+    if os.environ.get("UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(actual)
+        pytest.skip("golden updated")
+    assert golden_path.exists(), (
+        f"golden missing; run UPDATE_GOLDENS=1 pytest {__file__}"
+    )
+    assert actual == golden_path.read_text(), (
+        f"rendered output changed for {case}; if intentional, "
+        f"regenerate with UPDATE_GOLDENS=1"
+    )

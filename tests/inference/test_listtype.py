@@ -1,0 +1,116 @@
+"""Tests for result-list type inference (Section 4.4, Appendix B)."""
+
+from repro.dtd import dtd
+from repro.inference import InferenceMode, infer_list_type, tighten
+from repro.regex import EPSILON, image, is_equivalent, parse_regex, to_string
+from repro.workloads.paper import (
+    d1,
+    d9,
+    d11,
+    q2,
+    q3,
+    q6,
+    q7,
+    q12,
+    q12_list_type_exact,
+    q12_list_type_paper,
+)
+from repro.xmas import parse_query
+
+
+def list_type(d, q, mode=InferenceMode.EXACT):
+    result = tighten(d, q, mode)
+    return infer_list_type(d, q, result, mode)
+
+
+class TestPaperExample44:
+    def test_exact_mode(self):
+        lt = list_type(d11(), q12())
+        assert is_equivalent(image(lt), q12_list_type_exact())
+
+    def test_paper_mode(self):
+        lt = list_type(d11(), q12(), InferenceMode.PAPER)
+        assert is_equivalent(image(lt), q12_list_type_paper())
+
+    def test_exact_is_tighter_than_paper(self):
+        from repro.regex import is_proper_subset
+
+        exact = image(list_type(d11(), q12()))
+        paper = image(list_type(d11(), q12(), InferenceMode.PAPER))
+        assert is_proper_subset(exact, paper)
+
+
+class TestOrderAndCardinality:
+    def test_q2_order_discovered(self):
+        # Professors precede gradStudents (Example 3.1's observation).
+        lt = image(list_type(d1(), q2()))
+        assert is_equivalent(lt, parse_regex("professor*, gradStudent*"))
+
+    def test_q3_star(self):
+        lt = image(list_type(d1(), q3()))
+        assert is_equivalent(lt, parse_regex("publication*"))
+
+    def test_pick_at_root_satisfiable(self):
+        # Q6 picks the root professor; not every professor qualifies.
+        lt = image(list_type(d9(), q6()))
+        assert is_equivalent(lt, parse_regex("professor?"))
+
+    def test_pick_at_root_valid(self):
+        d = dtd({"a": "b", "b": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b/></a>")
+        lt = image(list_type(d, q))
+        assert is_equivalent(lt, parse_regex("a"))
+
+    def test_exactly_one_pick_per_parent(self):
+        # Every department has exactly one name; picking it yields
+        # exactly one element.
+        d = dtd({"department": "name, course*", "name": "#PCDATA", "course": "#PCDATA"}, root="department")
+        q = parse_query("SELECT X WHERE <department> X:<name/> </>")
+        lt = image(list_type(d, q))
+        assert is_equivalent(lt, parse_regex("name"))
+
+    def test_plus_propagates(self):
+        d = dtd({"r": "x+", "x": "#PCDATA"}, root="r")
+        q = parse_query("SELECT X WHERE <r> X:<x/> </>")
+        assert is_equivalent(image(list_type(d, q)), parse_regex("x+"))
+
+    def test_unsatisfiable_gives_epsilon(self):
+        d = dtd({"r": "x", "x": "#PCDATA", "y": "#PCDATA"}, root="r")
+        q = parse_query("SELECT X WHERE <r> X:<y/> </>")
+        assert list_type(d, q) == EPSILON
+
+    def test_root_name_mismatch_gives_epsilon(self):
+        d = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        q = parse_query("SELECT X WHERE <x> X:<x/> </>")
+        assert list_type(d, q) == EPSILON
+
+
+class TestConditionedPicks:
+    def test_side_condition_wraps_optional(self):
+        # Picks only from departments whose name is CS: per-document
+        # either all professors or none.
+        d = dtd(
+            {
+                "department": "name, professor+",
+                "professor": "#PCDATA",
+                "name": "#PCDATA",
+            },
+            root="department",
+        )
+        q = parse_query(
+            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>"
+        )
+        lt = image(list_type(d, q))
+        assert is_equivalent(lt, parse_regex("(professor+)?"))
+
+    def test_constrained_pick_becomes_star(self):
+        # Only professors with a journal qualify: any subset of the
+        # professor list may qualify.
+        lt = image(list_type(d9(), parse_query(
+            "v = SELECT X WHERE X:<professor><journal/></professor>"
+        )))
+        assert is_equivalent(lt, parse_regex("professor?"))
+
+    def test_q7_root_pick_optional(self):
+        lt = image(list_type(d9(), q7()))
+        assert is_equivalent(lt, parse_regex("professor?"))

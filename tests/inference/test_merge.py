@@ -1,0 +1,84 @@
+"""Tests for Algorithm Merge (Section 4.3)."""
+
+import pytest
+
+from repro.dtd import sdtd
+from repro.errors import DtdConsistencyError
+from repro.inference import merge_sdtd
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads.paper import d4_expected
+
+
+class TestMerge:
+    def test_example_4_3(self):
+        # Merging D4 collapses publication and publication^1 and
+        # removes the tags; the merge is signalled.
+        result = merge_sdtd(d4_expected())
+        merged = result.dtd
+        assert merged.root == "withJournals"
+        assert "publication" in result.merged_names
+        assert "publication" in result.lossy_names
+        # The merged publication type is the union of the two.
+        assert is_equivalent(
+            merged.types["publication"],
+            parse_regex("title, author+, (journal | conference)"),
+        )
+        # The professor image requires >= 2 publications (the paper
+        # simplifies D10 further to D2's publication+, which loses the
+        # cardinality -- see EXPERIMENTS.md E7).
+        assert is_equivalent(
+            merged.types["professor"],
+            parse_regex(
+                "firstName, lastName, publication, publication, "
+                "publication*, teaches"
+            ),
+        )
+
+    def test_no_signal_without_specializations(self):
+        s = sdtd(
+            {"v": "a*", "a": "#PCDATA"},
+            root="v",
+        )
+        result = merge_sdtd(s)
+        assert result.merged_names == []
+        assert result.lossless
+
+    def test_equivalent_specializations_merge_losslessly(self):
+        s = sdtd(
+            {
+                "v": "a^1, a",
+                "a^1": "b, b*",
+                "a": "b+",
+                "b": "#PCDATA",
+            },
+            root="v",
+        )
+        result = merge_sdtd(s)
+        assert result.merged_names == ["a"]
+        assert result.lossless  # same language, no information lost
+
+    def test_root_tag_dropped(self):
+        s = sdtd({"v^1": "a*", "a": "#PCDATA"}, root=("v", 1))
+        assert merge_sdtd(s).dtd.root == "v"
+
+    def test_kind_conflict_rejected(self):
+        s = sdtd(
+            {"v": "a^1, a", "a^1": "#PCDATA", "a": "b", "b": "#PCDATA"},
+            root="v",
+        )
+        with pytest.raises(DtdConsistencyError):
+            merge_sdtd(s)
+
+    def test_images_in_content_models(self):
+        s = sdtd(
+            {
+                "v": "a*, a^1, a*",
+                "a^1": "b",
+                "a": "b*",
+                "b": "#PCDATA",
+            },
+            root="v",
+        )
+        merged = merge_sdtd(s).dtd
+        # The view content model's image keeps the >=1 'a' requirement.
+        assert is_equivalent(merged.types["v"], parse_regex("a+"))

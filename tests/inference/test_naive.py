@@ -1,0 +1,58 @@
+"""Tests for the naive baseline (Example 3.1)."""
+
+import pytest
+
+from repro.dtd import dtd, is_tighter
+from repro.errors import QueryAnalysisError
+from repro.inference import naive_view_dtd
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads.paper import d1, q2
+from repro.xmas import parse_query
+
+
+class TestNaive:
+    def test_list_type_is_free_mix(self):
+        view = naive_view_dtd(d1(), q2())
+        assert is_equivalent(
+            view.types["withJournals"],
+            parse_regex("(professor | gradStudent)*"),
+        )
+
+    def test_paper_literal_plus(self):
+        view = naive_view_dtd(d1(), q2(), plus_list=True)
+        assert is_equivalent(
+            view.types["withJournals"],
+            parse_regex("(professor | gradStudent)+"),
+        )
+
+    def test_types_unrefined(self):
+        view = naive_view_dtd(d1(), q2())
+        assert is_equivalent(
+            view.types["publication"],
+            parse_regex("title, author+, (journal | conference)"),
+        )
+
+    def test_unreachable_pruned(self):
+        view = naive_view_dtd(d1(), q2())
+        assert "course" not in view
+        assert "department" not in view
+
+    def test_root_set(self):
+        assert naive_view_dtd(d1(), q2()).root == "withJournals"
+
+    def test_star_tighter_than_plus_version(self):
+        star_view = naive_view_dtd(d1(), q2())
+        plus_view = naive_view_dtd(d1(), q2(), plus_list=True)
+        assert is_tighter(plus_view, star_view)
+
+    def test_view_name_collision(self):
+        d = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        q = parse_query("r = SELECT X WHERE <r> X:<x/> </>")
+        with pytest.raises(QueryAnalysisError):
+            naive_view_dtd(d, q)
+
+    def test_unknown_pick_name(self):
+        d = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        q = parse_query("v = SELECT X WHERE <r> X:<zzz/> </>")
+        with pytest.raises(Exception):
+            naive_view_dtd(d, q)

@@ -1,0 +1,170 @@
+"""End-to-end tests for the View DTD Inference module."""
+
+import pytest
+
+from repro.dtd import (
+    dtd,
+    equivalent_dtds,
+    is_tighter,
+    is_strictly_tighter,
+)
+from repro.errors import QueryAnalysisError
+from repro.inference import (
+    Classification,
+    InferenceMode,
+    infer_view_dtd,
+    naive_view_dtd,
+)
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads.paper import (
+    d1,
+    d2_expected,
+    d3_expected,
+    d4_expected,
+    d9,
+    d11,
+    q2,
+    q3,
+    q6,
+    q7,
+    q12,
+)
+from repro.xmas import parse_query
+
+
+class TestPaperViews:
+    def test_e1_q2_matches_expected_d2(self):
+        result = infer_view_dtd(d1(), q2())
+        assert equivalent_dtds(result.dtd, d2_expected())
+        assert result.classification is Classification.SATISFIABLE
+
+    def test_e1_sdtd_matches_d4(self):
+        # The inferred specialized view DTD is (key-renaming aside)
+        # Example 3.4's D4: every D4 type has an equivalent inferred
+        # counterpart describing the same element trees.
+        result = infer_view_dtd(d1(), q2())
+        expected = d4_expected()
+        assert is_equivalent(
+            result.sdtd.types[(result.query.view_name, 0)],
+            _rename_withjournals(result),
+        )
+        prof_key = [k for k in result.sdtd.types if k[0] == "professor"][0]
+        pub_spec = [
+            k for k in result.sdtd.types if k[0] == "publication" and k[1]
+        ][0]
+        expected_prof = parse_regex(
+            f"firstName, lastName, publication*, publication^{pub_spec[1]}, "
+            f"publication*, publication^{pub_spec[1]}, publication*, teaches"
+        )
+        assert is_equivalent(result.sdtd.types[prof_key], expected_prof)
+        assert is_equivalent(
+            result.sdtd.types[pub_spec],
+            expected.types[("publication", 1)],
+        )
+
+    def test_e2_q3_matches_expected_d3(self):
+        result = infer_view_dtd(d1(), q3())
+        assert equivalent_dtds(result.dtd, d3_expected())
+        # No genuinely lossy merge happened: the view only ever holds
+        # journal publications.
+        assert result.merge.lossless
+
+    def test_e1_merge_is_lossy(self):
+        result = infer_view_dtd(d1(), q2())
+        assert "publication" in result.merge.merged_names
+        assert not result.merge.lossless
+
+    def test_q7_view(self):
+        result = infer_view_dtd(d9(), q7())
+        assert is_equivalent(
+            result.dtd.types["answer"], parse_regex("professor?")
+        )
+        assert is_equivalent(
+            result.dtd.types["professor"],
+            parse_regex(
+                "name, (journal | conference)*, journal, "
+                "(journal | conference)*, journal, (journal | conference)*"
+            ),
+        )
+
+    def test_q12_modes(self):
+        exact = infer_view_dtd(d11(), q12(), InferenceMode.EXACT)
+        paper = infer_view_dtd(d11(), q12(), InferenceMode.PAPER)
+        assert is_equivalent(
+            exact.dtd.types["papers"], parse_regex("(title, author*)+")
+        )
+        assert is_equivalent(
+            paper.dtd.types["papers"], parse_regex("(title, author*)*")
+        )
+        assert is_tighter(exact.dtd, paper.dtd)
+
+
+def _rename_withjournals(result):
+    """D4's withJournals content over the inferred key names."""
+    from repro.regex import parse_regex as p
+
+    prof_key = [k for k in result.sdtd.types if k[0] == "professor"][0]
+    grad_key = [k for k in result.sdtd.types if k[0] == "gradStudent"][0]
+    return p(
+        f"professor^{prof_key[1]}*, gradStudent^{grad_key[1]}*"
+        .replace("^0", "")
+    )
+
+
+class TestTightnessClaims:
+    def test_inferred_tighter_than_naive(self):
+        for d, q in [(d1(), q2()), (d1(), q3()), (d9(), q6()), (d9(), q7())]:
+            tight = infer_view_dtd(d, q).dtd
+            naive = naive_view_dtd(d, q)
+            assert is_tighter(tight, naive), q.view_name
+
+    def test_strictly_tighter_on_q2(self):
+        tight = infer_view_dtd(d1(), q2()).dtd
+        naive = naive_view_dtd(d1(), q2())
+        assert is_strictly_tighter(tight, naive)
+
+
+class TestEdgeCases:
+    def test_unsatisfiable_view(self):
+        d = dtd({"r": "x", "x": "#PCDATA", "y": "#PCDATA"}, root="r")
+        q = parse_query("v = SELECT X WHERE <r> X:<y/> </>")
+        result = infer_view_dtd(d, q)
+        assert result.is_empty_view
+        assert result.classification is Classification.UNSATISFIABLE
+        # The view DTD describes exactly the empty view.
+        assert is_equivalent(result.list_type, parse_regex("()"))
+
+    def test_view_name_collision_rejected(self):
+        d = dtd({"r": "x", "x": "#PCDATA"}, root="r")
+        q = parse_query("r = SELECT X WHERE <r> X:<x/> </>")
+        with pytest.raises(QueryAnalysisError):
+            infer_view_dtd(d, q)
+
+    def test_recursive_query_rejected(self):
+        from repro.workloads.paper import q4, section_dtd
+
+        with pytest.raises(QueryAnalysisError):
+            infer_view_dtd(section_dtd(), q4())
+
+    def test_wildcard_pick(self):
+        d = dtd(
+            {"r": "x, y", "x": "#PCDATA", "y": "#PCDATA"},
+            root="r",
+        )
+        q = parse_query("v = SELECT P WHERE <r> P:<*/> </>")
+        result = infer_view_dtd(d, q)
+        # Every r has exactly one x then one y; both are picked.
+        assert is_equivalent(result.dtd.types["v"], parse_regex("x, y"))
+
+    def test_describe_is_printable(self):
+        result = infer_view_dtd(d1(), q2())
+        text = result.describe()
+        assert "withJournals" in text
+        assert "satisfiable" in text
+
+    def test_pruned_view_sdtd(self):
+        # Names unreachable from the view root are pruned
+        # (Example 3.1's elimination step): course never appears.
+        result = infer_view_dtd(d1(), q2())
+        assert all(key[0] != "course" for key in result.sdtd.types)
+        assert "course" not in result.dtd

@@ -1,0 +1,61 @@
+"""Tests for the quality metrics (E12: looseness, structural probes)."""
+
+import random
+
+from repro.inference import (
+    infer_view_dtd,
+    looseness_report,
+    naive_view_dtd,
+    structural_tightness_probe,
+)
+from repro.workloads.paper import d1, q2, q3
+
+
+class TestLooseness:
+    def test_naive_vs_tight_on_q2(self):
+        tight = infer_view_dtd(d1(), q2()).dtd
+        naive = naive_view_dtd(d1(), q2())
+        rows = {row.name: row for row in looseness_report(naive, tight, 6)}
+        # The naive list type mixes names freely; the tight one orders
+        # and bounds them.
+        assert rows["withJournals"].factor > 2
+        # The professor type gained a >=2 publications constraint.
+        assert rows["professor"].factor > 1
+        # Types the refinement left alone count equal.
+        assert rows["publication"].factor == 1.0
+
+    def test_list_looseness_grows_with_horizon(self):
+        # The naive list type mixes professors and gradStudents freely
+        # (2^k sequences of length k) while the tight one orders them
+        # (k+1 sequences): the factor explodes with the horizon.
+        tight = infer_view_dtd(d1(), q2()).dtd
+        naive = naive_view_dtd(d1(), q2())
+
+        def factor(max_len):
+            rows = looseness_report(naive, tight, max_len, ["withJournals"])
+            return rows[0].factor
+
+        assert factor(4) < factor(8) < factor(12)
+
+
+class TestStructuralProbe:
+    def test_q2_plain_dtd_has_gap(self):
+        # Section 3.2: the tightest plain DTD still describes views
+        # that cannot occur (professors without two journal pubs).
+        result = infer_view_dtd(d1(), q2())
+        probe = structural_tightness_probe(
+            result, samples=120, rng=random.Random(5)
+        )
+        assert probe.has_gap
+        assert 0.0 < probe.coverage < 1.0
+        assert probe.example_gap is not None
+
+    def test_q3_plain_dtd_is_structurally_tight(self):
+        # Example 3.2 / D3: the disjunction was fully removed, so the
+        # merged plain DTD and the s-DTD coincide.
+        result = infer_view_dtd(d1(), q3())
+        probe = structural_tightness_probe(
+            result, samples=80, rng=random.Random(6)
+        )
+        assert not probe.has_gap
+        assert probe.coverage == 1.0

@@ -1,0 +1,164 @@
+"""E9: empirical soundness of the inference (Definition 3.1).
+
+For random source documents, the view document must satisfy both the
+inferred plain view DTD and the specialized view DTD; the inferred DTD
+must also be tighter than (or equal to) the naive baseline.
+"""
+
+import random
+
+import pytest
+
+from repro.dtd import is_tighter, satisfies_sdtd, validate_document
+from repro.inference import InferenceMode, infer_view_dtd, naive_view_dtd
+from repro.workloads import paper, synthetic
+from repro.xmas import evaluate
+
+PAPER_CASES = [
+    (paper.d1, paper.q2),
+    (paper.d1, paper.q3),
+    (paper.d9, paper.q6),
+    (paper.d9, paper.q7),
+    (paper.d11, paper.q12),
+]
+
+
+@pytest.mark.parametrize("dtd_fn,query_fn", PAPER_CASES)
+def test_exact_mode_sound_on_paper_workloads(dtd_fn, query_fn):
+    from repro.dtd import generate_document
+
+    source_dtd = dtd_fn()
+    query = query_fn()
+    result = infer_view_dtd(source_dtd, query, InferenceMode.EXACT)
+    rng = random.Random(42)
+    for _ in range(40):
+        doc = generate_document(source_dtd, rng, star_mean=1.6)
+        view = evaluate(query, doc)
+        report = validate_document(view, result.dtd)
+        assert report.ok, f"{query.view_name}: {report}"
+        assert satisfies_sdtd(view.root, result.sdtd), (
+            f"{query.view_name}: s-DTD violated"
+        )
+
+
+@pytest.mark.parametrize(
+    "dtd_fn,query_fn",
+    [
+        (paper.d1, paper.q3),
+        (paper.d9, paper.q6),
+        (paper.d9, paper.q7),
+        (paper.d11, paper.q12),
+    ],
+)
+def test_paper_mode_sound_on_single_name_picks(dtd_fn, query_fn):
+    """PAPER mode is sound for picks without could-match disjunctions."""
+    from repro.dtd import generate_document
+
+    source_dtd = dtd_fn()
+    query = query_fn()
+    result = infer_view_dtd(source_dtd, query, InferenceMode.PAPER)
+    rng = random.Random(42)
+    for _ in range(40):
+        doc = generate_document(source_dtd, rng, star_mean=1.6)
+        view = evaluate(query, doc)
+        assert validate_document(view, result.dtd).ok
+
+
+def test_paper_mode_is_unsound_on_q2():
+    """A faithful reproduction of the paper's Appendix B derives
+    ``(professor+, gradStudent+)?`` for Q2 (the paper prints D2 with
+    that list type), which rejects views containing, say, only a
+    qualifying gradStudent.  Our EXACT mode produces
+    ``professor*, gradStudent*`` instead.  See EXPERIMENTS.md E1."""
+    from repro.dtd import generate_document
+
+    source_dtd = paper.d1()
+    query = paper.q2()
+    result = infer_view_dtd(source_dtd, query, InferenceMode.PAPER)
+    rng = random.Random(42)
+    violations = 0
+    for _ in range(60):
+        doc = generate_document(source_dtd, rng, star_mean=1.6)
+        view = evaluate(query, doc)
+        if not validate_document(view, result.dtd).ok:
+            violations += 1
+    assert violations > 0
+
+
+@pytest.mark.parametrize("dtd_fn,query_fn", PAPER_CASES)
+def test_tighter_than_naive_on_paper_workloads(dtd_fn, query_fn):
+    source_dtd = dtd_fn()
+    query = query_fn()
+    tight = infer_view_dtd(source_dtd, query).dtd
+    naive = naive_view_dtd(source_dtd, query)
+    assert is_tighter(tight, naive)
+
+
+def test_soundness_on_synthetic_workloads():
+    """Random layered DTDs and random path queries."""
+    from repro.dtd import generate_document
+
+    rng = random.Random(7)
+    for depth, width in [(3, 2), (3, 3), (4, 2)]:
+        source_dtd = synthetic.layered_dtd(depth, width)
+        for seed in range(3):
+            query_rng = random.Random(seed)
+            query = synthetic.path_query(
+                source_dtd, depth - 1, query_rng, side_conditions=1
+            )
+            result = infer_view_dtd(source_dtd, query)
+            for _ in range(10):
+                doc = generate_document(source_dtd, rng, star_mean=1.0)
+                view = evaluate(query, doc)
+                assert validate_document(view, result.dtd).ok
+                assert satisfies_sdtd(view.root, result.sdtd)
+
+
+def test_soundness_on_random_dtds():
+    from repro.dtd import DtdShape, generate_document
+
+    rng = random.Random(23)
+    shape = DtdShape(n_names=7, p_star=0.3, p_alt=0.4)
+    points = synthetic.random_workload(6, shape, rng, query_depth=3)
+    for point in points:
+        result = infer_view_dtd(point.dtd, point.query)
+        for _ in range(8):
+            doc = generate_document(point.dtd, rng, star_mean=1.2)
+            view = evaluate(point.query, doc)
+            assert validate_document(view, result.dtd).ok, point.label
+            assert satisfies_sdtd(view.root, result.sdtd), point.label
+
+
+def test_check_soundness_helper():
+    from repro.inference import check_soundness
+
+    source_dtd = paper.d1()
+    query = paper.q2()
+    result = infer_view_dtd(source_dtd, query)
+    report = check_soundness(
+        source_dtd, query, result, trials=30, rng=random.Random(1),
+        star_mean=1.8,
+    )
+    assert report.sound
+    assert report.trials == 30
+    # With generous star_mean some views should be non-empty.
+    assert report.empty_views < report.trials
+
+
+def test_soundness_detects_unsound_dtd():
+    """The checker is not vacuous: feed it the paper's literal D2
+    (professor+, gradStudent+), which is unsound, and expect failures."""
+    from dataclasses import replace
+
+    from repro.inference import check_soundness
+
+    source_dtd = paper.d1()
+    query = paper.q2()
+    result = infer_view_dtd(source_dtd, query)
+    broken = replace(result, dtd=paper.d2_paper_literal())
+    report = check_soundness(
+        source_dtd, query, broken, trials=60, rng=random.Random(2),
+        star_mean=1.2,
+    )
+    assert report.dtd_violations > 0
+    assert report.counterexamples

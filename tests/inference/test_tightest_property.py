@@ -1,0 +1,116 @@
+"""Empirical local-tightestness of the inferred view DTDs.
+
+"Tightest" (Definition 3.4) cannot be brute-forced over all DTDs, but
+it can be probed locally: every *strictly tighter perturbation* of an
+inferred type -- replace a star with a plus, drop an optional, drop an
+alternation branch -- must be **unsound** (some producible view
+violates it).  If a perturbation survived heavy sampling it would
+witness that the inference missed tightening.
+
+The perturbation generators only emit candidates that are strictly
+tighter by an exact language check, so a refutation genuinely
+separates the inferred type from a tighter competitor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+import pytest
+
+from repro.dtd import generate_document, validate_document
+from repro.inference import infer_view_dtd
+from repro.regex import (
+    Alt,
+    Concat,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    alt,
+    concat,
+    is_proper_subset,
+    opt,
+    plus,
+    star,
+)
+from repro.workloads import paper
+from repro.xmas import evaluate
+
+
+def _perturbations(r: Regex) -> Iterator[Regex]:
+    """Strictly tighter one-step rewrites of ``r`` (candidates)."""
+    if isinstance(r, Star):
+        yield plus(r.item)  # drop the empty option
+        for inner in _perturbations(r.item):
+            yield star(inner)
+    elif isinstance(r, Plus):
+        yield r.item  # exactly one
+        for inner in _perturbations(r.item):
+            yield plus(inner)
+    elif isinstance(r, Opt):
+        yield r.item  # require it
+        for inner in _perturbations(r.item):
+            yield opt(inner)
+    elif isinstance(r, Concat):
+        for index, item in enumerate(r.items):
+            for inner in _perturbations(item):
+                parts = list(r.items)
+                parts[index] = inner
+                yield concat(*parts)
+    elif isinstance(r, Alt):
+        # drop one branch
+        if len(r.items) > 1:
+            for index in range(len(r.items)):
+                rest = r.items[:index] + r.items[index + 1:]
+                yield alt(*rest)
+        for index, item in enumerate(r.items):
+            for inner in _perturbations(item):
+                parts = list(r.items)
+                parts[index] = inner
+                yield alt(*parts)
+
+
+WORKLOADS = [
+    (paper.d1, paper.q2, 2.2),
+    (paper.d1, paper.q3, 2.0),
+    (paper.d9, paper.q6, 2.0),
+    (paper.d11, paper.q12, 1.6),
+]
+
+
+@pytest.mark.parametrize("dtd_fn,query_fn,star_mean", WORKLOADS)
+def test_list_type_perturbations_are_unsound(dtd_fn, query_fn, star_mean):
+    source_dtd = dtd_fn()
+    query = query_fn()
+    result = infer_view_dtd(source_dtd, query)
+    list_type = result.dtd.types[query.view_name]
+
+    candidates = []
+    for perturbed in _perturbations(list_type):
+        if is_proper_subset(perturbed, list_type):
+            candidates.append(perturbed)
+    assert candidates, "expected at least one strictly tighter candidate"
+
+    # Sample views until every candidate has been refuted.
+    rng = random.Random(2024)
+    remaining = list(range(len(candidates)))
+    for _ in range(600):
+        if not remaining:
+            break
+        doc = generate_document(source_dtd, rng, star_mean=star_mean)
+        view = evaluate(query, doc)
+        names = [(child.name, 0) for child in view.root.children]
+        from repro.regex import matches_letters
+
+        remaining = [
+            index
+            for index in remaining
+            if matches_letters(candidates[index], names)
+        ]
+    assert not remaining, (
+        f"{len(remaining)} tighter candidates never refuted -- the "
+        f"inferred list type may not be tightest: "
+        f"{[str(candidates[i]) for i in remaining]}"
+    )

@@ -1,0 +1,189 @@
+"""Tests for multi-source union view inference."""
+
+import random
+
+import pytest
+
+from repro.dtd import dtd, generate_document, satisfies_sdtd, validate_document
+from repro.errors import QueryAnalysisError
+from repro.inference import (
+    Classification,
+    UnionBranch,
+    evaluate_union,
+    infer_union_view_dtd,
+)
+from repro.regex import image, is_equivalent, parse_regex
+from repro.workloads import paper
+from repro.xmas import parse_query
+
+
+def cs_dtd():
+    """A second 'site' with a different publication schema."""
+    return dtd(
+        {
+            "lab": "name, member+",
+            "member": "name, publication*",
+            "publication": "title, year, journal?",
+            "name": "#PCDATA",
+            "title": "#PCDATA",
+            "year": "#PCDATA",
+            "journal": "#PCDATA",
+        },
+        root="lab",
+    )
+
+
+def branch_dept():
+    return UnionBranch(
+        paper.d1(),
+        parse_query(
+            "allpubs = SELECT P WHERE <department> <professor | gradStudent>"
+            " P:<publication><journal/></publication> </> </>",
+            source="dept",
+        ),
+    )
+
+
+def branch_lab():
+    return UnionBranch(
+        cs_dtd(),
+        parse_query(
+            "allpubs = SELECT P WHERE <lab> <member>"
+            " P:<publication><journal/></publication> </> </>",
+            source="lab",
+        ),
+    )
+
+
+class TestUnionInference:
+    def test_colliding_names_become_specializations(self):
+        result = infer_union_view_dtd(
+            [branch_dept(), branch_lab()], "allpubs"
+        )
+        pub_keys = [k for k in result.sdtd.types if k[0] == "publication"]
+        # Two genuinely different publication types survive as
+        # distinct specializations in the s-DTD...
+        assert len(pub_keys) == 2
+        types = [result.sdtd.types[k] for k in pub_keys]
+        languages = {
+            "dept": parse_regex("title, author+, journal"),
+            "lab": parse_regex("title, year, journal?"),
+        }
+        # the dept branch removed the disjunction; the lab branch
+        # required the optional journal.
+        assert any(
+            is_equivalent(t, languages["dept"]) for t in types
+        )
+        assert any(
+            is_equivalent(t, parse_regex("title, year, journal"))
+            for t in types
+        )
+        # ...while the merged plain DTD unions them with a signal.
+        assert "publication" in result.merge.merged_names
+        assert not result.merge.lossless
+
+    def test_list_type_concatenates_branches(self):
+        result = infer_union_view_dtd(
+            [branch_dept(), branch_lab()], "allpubs"
+        )
+        assert is_equivalent(
+            image(result.list_type),
+            parse_regex("publication*, publication*"),
+        ) or is_equivalent(
+            image(result.list_type), parse_regex("publication*")
+        )
+        assert len(result.branch_list_types) == 2
+
+    def test_single_branch_matches_plain_inference(self):
+        from repro.dtd import equivalent_dtds
+        from repro.inference import infer_view_dtd
+
+        branch = branch_dept()
+        union_result = infer_union_view_dtd([branch], "allpubs")
+        plain_result = infer_view_dtd(branch.dtd, branch.query)
+        assert equivalent_dtds(union_result.dtd, plain_result.dtd)
+
+    def test_classification_combines(self):
+        result = infer_union_view_dtd(
+            [branch_dept(), branch_lab()], "allpubs"
+        )
+        assert result.classification is Classification.SATISFIABLE
+        # A branch over an impossible condition contributes nothing.
+        # 'name' is declared but never occurs inside a publication.
+        impossible = UnionBranch(
+            cs_dtd(),
+            parse_query(
+                "allpubs = SELECT P WHERE <lab> <member> P:<publication>"
+                "<name/></publication> </> </>",
+                source="lab",
+            ),
+        )
+        only_impossible = infer_union_view_dtd([impossible], "allpubs")
+        assert (
+            only_impossible.classification is Classification.UNSATISFIABLE
+        )
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(QueryAnalysisError):
+            infer_union_view_dtd([], "v")
+
+    def test_view_name_collision_rejected(self):
+        bad = UnionBranch(
+            cs_dtd(),
+            parse_query("lab = SELECT P WHERE <lab> P:<member/> </>"),
+        )
+        with pytest.raises(QueryAnalysisError):
+            infer_union_view_dtd([bad], "lab")
+
+
+class TestUnionSoundness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_union_views_satisfy_inferred_dtds(self, seed):
+        branches = [branch_dept(), branch_lab()]
+        result = infer_union_view_dtd(branches, "allpubs")
+        rng = random.Random(seed)
+        dept_docs = [generate_document(paper.d1(), rng, star_mean=1.6)]
+        lab_docs = [generate_document(cs_dtd(), rng, star_mean=1.6)]
+        view = evaluate_union(branches, [dept_docs, lab_docs], "allpubs")
+        assert validate_document(view, result.dtd).ok
+        assert satisfies_sdtd(view.root, result.sdtd)
+
+
+class TestMediatorUnionViews:
+    def test_register_and_materialize(self):
+        from repro.mediator import Mediator, Source
+
+        rng = random.Random(5)
+        med = Mediator("mix")
+        med.add_source(
+            Source(
+                "dept",
+                paper.d1(),
+                [generate_document(paper.d1(), rng, star_mean=1.6)],
+            )
+        )
+        med.add_source(
+            Source(
+                "lab",
+                cs_dtd(),
+                [generate_document(cs_dtd(), rng, star_mean=1.6)],
+            )
+        )
+        registration = med.register_union_view(
+            [branch_dept().query, branch_lab().query], "allpubs"
+        )
+        view = med.materialize_union("allpubs")
+        assert validate_document(view, registration.dtd).ok
+        assert satisfies_sdtd(view.root, registration.sdtd)
+
+    def test_branch_without_source_rejected(self):
+        from repro.errors import MediatorError
+        from repro.mediator import Mediator, Source
+
+        med = Mediator("mix")
+        med.add_source(Source("dept", paper.d1(), [], validate=False))
+        nameless = parse_query(
+            "v = SELECT P WHERE <department> P:<professor/> </>"
+        )
+        with pytest.raises(MediatorError):
+            med.register_union_view([nameless], "v")

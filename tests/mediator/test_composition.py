@@ -1,0 +1,195 @@
+"""Tests for query/view composition (the TSIMMIS rewriting step).
+
+The correctness oracle: for any source document,
+``evaluate(composed, source)`` must equal
+``evaluate(client, evaluate(view, source))`` structurally.
+"""
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document
+from repro.mediator import Mediator, Source, compose_query
+from repro.workloads import paper
+from repro.xmas import evaluate, parse_query
+from repro.xmlmodel import Document
+
+
+def both_ways(view_query, client_query, source_dtd, doc) -> tuple[list, list]:
+    """(composed answer shapes, materialized answer shapes)."""
+    from repro.dtd.tightness import structural_class_key
+
+    composed = compose_query(view_query, client_query, source_dtd)
+    assert composed is not None
+    direct = evaluate(composed, doc)
+    view_doc = evaluate(view_query, doc)
+    indirect = evaluate(client_query, view_doc)
+    return (
+        [structural_class_key(e) for e in direct.root.children],
+        [structural_class_key(e) for e in indirect.root.children],
+    )
+
+
+class TestComposition:
+    def test_navigate_into_pick(self):
+        view = paper.q3()  # publist: journal publications
+        client = parse_query(
+            "titles = SELECT T WHERE <publist> <publication> T:<title/> "
+            "</> </>"
+        )
+        composed = compose_query(view, client, paper.d1())
+        assert composed is not None
+        assert composed.view_name == "titles"
+        assert composed.pick_variable == "T"
+        # The composed condition is anchored at the source root.
+        assert composed.root.test.names == ("department",)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence_on_random_documents(self, seed):
+        source_dtd = paper.d1()
+        view = paper.q3()
+        client = parse_query(
+            "titles = SELECT T WHERE <publist> <publication> T:<title/> "
+            "</> </>"
+        )
+        rng = random.Random(seed)
+        doc = generate_document(source_dtd, rng, star_mean=1.8)
+        direct, indirect = both_ways(view, client, source_dtd, doc)
+        assert direct == indirect
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence_with_extra_client_constraints(self, seed):
+        source_dtd = paper.d1()
+        view = paper.q3()
+        # Client narrows within the pick: publications with >= 2 authors.
+        client = parse_query(
+            "multi = SELECT P WHERE <publist> "
+            "P:<publication> <author id=A1/> <author id=A2/> </> </> "
+            "AND A1 != A2"
+        )
+        rng = random.Random(100 + seed)
+        doc = generate_document(source_dtd, rng, star_mean=2.0)
+        direct, indirect = both_ways(view, client, source_dtd, doc)
+        assert direct == indirect
+
+    def test_client_picking_view_pick_elements(self):
+        source_dtd = paper.d1()
+        view = paper.q3()
+        client = parse_query(
+            "pubs = SELECT P WHERE <publist> P:<publication/> </>"
+        )
+        composed = compose_query(view, client, source_dtd)
+        assert composed is not None
+        doc = generate_document(
+            source_dtd, random.Random(9), star_mean=1.6
+        )
+        direct, indirect = both_ways(view, client, source_dtd, doc)
+        assert direct == indirect
+
+    def test_variable_renaming_on_collision(self):
+        source_dtd = paper.d1()
+        view = paper.q2()  # binds P, Pub1, Pub2
+        client = parse_query(
+            "v = SELECT P WHERE <withJournals> P:<professor/> </>"
+        )
+        composed = compose_query(view, client, source_dtd)
+        assert composed is not None
+        # The view's P and the client's P were disambiguated; the
+        # composed pick is the client's.
+        assert composed.pick_variable in composed.root.variables()
+        # View inequalities survive.
+        assert len(composed.inequalities) >= 1
+
+
+class TestNotComposable:
+    def test_recursive_client(self):
+        view = paper.q3()
+        client = parse_query(
+            "v = SELECT X WHERE <publist*> X:<publication/> </>"
+        )
+        assert compose_query(view, client, paper.d1()) is None
+
+    def test_multiple_root_children(self):
+        view = paper.q3()
+        client = parse_query(
+            "v = SELECT X WHERE <publist> <publication><journal/></publication>"
+            " X:<publication/> </>"
+        )
+        assert compose_query(view, client, paper.d1()) is None
+
+    def test_client_picks_view_root(self):
+        view = paper.q3()
+        client = parse_query(
+            "v = SELECT X WHERE X:<publist> <publication/> </>"
+        )
+        assert compose_query(view, client, paper.d1()) is None
+
+    def test_wrong_root_name(self):
+        view = paper.q3()
+        client = parse_query(
+            "v = SELECT X WHERE <otherView> X:<publication/> </>"
+        )
+        assert compose_query(view, client, paper.d1()) is None
+
+    def test_disjoint_pick_names(self):
+        view = paper.q3()
+        client = parse_query(
+            "v = SELECT X WHERE <publist> X:<professor/> </>"
+        )
+        assert compose_query(view, client, paper.d1()) is None
+
+    def test_nesting_pick_names_refused(self):
+        from repro.dtd import dtd
+
+        nested = dtd(
+            {"r": "a*", "a": "a*, b", "b": "#PCDATA"},
+            root="r",
+        )
+        view = parse_query("v = SELECT P WHERE <r> P:<a/> </>")
+        client = parse_query("w = SELECT X WHERE <v> X:<a><b/></a> </>")
+        assert compose_query(view, client, nested) is None
+
+
+class TestMediatorIntegration:
+    @pytest.fixture
+    def mediator(self):
+        rng = random.Random(77)
+        d1 = paper.d1()
+        docs = [generate_document(d1, rng, star_mean=1.8) for _ in range(3)]
+        med = Mediator("mix")
+        med.add_source(Source("dept", d1, docs, validate=False))
+        med.register_view(paper.q3(), "dept")
+        return med
+
+    def test_auto_strategy_composes(self, mediator):
+        client = parse_query(
+            "titles = SELECT T WHERE <publist> <publication> T:<title/> "
+            "</> </>"
+        )
+        answer_composed = mediator.query_view(client, "publist")
+        assert mediator.stats.composed == 1
+        answer_materialized = mediator.query_view(
+            client, "publist", strategy="materialize"
+        )
+        assert len(answer_composed.root.children) == len(
+            answer_materialized.root.children
+        )
+
+    def test_compose_strategy_raises_when_impossible(self, mediator):
+        from repro.errors import MediatorError
+
+        client = parse_query(
+            "v = SELECT X WHERE X:<publist> <publication/> </>"
+        )
+        with pytest.raises(MediatorError):
+            mediator.query_view(client, "publist", strategy="compose")
+
+    def test_unknown_strategy(self, mediator):
+        from repro.errors import MediatorError
+
+        client = parse_query(
+            "v = SELECT X WHERE <publist> X:<publication/> </>"
+        )
+        with pytest.raises(MediatorError):
+            mediator.query_view(client, "publist", strategy="warp")

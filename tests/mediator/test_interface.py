@@ -1,0 +1,91 @@
+"""Tests for the DTD-based query interface model."""
+
+import pytest
+
+from repro.errors import MediatorError, UnknownNameError
+from repro.inference import infer_view_dtd
+from repro.mediator import QueryBuilder, structure_tree
+from repro.workloads.paper import d1, d9, q2, section_dtd
+from repro.xmas import evaluate
+from repro.xmlmodel import parse_document
+
+
+class TestStructureTree:
+    def test_renders_structure(self):
+        tree = structure_tree(d9())
+        text = tree.render()
+        assert "professor" in text
+        assert "(journal | conference)*" in text
+        assert "#PCDATA" in text
+
+    def test_children_sorted(self):
+        tree = structure_tree(d1())
+        names = [child.name for child in tree.children]
+        assert names == sorted(names)
+
+    def test_recursion_cut(self):
+        tree = structure_tree(section_dtd())
+        # section references itself; the nested occurrence is cut.
+        nested = [c for c in tree.children if c.name == "section"]
+        assert nested and nested[0].recursive_cut
+
+    def test_requires_root(self):
+        from repro.dtd import dtd
+
+        with pytest.raises(MediatorError):
+            structure_tree(dtd({"a": "#PCDATA"}))
+
+
+class TestQueryBuilder:
+    def test_builds_q2_equivalent(self):
+        q = (
+            QueryBuilder(d1(), view_name="withJournals")
+            .descend("department")
+            .condition_text("name", "CS")
+            .descend("professor", "gradStudent", pick=True)
+            .require("publication", containing=["journal"], distinct=2)
+            .build()
+        )
+        built = infer_view_dtd(d1(), q)
+        reference = infer_view_dtd(d1(), q2())
+        from repro.dtd import equivalent_dtds
+
+        assert equivalent_dtds(built.dtd, reference.dtd)
+
+    def test_built_query_evaluates(self):
+        doc = parse_document(
+            "<professor><name>Y</name><journal>j</journal></professor>"
+        )
+        q = (
+            QueryBuilder(d9())
+            .descend("professor", pick=True)
+            .require("journal")
+            .build()
+        )
+        assert len(evaluate(q, doc).root.children) == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownNameError):
+            QueryBuilder(d9()).descend("blog")
+
+    def test_no_pick_rejected(self):
+        builder = QueryBuilder(d9()).descend("professor")
+        with pytest.raises(MediatorError):
+            builder.build()
+
+    def test_empty_rejected(self):
+        with pytest.raises(MediatorError):
+            QueryBuilder(d9()).build()
+
+    def test_condition_before_descend_rejected(self):
+        with pytest.raises(MediatorError):
+            QueryBuilder(d9()).condition_text("name", "x")
+
+    def test_distinct_adds_inequalities(self):
+        q = (
+            QueryBuilder(d9())
+            .descend("professor", pick=True)
+            .require("journal", distinct=3)
+            .build()
+        )
+        assert len(q.inequalities) == 3  # 3 choose 2

@@ -1,0 +1,141 @@
+"""E10: the DTD-based query simplifier."""
+
+from repro.dtd import dtd
+from repro.inference import Classification
+from repro.mediator import simplify_query
+from repro.workloads.paper import d1
+from repro.xmas import evaluate, parse_query
+from repro.xmlmodel import parse_document
+
+
+class TestClassificationDecisions:
+    def test_unsatisfiable_short_circuit(self):
+        q = parse_query(
+            "v = SELECT X WHERE <department> X:<professor><course/>"
+            "</professor> </>"
+        )
+        decision = simplify_query(q, d1())
+        assert decision.answer_is_empty
+
+    def test_unknown_names_unsatisfiable(self):
+        q = parse_query("v = SELECT X WHERE <department> X:<blog/> </>")
+        decision = simplify_query(q, d1())
+        assert decision.answer_is_empty
+
+    def test_root_type_mismatch_unsatisfiable(self):
+        q = parse_query("v = SELECT X WHERE <professor> X:<publication/> </>")
+        decision = simplify_query(q, d1())
+        assert decision.answer_is_empty
+
+    def test_valid_query_recognized(self):
+        # Every department has a professor (professor+): VALID.
+        q = parse_query("v = SELECT X WHERE <department> X:<professor/> </>")
+        decision = simplify_query(q, d1())
+        assert decision.classification is Classification.VALID
+        assert not decision.answer_is_empty
+
+    def test_satisfiable_passes_through(self):
+        # course* makes the existence of a course optional.
+        q = parse_query("v = SELECT X WHERE <department> X:<course/> </>")
+        decision = simplify_query(q, d1())
+        assert decision.classification is Classification.SATISFIABLE
+        assert not decision.answer_is_empty
+
+
+class TestPruning:
+    def test_valid_subtree_pruned(self):
+        # The side condition "a professor with a publication" holds for
+        # every professor (publication+), so its subtree is replaced by
+        # a bare existence test.
+        q = parse_query(
+            "v = SELECT X WHERE <department> "
+            "<professor><publication/></professor> X:<gradStudent/> </>"
+        )
+        decision = simplify_query(q, d1())
+        assert decision.pruned_nodes == 1
+        side = decision.query.root.children[0]
+        assert side.children == ()
+
+    def test_satisfiable_subtree_kept(self):
+        # "a professor with a journal publication" is not valid, so the
+        # subtree must stay.
+        q = parse_query(
+            "v = SELECT X WHERE <department> "
+            "<professor><publication><journal/></publication></professor> "
+            "X:<gradStudent/> </>"
+        )
+        decision = simplify_query(q, d1())
+        assert decision.pruned_nodes == 0
+        side = decision.query.root.children[0]
+        assert side.children != ()
+
+    def test_pick_subtree_never_pruned(self):
+        q = parse_query(
+            "v = SELECT X WHERE <department> X:<professor><publication/>"
+            "</professor> </>"
+        )
+        decision = simplify_query(q, d1())
+        pick = decision.query.root.children[0]
+        assert pick.variable == "X"
+        assert pick.children != ()
+
+    def test_variable_needed_by_inequality_kept(self):
+        q = parse_query(
+            "v = SELECT X WHERE <department> X:<professor> "
+            "<publication id=A><title/></publication> "
+            "<publication id=B><title/></publication> </> </> "
+            "AND A != B"
+        )
+        decision = simplify_query(q, d1())
+        pick = decision.query.root.children[0]
+        assert {c.variable for c in pick.children} == {"A", "B"}
+
+    def test_pruned_query_equivalent_on_documents(self):
+        doc = parse_document(
+            """
+            <department>
+              <name>CS</name>
+              <professor>
+                <firstName>A</firstName><lastName>B</lastName>
+                <publication><title>t</title><author>a</author>
+                  <journal>J</journal></publication>
+                <teaches>x</teaches>
+              </professor>
+              <gradStudent>
+                <firstName>C</firstName><lastName>D</lastName>
+                <publication><title>u</title><author>b</author>
+                  <conference>C</conference></publication>
+              </gradStudent>
+            </department>
+            """
+        )
+        q = parse_query(
+            "v = SELECT X WHERE <department> "
+            "<professor><publication/></professor> X:<gradStudent/> </>"
+        )
+        decision = simplify_query(q, d1())
+        original = evaluate(q, doc)
+        pruned = evaluate(decision.query, doc)
+        assert len(original.root.children) == len(pruned.root.children) == 1
+
+    def test_infeasible_names_narrowed(self):
+        # <professor | course> with a publication child: course is
+        # PCDATA, only professor can match; after pruning the test must
+        # not suddenly accept course elements.
+        d = dtd(
+            {
+                "r": "professor*, course*",
+                "professor": "publication+",
+                "publication": "#PCDATA",
+                "course": "#PCDATA",
+            },
+            root="r",
+        )
+        q = parse_query(
+            "v = SELECT X WHERE <r> <professor | course><publication/></> "
+            "X:<course/> </>"
+        )
+        decision = simplify_query(q, d)
+        side = decision.query.root.children[0]
+        if decision.pruned_nodes:
+            assert side.test.names == ("professor",)

@@ -1,0 +1,83 @@
+"""E11: mediator stacking -- view DTDs flow to higher mediators."""
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document, is_tighter, validate_document
+from repro.mediator import Mediator, Source
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads.paper import d1, q2
+from repro.xmas import parse_query
+
+
+@pytest.fixture
+def lower():
+    rng = random.Random(31)
+    docs = [generate_document(d1(), rng, star_mean=1.8) for _ in range(4)]
+    med = Mediator("lower")
+    med.add_source(Source("dept", d1(), docs))
+    med.register_view(q2(), "dept")
+    return med
+
+
+class TestStacking:
+    def test_view_exports_as_source(self, lower):
+        source = lower.as_source("withJournals")
+        assert source.name == "lower.withJournals"
+        assert source.dtd.root == "withJournals"
+        # The exported documents satisfy the exported DTD (soundness
+        # in action -- otherwise Source would raise).
+        assert len(source.documents) == 1
+
+    def test_upper_mediator_infers_from_inferred_dtd(self, lower):
+        upper = Mediator("upper")
+        upper.add_source(lower.as_source("withJournals"))
+        q = parse_query(
+            "profs = SELECT X WHERE <withJournals> X:<professor/> </>"
+        )
+        registration = upper.register_view(q)
+        # The upper view DTD is derived from the LOWER view DTD: the
+        # professor type carries the >=2 publications refinement.
+        assert is_equivalent(
+            registration.dtd.types["profs"], parse_regex("professor*")
+        )
+        prof_type = registration.dtd.types["professor"]
+        assert not is_equivalent(
+            prof_type,
+            parse_regex("firstName, lastName, publication+, teaches"),
+        )
+
+    def test_two_level_answers_valid(self, lower):
+        upper = Mediator("upper")
+        upper.add_source(lower.as_source("withJournals"))
+        q = parse_query(
+            "profs = SELECT X WHERE <withJournals> X:<professor/> </>"
+        )
+        registration = upper.register_view(q)
+        answer = upper.materialize("profs")
+        assert validate_document(answer, registration.dtd).ok
+
+    def test_three_levels(self, lower):
+        middle = Mediator("middle")
+        middle.add_source(lower.as_source("withJournals"))
+        middle.register_view(
+            parse_query(
+                "profs = SELECT X WHERE <withJournals> X:<professor/> </>"
+            )
+        )
+        top = Mediator("top")
+        top.add_source(middle.as_source("profs"))
+        registration = top.register_view(
+            parse_query(
+                "pubs = SELECT P WHERE <profs> <professor> P:<publication/> "
+                "</> </>"
+            )
+        )
+        answer = top.materialize("pubs")
+        assert validate_document(answer, registration.dtd).ok
+        # Journal-publication structure survived three levels.
+        assert is_equivalent(
+            registration.dtd.types["publication"],
+            parse_regex("title, author+, (journal | conference)"),
+        )

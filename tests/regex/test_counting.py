@@ -1,0 +1,72 @@
+"""Tests for bounded word counting and looseness metrics."""
+
+import pytest
+
+from repro.regex import (
+    count_words_by_length,
+    count_words_up_to,
+    language_density,
+    looseness_factor,
+    parse_regex,
+)
+
+
+class TestCounting:
+    def test_star_counts(self):
+        # (a|b)* has 2^k words of length k.
+        counts = count_words_by_length(parse_regex("(a | b)*"), 5)
+        assert counts == [1, 2, 4, 8, 16, 32]
+
+    def test_fixed_word(self):
+        counts = count_words_by_length(parse_regex("a, b, c"), 4)
+        assert counts == [0, 0, 0, 1, 0]
+
+    def test_empty_language(self):
+        counts = count_words_by_length(parse_regex("#FAIL"), 3)
+        assert counts == [0, 0, 0, 0]
+
+    def test_epsilon(self):
+        counts = count_words_by_length(parse_regex("()"), 2)
+        assert counts == [1, 0, 0]
+
+    def test_ordered_vs_mixed(self):
+        # Example 3.1's point: (p|g)+ admits vastly more orderings
+        # than p+, g+ at the same length.
+        mixed = parse_regex("(p | g)+")
+        ordered = parse_regex("p+, g+")
+        mixed_counts = count_words_by_length(mixed, 6)
+        ordered_counts = count_words_by_length(ordered, 6)
+        assert mixed_counts[6] == 64
+        assert ordered_counts[6] == 5  # p^1g^5 ... p^5g^1
+        assert count_words_up_to(ordered, 6) < count_words_up_to(mixed, 6)
+
+    def test_counts_are_exact_big_integers(self):
+        counts = count_words_by_length(parse_regex("(a | b | c)*"), 64)
+        assert counts[64] == 3**64  # exact, no float rounding
+
+
+class TestLooseness:
+    def test_factor(self):
+        loose = parse_regex("(a | b)*")
+        tight = parse_regex("a*")
+        factor = looseness_factor(loose, tight, 4)
+        assert factor == (1 + 2 + 4 + 8 + 16) / 5
+
+    def test_equal_languages(self):
+        r = parse_regex("a+, b")
+        assert looseness_factor(r, parse_regex("a, a*, b"), 5) == 1.0
+
+    def test_empty_tight(self):
+        assert looseness_factor(parse_regex("a"), parse_regex("#FAIL"), 3) == float("inf")
+
+
+class TestDensity:
+    def test_full_language(self):
+        density = language_density(parse_regex("(a | b)*"), 3)
+        assert density == [1.0, 1.0, 1.0, 1.0]
+
+    def test_half_language(self):
+        density = language_density(parse_regex("a, (a | b)*"), 2)
+        assert density[0] == 0.0
+        assert density[1] == pytest.approx(0.5)
+        assert density[2] == pytest.approx(0.5)

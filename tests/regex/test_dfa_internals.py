@@ -1,0 +1,91 @@
+"""Edge-case tests for the DFA layer internals."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.regex import parse_regex, to_dfa
+from repro.regex.dfa import (
+    complement,
+    minimize,
+    product,
+    with_alphabet,
+)
+
+from tests.strategies import regex_strategy
+
+
+class TestWithAlphabet:
+    def test_extends_with_sink(self):
+        dfa = to_dfa(parse_regex("a"))
+        extended = with_alphabet(dfa, dfa.alphabet | {("z", 0)})
+        assert ("z", 0) in extended.alphabet
+        assert extended.accepts([("a", 0)])
+        assert not extended.accepts([("z", 0)])
+        assert not extended.accepts([("a", 0), ("z", 0)])
+
+    def test_same_alphabet_identity(self):
+        dfa = to_dfa(parse_regex("a | b"))
+        assert with_alphabet(dfa, dfa.alphabet) is dfa
+
+    def test_non_superset_rejected(self):
+        dfa = to_dfa(parse_regex("a, b"))
+        with pytest.raises(ValueError):
+            with_alphabet(dfa, frozenset({("z", 0)}))
+
+
+class TestProduct:
+    def test_misaligned_alphabets_rejected(self):
+        left = to_dfa(parse_regex("a"))
+        right = to_dfa(parse_regex("b"))
+        with pytest.raises(ValueError):
+            product(left, right, lambda x, y: x and y)
+
+    def test_intersection(self):
+        letters = frozenset({("a", 0), ("b", 0)})
+        left = with_alphabet(to_dfa(parse_regex("a, (a | b)*")), letters)
+        right = with_alphabet(to_dfa(parse_regex("(a | b)*, b")), letters)
+        both = product(left, right, lambda x, y: x and y)
+        assert both.accepts([("a", 0), ("b", 0)])
+        assert not both.accepts([("a", 0)])
+        assert not both.accepts([("b", 0), ("b", 0)])
+
+
+class TestComplement:
+    def test_complement_flips_membership(self):
+        dfa = to_dfa(parse_regex("a+"))
+        flipped = complement(dfa)
+        assert not flipped.accepts([("a", 0)])
+        assert flipped.accepts([])
+
+    @given(regex_strategy(max_leaves=5))
+    @settings(max_examples=80, deadline=None)
+    def test_double_complement_is_identity(self, r):
+        import itertools
+
+        dfa = to_dfa(r)
+        double = complement(complement(dfa))
+        letters = sorted(dfa.alphabet)
+        for length in range(3):
+            for word in itertools.product(letters, repeat=length):
+                assert dfa.accepts(list(word)) == double.accepts(list(word))
+
+
+class TestMinimize:
+    def test_unreachable_states_dropped(self):
+        # (a | b), c builds several states; minimization must not
+        # exceed the reachable count and stays equivalent.
+        dfa = to_dfa(parse_regex("(a | b), c"))
+        small = minimize(dfa)
+        assert small.n_states <= dfa.n_states
+        assert small.accepts([("a", 0), ("c", 0)])
+        assert small.accepts([("b", 0), ("c", 0)])
+        assert not small.accepts([("c", 0)])
+
+    def test_already_minimal(self):
+        dfa = minimize(to_dfa(parse_regex("a*")))
+        assert minimize(dfa).n_states == dfa.n_states
+
+    def test_empty_language(self):
+        dfa = minimize(to_dfa(parse_regex("#FAIL")))
+        assert dfa.is_empty()
+        assert dfa.shortest_word() is None

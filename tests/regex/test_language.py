@@ -1,0 +1,120 @@
+"""Unit tests for the exact language decision procedures."""
+
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    Sym,
+    concat,
+    difference_witness,
+    is_empty,
+    is_equivalent,
+    is_proper_subset,
+    is_subset,
+    matches,
+    matches_letters,
+    minimal_dfa,
+    parse_regex,
+    star,
+    sym,
+    to_dfa,
+)
+
+
+def w(*names: str) -> list[Sym]:
+    return [Sym(name) for name in names]
+
+
+class TestMembership:
+    def test_simple(self):
+        r = parse_regex("a, b*")
+        assert matches(r, w("a"))
+        assert matches(r, w("a", "b", "b"))
+        assert not matches(r, w("b"))
+        assert not matches(r, w())
+
+    def test_epsilon(self):
+        assert matches(EPSILON, w())
+        assert not matches(EPSILON, w("a"))
+
+    def test_empty_language(self):
+        assert not matches(EMPTY, w())
+        assert not matches(EMPTY, w("a"))
+
+    def test_disjunction(self):
+        r = parse_regex("title, author+, (journal | conference)")
+        assert matches(r, w("title", "author", "journal"))
+        assert matches(r, w("title", "author", "author", "conference"))
+        assert not matches(r, w("title", "journal"))
+        assert not matches(r, w("title", "author"))
+
+    def test_tagged_letters(self):
+        r = parse_regex("a*, a^1, a*")
+        assert matches_letters(r, [("a", 0), ("a", 1)])
+        assert matches_letters(r, [("a", 1)])
+        assert not matches_letters(r, [("a", 0)])
+
+    def test_unknown_letter_rejected(self):
+        r = parse_regex("a*")
+        assert not matches(r, w("z"))
+
+
+class TestEmptiness:
+    def test_empty(self):
+        assert is_empty(EMPTY)
+        assert is_empty(concat(sym("a"), EMPTY))
+
+    def test_non_empty(self):
+        assert not is_empty(EPSILON)
+        assert not is_empty(parse_regex("a*"))
+
+
+class TestInclusion:
+    def test_reflexive(self):
+        r = parse_regex("a, (b | c)*")
+        assert is_subset(r, r)
+        assert is_equivalent(r, r)
+
+    def test_paper_tightness_example(self):
+        # D3's publication type is tighter than D1's.
+        tight = parse_regex("title, author+, journal")
+        loose = parse_regex("title, author+, (journal | conference)")
+        assert is_subset(tight, loose)
+        assert not is_subset(loose, tight)
+        assert is_proper_subset(tight, loose)
+
+    def test_star_plus(self):
+        assert is_proper_subset(parse_regex("a+"), parse_regex("a*"))
+        assert is_equivalent(parse_regex("a, a*"), parse_regex("a+"))
+        assert is_equivalent(parse_regex("a? | a, a"), parse_regex("a?, a?"))
+
+    def test_disjoint_alphabets(self):
+        assert not is_subset(parse_regex("a"), parse_regex("b"))
+        assert not is_equivalent(parse_regex("a"), parse_regex("b"))
+
+    def test_witness(self):
+        loose = parse_regex("(a | b)*")
+        tight = parse_regex("a*")
+        witness = difference_witness(loose, tight)
+        assert witness is not None
+        assert ("b", 0) in witness
+        assert difference_witness(tight, loose) is None
+
+
+class TestDfa:
+    def test_minimal_dfa_size(self):
+        # a* needs exactly one state; (a|b)* too.
+        assert minimal_dfa(parse_regex("a*")).n_states == 1
+        assert minimal_dfa(parse_regex("(a | b)*")).n_states == 1
+        # a, a needs 3 productive states + sink.
+        assert minimal_dfa(parse_regex("a, a")).n_states == 4
+
+    def test_shortest_word(self):
+        dfa = to_dfa(parse_regex("a, b+, c"))
+        assert dfa.shortest_word() == [("a", 0), ("b", 0), ("c", 0)]
+
+    def test_shortest_word_empty_language(self):
+        assert to_dfa(EMPTY).shortest_word() is None
+
+    def test_accepts_epsilon(self):
+        assert to_dfa(star(sym("a"))).accepts([])
+        assert not to_dfa(sym("a")).accepts([])

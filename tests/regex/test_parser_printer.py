@@ -1,0 +1,127 @@
+"""Round-trip and error tests for the content-model parser/printer."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regex import (
+    EPSILON,
+    Alt,
+    Concat,
+    Opt,
+    Plus,
+    Star,
+    Sym,
+    alt,
+    concat,
+    opt,
+    parse_regex,
+    plus,
+    star,
+    sym,
+    to_string,
+    to_xml_content_model,
+)
+
+
+class TestParsing:
+    def test_simple_sequence(self):
+        r = parse_regex("name, professor+, gradStudent+, course*")
+        assert isinstance(r, Concat)
+        assert len(r.items) == 4
+        assert isinstance(r.items[1], Plus)
+        assert isinstance(r.items[3], Star)
+
+    def test_disjunction_precedence(self):
+        # '|' binds loosest: a, b | c parses as (a, b) | c
+        r = parse_regex("a, b | c")
+        assert isinstance(r, Alt)
+        assert r.items[0] == concat(sym("a"), sym("b"))
+        assert r.items[1] == sym("c")
+
+    def test_parenthesized_disjunction(self):
+        r = parse_regex("title, author+, (journal | conference)")
+        assert isinstance(r, Concat)
+        assert isinstance(r.items[2], Alt)
+
+    def test_postfix_stacking(self):
+        assert parse_regex("a*?") == star(sym("a"))
+        assert parse_regex("(a+)+") == plus(sym("a"))
+
+    def test_tagged_names(self):
+        r = parse_regex("publication*, publication^1, publication*")
+        assert isinstance(r, Concat)
+        assert r.items[1] == Sym("publication", 1)
+
+    def test_epsilon_and_fail(self):
+        assert parse_regex("()") == EPSILON
+        assert parse_regex("#FAIL | a") == sym("a")
+
+    def test_optional(self):
+        r = parse_regex("a?, b")
+        assert isinstance(r.items[0], Opt)
+
+    def test_whitespace_insensitive(self):
+        assert parse_regex(" a ,\n b ") == parse_regex("a,b")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a,", "a |", "(a", "a)", "a ^", "a^x", "#WRONG", "a b", "|a", ","],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a, b, c",
+            "a | b | c",
+            "(a, b) | c",
+            "a, (b | c)",
+            "a*",
+            "a+",
+            "a?",
+            "(a, b)*",
+            "(a | b)+",
+            "name, (journal | conference)*",
+            "firstName, lastName, publication*, publication^1, publication*",
+            "title, author+, (journal | conference)",
+        ],
+    )
+    def test_round_trip(self, text):
+        parsed = parse_regex(text)
+        assert parse_regex(to_string(parsed)) == parsed
+
+    def test_nested_needs_parens(self):
+        r = concat(alt(sym("a"), sym("b")), sym("c"))
+        assert to_string(r) == "(a | b), c"
+        assert parse_regex(to_string(r)) == r
+
+    def test_star_of_concat_parenthesized(self):
+        r = star(concat(sym("a"), sym("b")))
+        assert to_string(r) == "(a, b)*"
+
+    def test_tagged_rendering(self):
+        assert to_string(Sym("pub", 2)) == "pub^2"
+        assert to_string(Sym("pub")) == "pub"
+
+    def test_xml_content_model_wraps(self):
+        assert to_xml_content_model(parse_regex("a, b")) == "(a, b)"
+        assert to_xml_content_model(parse_regex("(a, b)")) == "(a, b)"
+
+
+class TestRoundTripProperty:
+    def test_many_random_round_trips(self):
+        from hypothesis import given, settings
+
+        from tests.strategies import regex_strategy
+
+        @given(regex_strategy(tags=(0, 1)))
+        @settings(max_examples=200, deadline=None)
+        def check(r):
+            assert parse_regex(to_string(r)) == r
+
+        check()

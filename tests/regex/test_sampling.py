@@ -1,0 +1,71 @@
+"""Distributional and edge tests for the word samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.regex import (
+    EMPTY,
+    parse_regex,
+    sample_word,
+    sample_word_uniform,
+)
+
+
+class TestStructuralSampler:
+    def test_empty_language_returns_none(self, rng):
+        assert sample_word(EMPTY, rng) is None
+        assert sample_word(parse_regex("a, #FAIL"), rng) is None
+
+    def test_star_mean_controls_length(self):
+        r = parse_regex("a*")
+        short_rng, long_rng = random.Random(1), random.Random(1)
+        short = [len(sample_word(r, short_rng, star_mean=0.5)) for _ in range(300)]
+        long = [len(sample_word(r, long_rng, star_mean=4.0)) for _ in range(300)]
+        assert sum(short) / len(short) < sum(long) / len(long)
+
+    def test_zero_star_mean_minimal_words(self, rng):
+        r = parse_regex("a, b*, c+")
+        for _ in range(20):
+            word = sample_word(r, rng, star_mean=0.0)
+            assert [s.name for s in word] == ["a", "c"]
+
+    def test_alt_avoids_empty_branches(self, rng):
+        r = parse_regex("(a, #FAIL) | b")
+        for _ in range(20):
+            word = sample_word(r, rng)
+            assert [s.name for s in word] == ["b"]
+
+
+class TestUniformSampler:
+    def test_no_word_within_bound(self, rng):
+        r = parse_regex("a, a, a, a")
+        assert sample_word_uniform(r, 3, rng) is None
+
+    def test_distribution_is_uniform(self):
+        # (a | b), c? has 4 words of length <= 2: ac, bc... wait:
+        # words: a, b, (a,c), (b,c) -- each must appear ~25%.
+        r = parse_regex("(a | b), c?")
+        rng = random.Random(7)
+        counts = Counter()
+        trials = 4000
+        for _ in range(trials):
+            word = sample_word_uniform(r, 2, rng)
+            counts[tuple(s.name for s in word)] += 1
+        assert set(counts) == {("a",), ("b",), ("a", "c"), ("b", "c")}
+        for count in counts.values():
+            assert abs(count / trials - 0.25) < 0.04
+
+    def test_lengths_weighted_by_word_count(self):
+        # (a | b)* up to length 2: 1 word of length 0, 2 of length 1,
+        # 4 of length 2 -> expected fractions 1/7, 2/7, 4/7.
+        r = parse_regex("(a | b)*")
+        rng = random.Random(11)
+        lengths = Counter()
+        trials = 7000
+        for _ in range(trials):
+            lengths[len(sample_word_uniform(r, 2, rng))] += 1
+        assert abs(lengths[0] / trials - 1 / 7) < 0.03
+        assert abs(lengths[1] / trials - 2 / 7) < 0.03
+        assert abs(lengths[2] / trials - 4 / 7) < 0.03

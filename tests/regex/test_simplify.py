@@ -1,0 +1,73 @@
+"""Tests for the language-preserving simplifiers."""
+
+from hypothesis import given, settings
+
+from repro.regex import (
+    is_equivalent,
+    parse_regex,
+    simplify,
+    simplify_deep,
+    to_string,
+)
+from repro.regex.simplify import prune_subsumed
+
+from tests.strategies import regex_strategy
+
+
+class TestCases:
+    def test_fuse_star_symbol(self):
+        assert to_string(simplify(parse_regex("a*, a"))) == "a+"
+        assert to_string(simplify(parse_regex("a, a*"))) == "a+"
+        assert to_string(simplify(parse_regex("a*, a, a*"))) == "a+"
+
+    def test_fuse_run_with_minimum_two(self):
+        result = simplify(parse_regex("a, a+, a*"))
+        assert to_string(result) == "a, a+"
+
+    def test_fuse_respects_different_bodies(self):
+        r = parse_regex("a*, b")
+        assert simplify(r) == r
+
+    def test_epsilon_branch_becomes_opt(self):
+        assert to_string(simplify(parse_regex("a | ()"))) == "a?"
+
+    def test_star_absorbs_nullability(self):
+        assert to_string(simplify(parse_regex("(a?)*"))) == "a*"
+        assert to_string(simplify(parse_regex("(a? | b)*"))) == "(a | b)*"
+        assert to_string(simplify(parse_regex("(a+ | b)*"))) == "(a | b)*"
+
+    def test_subsumption_pruning(self):
+        # a is subsumed by (a | b); a,a by a+.
+        assert to_string(prune_subsumed(parse_regex("(a | b) | a"))) == "a | b"
+        assert to_string(simplify_deep(parse_regex("a+ | (a, a)"))) == "a+"
+
+    def test_example_4_3_style(self):
+        # The D10 publication union collapses to one branch.
+        merged = parse_regex(
+            "(title, author+, (journal | conference)) | (title, author+, journal)"
+        )
+        assert (
+            to_string(simplify_deep(merged))
+            == "title, author+, (journal | conference)"
+        )
+
+    def test_optional_union(self):
+        assert to_string(simplify_deep(parse_regex("(a, a*) | (a, a) | ()"))) == "a*"
+
+
+class TestProperties:
+    @given(regex_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_language(self, r):
+        assert is_equivalent(simplify(r), r)
+
+    @given(regex_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_deep_preserves_language(self, r):
+        assert is_equivalent(simplify_deep(r), r)
+
+    @given(regex_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_idempotent(self, r):
+        once = simplify(r)
+        assert simplify(once) == once

@@ -1,0 +1,45 @@
+"""Hypothesis strategies shared across test modules."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.regex import EPSILON, alt, concat, opt, plus, star, sym
+
+#: small alphabet used by the random regex strategies
+NAMES = ("a", "b", "c")
+
+
+def symbols_strategy(names=NAMES, tags=(0,)):
+    """Random (possibly tagged) name symbols."""
+    return st.builds(
+        sym,
+        st.sampled_from(names),
+        st.sampled_from(tags),
+    )
+
+
+def regex_strategy(names=NAMES, tags=(0,), max_leaves: int = 8):
+    """Random regular expressions built through the smart constructors."""
+    leaves = st.one_of(
+        symbols_strategy(names, tags),
+        st.just(EPSILON),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda a, b: concat(a, b), children, children),
+            st.builds(lambda a, b: alt(a, b), children, children),
+            st.builds(star, children),
+            st.builds(plus, children),
+            st.builds(opt, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def words_strategy(names=NAMES, max_size: int = 6):
+    """Random words over the alphabet (as Sym lists)."""
+    return st.lists(
+        symbols_strategy(names), min_size=0, max_size=max_size
+    )

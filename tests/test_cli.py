@@ -1,0 +1,186 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dtd import serialize_dtd
+from repro.workloads import paper
+
+DTD_PAPER_NOTATION = """
+{<professor : name, (journal | conference)*>
+ <name : #PCDATA> <journal : #PCDATA> <conference : #PCDATA>}
+"""
+
+QUERY = "SELECT X WHERE X:<professor><journal/></professor>"
+
+DOC = "<professor><name>Y</name><journal>J</journal></professor>"
+
+
+@pytest.fixture
+def files(tmp_path):
+    dtd_file = tmp_path / "source.dtd"
+    dtd_file.write_text(DTD_PAPER_NOTATION)
+    std_dtd_file = tmp_path / "source_std.dtd"
+    std_dtd_file.write_text(serialize_dtd(paper.d9()))
+    query_file = tmp_path / "query.xmas"
+    query_file.write_text(QUERY)
+    doc_file = tmp_path / "doc.xml"
+    doc_file.write_text(DOC)
+    return {
+        "dtd": str(dtd_file),
+        "std_dtd": str(std_dtd_file),
+        "query": str(query_file),
+        "doc": str(doc_file),
+    }
+
+
+class TestInfer:
+    def test_report(self, files, capsys):
+        assert main(["infer", "--dtd", files["dtd"], "--query", files["query"]]) == 0
+        out = capsys.readouterr().out
+        assert "satisfiable" in out
+        assert "journal" in out
+
+    def test_xml_format(self, files, capsys):
+        assert (
+            main(
+                [
+                    "infer",
+                    "--dtd",
+                    files["dtd"],
+                    "--query",
+                    files["query"],
+                    "--format",
+                    "xml",
+                ]
+            )
+            == 0
+        )
+        assert "<!ELEMENT" in capsys.readouterr().out
+
+    def test_paper_format(self, files, capsys):
+        assert (
+            main(
+                [
+                    "infer",
+                    "--dtd",
+                    files["dtd"],
+                    "--query",
+                    files["query"],
+                    "--format",
+                    "paper",
+                ]
+            )
+            == 0
+        )
+        assert "answer" in capsys.readouterr().out
+
+    def test_standard_dtd_autodetected(self, files, capsys):
+        assert (
+            main(
+                ["infer", "--dtd", files["std_dtd"], "--query", files["query"]]
+            )
+            == 0
+        )
+
+    def test_paper_mode_flag(self, files, capsys):
+        assert (
+            main(
+                [
+                    "infer",
+                    "--dtd",
+                    files["dtd"],
+                    "--query",
+                    files["query"],
+                    "--mode",
+                    "paper",
+                ]
+            )
+            == 0
+        )
+
+
+class TestClassify:
+    def test_satisfiable(self, files, capsys):
+        assert (
+            main(["classify", "--dtd", files["dtd"], "--query", files["query"]])
+            == 0
+        )
+        assert capsys.readouterr().out.strip() == "satisfiable"
+
+    def test_unsatisfiable_exit_code(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xmas"
+        bad.write_text(
+            "SELECT X WHERE X:<name><journal/></name>"
+        )
+        assert (
+            main(["classify", "--dtd", files["dtd"], "--query", str(bad)])
+            == 1
+        )
+        assert capsys.readouterr().out.strip() == "unsatisfiable"
+
+
+class TestEvaluateValidate:
+    def test_evaluate(self, files, capsys):
+        assert (
+            main(["evaluate", "--query", files["query"], files["doc"]]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "<answer>" in out
+        assert "<journal>J</journal>" in out
+
+    def test_validate_ok(self, files, capsys):
+        assert main(["validate", "--dtd", files["dtd"], files["doc"]]) == 0
+        assert capsys.readouterr().out.strip() == "valid"
+
+    def test_validate_failure(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<professor><journal>J</journal></professor>")
+        assert main(["validate", "--dtd", files["dtd"], str(bad)]) == 1
+
+
+class TestStructure:
+    def test_structure(self, files, capsys):
+        assert main(["structure", "--dtd", files["dtd"]]) == 0
+        out = capsys.readouterr().out
+        assert "professor" in out
+        assert "#PCDATA" in out
+
+
+class TestErrors:
+    def test_missing_file(self, files, capsys):
+        assert (
+            main(["infer", "--dtd", "/nope.dtd", "--query", files["query"]])
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_query(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xmas"
+        bad.write_text("THIS IS NOT XMAS")
+        assert (
+            main(["infer", "--dtd", files["dtd"], "--query", str(bad)]) == 2
+        )
+
+
+class TestXmlize:
+    def test_repairs(self, tmp_path, capsys):
+        dtd_file = tmp_path / "nondeterministic.dtd"
+        dtd_file.write_text(
+            "<!DOCTYPE r [<!ELEMENT r ((a, b) | (a, c))>"
+            "<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+            "<!ELEMENT c (#PCDATA)>]>"
+        )
+        assert main(["xmlize", "--dtd", str(dtd_file)]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+        assert "<!ELEMENT r" in out
+
+    def test_impossible_flagged(self, tmp_path, capsys):
+        dtd_file = tmp_path / "hopeless.dtd"
+        dtd_file.write_text(
+            "<!DOCTYPE r [<!ELEMENT r ((a | b)*, a, (a | b))>"
+            "<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>]>"
+        )
+        assert main(["xmlize", "--dtd", str(dtd_file)]) == 1
+        assert "impossible" in capsys.readouterr().out

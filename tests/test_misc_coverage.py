@@ -1,0 +1,143 @@
+"""Assorted edge-path tests across modules."""
+
+import pytest
+
+from repro.errors import (
+    QuerySyntaxError,
+    RegexSyntaxError,
+    XmlSyntaxError,
+)
+
+
+class TestErrorMetadata:
+    def test_regex_error_position(self):
+        from repro.regex import parse_regex
+
+        try:
+            parse_regex("a, , b")
+        except RegexSyntaxError as error:
+            assert error.position >= 2
+            assert error.text == "a, , b"
+        else:  # pragma: no cover
+            pytest.fail("expected RegexSyntaxError")
+
+    def test_query_error_location(self):
+        from repro.xmas import parse_query
+
+        try:
+            parse_query("SELECT X\nWHERE X:<a")
+        except QuerySyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected QuerySyntaxError")
+
+    def test_xml_error_fields(self):
+        from repro.xmlmodel import parse_document
+
+        try:
+            parse_document("<a><b>")
+        except XmlSyntaxError as error:
+            assert error.line >= 1
+            assert error.column >= 1
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestDensityEdge:
+    def test_empty_alphabet_density(self):
+        from repro.regex import language_density, parse_regex
+
+        # epsilon has an empty alphabet: density 1 at length 0.
+        density = language_density(parse_regex("()"), 2)
+        assert density[0] == 1.0
+        assert density[1] == 0.0
+
+
+class TestStructureDepthCut:
+    def test_max_depth_cuts(self):
+        from repro.dtd import dtd
+        from repro.mediator import structure_tree
+
+        deep = dtd(
+            {"a": "b", "b": "c", "c": "d", "d": "#PCDATA"},
+            root="a",
+        )
+        tree = structure_tree(deep, max_depth=2)
+        rendered = tree.render()
+        assert "a" in rendered and "b" in rendered
+        # level-2 node is cut with a marker
+        assert "(...)" in rendered
+
+
+class TestQueryBuilderEdges:
+    def test_require_without_names(self):
+        from repro.errors import MediatorError
+        from repro.mediator import QueryBuilder
+        from repro.workloads.paper import d9
+
+        builder = QueryBuilder(d9()).descend("professor", pick=True)
+        with pytest.raises(MediatorError):
+            builder.descend()
+
+
+class TestUnionBranchOrder:
+    def test_list_type_preserves_branch_order(self):
+        from repro.dtd import dtd
+        from repro.inference import UnionBranch, infer_union_view_dtd
+        from repro.regex import image, is_equivalent, parse_regex
+        from repro.xmas import parse_query
+
+        first = dtd({"r": "alpha*", "alpha": "#PCDATA"}, root="r")
+        second = dtd({"s": "beta*", "beta": "#PCDATA"}, root="s")
+        branches = [
+            UnionBranch(
+                first, parse_query("v = SELECT X WHERE <r> X:<alpha/> </>",
+                                   source="one"),
+            ),
+            UnionBranch(
+                second, parse_query("v = SELECT X WHERE <s> X:<beta/> </>",
+                                    source="two"),
+            ),
+        ]
+        result = infer_union_view_dtd(branches, "v")
+        assert is_equivalent(
+            image(result.list_type), parse_regex("alpha*, beta*")
+        )
+
+
+class TestSourceEdges:
+    def test_batch_validation_on_construction(self):
+        from repro.dtd import dtd
+        from repro.errors import ValidationError
+        from repro.mediator import Source
+        from repro.xmlmodel import parse_document
+
+        schema = dtd({"a": "#PCDATA"}, root="a")
+        good = parse_document("<a>x</a>")
+        bad = parse_document("<b>x</b>")
+        with pytest.raises(ValidationError):
+            Source("s", schema, [good, bad])
+        source = Source("s", schema, [good])
+        with pytest.raises(ValidationError):
+            source.add_document(bad)
+
+
+class TestRefineSequenceHelper:
+    def test_refine_sequence_orders(self):
+        from repro.inference import refine_sequence
+        from repro.regex import Sym, matches_letters, parse_regex
+
+        r = parse_regex("(a | b)*")
+        refined = refine_sequence(r, [Sym("a", 1), Sym("b", 2)])
+        assert matches_letters(refined, [("a", 1), ("b", 2)])
+        assert matches_letters(refined, [("b", 2), ("b", 0), ("a", 1)])
+        assert not matches_letters(refined, [("a", 1)])
+
+    def test_refine_sequence_fails_cleanly(self):
+        from repro.inference import refine_sequence
+        from repro.regex import Empty, Sym, parse_regex
+
+        result = refine_sequence(
+            parse_regex("a"), [Sym("a", 1), Sym("a", 2)]
+        )
+        assert isinstance(result, Empty)

@@ -1,0 +1,88 @@
+"""Tests for the DBLP-style bibliography workload."""
+
+import random
+
+import pytest
+
+from repro.dtd import (
+    is_recursive,
+    is_xml_deterministic,
+    satisfies_sdtd,
+    validate_document,
+)
+from repro.inference import Classification, infer_view_dtd
+from repro.regex import is_equivalent, parse_regex
+from repro.workloads import bibdb
+from repro.xmas import evaluate
+
+
+class TestSchema:
+    def test_consistent(self):
+        d = bibdb.bibdb_dtd()
+        d.check_consistency()
+        assert d.root == "bibdb"
+        assert len(d.names) >= 30
+
+    def test_xml_deterministic(self):
+        assert is_xml_deterministic(bibdb.bibdb_dtd())
+
+    def test_non_recursive(self):
+        assert not is_recursive(bibdb.bibdb_dtd())
+
+    def test_corpus_valid(self):
+        d = bibdb.bibdb_dtd()
+        docs = bibdb.corpus(4, random.Random(1))
+        for doc in docs:
+            assert validate_document(doc, d).ok
+
+
+class TestViews:
+    def test_all_views_inferable(self):
+        d = bibdb.bibdb_dtd()
+        for query in bibdb.all_views():
+            result = infer_view_dtd(d, query)
+            assert result.classification is Classification.SATISFIABLE
+
+    def test_journal_articles_refinement(self):
+        d = bibdb.bibdb_dtd()
+        result = infer_view_dtd(d, bibdb.journal_articles_view())
+        article = result.dtd.types["article"]
+        # The (doi | url)? option became a mandatory doi.
+        assert is_equivalent(
+            article,
+            parse_regex(
+                "title, author+, pages?, abstract?, doi, citation*"
+            ),
+        )
+
+    def test_well_cited_cardinality(self):
+        d = bibdb.bibdb_dtd()
+        result = infer_view_dtd(d, bibdb.cited_articles_view())
+        article = result.dtd.types["article"]
+        # citation* tightened to >= 2 citations.
+        assert is_equivalent(
+            article,
+            parse_regex(
+                "title, author+, pages?, abstract?, (doi | url)?, "
+                "citation, citation, citation*"
+            ),
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_views_sound(self, seed):
+        d = bibdb.bibdb_dtd()
+        rng = random.Random(seed)
+        docs = bibdb.corpus(3, rng, star_mean=1.6)
+        for query in bibdb.all_views():
+            result = infer_view_dtd(d, query)
+            for doc in docs:
+                view = evaluate(query, doc)
+                assert validate_document(view, result.dtd).ok
+                assert satisfies_sdtd(view.root, result.sdtd)
+
+    def test_views_emittable_as_xml(self):
+        d = bibdb.bibdb_dtd()
+        for query in bibdb.all_views():
+            result = infer_view_dtd(d, query)
+            _, report = result.xml_dtd()
+            assert report.fully_deterministic, query.view_name

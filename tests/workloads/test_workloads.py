@@ -1,0 +1,95 @@
+"""Sanity tests for the workload artifacts and generators."""
+
+import random
+
+import pytest
+
+from repro.dtd import is_xml_deterministic, validate_document
+from repro.regex import is_proper_subset, matches_letters
+from repro.workloads import paper, synthetic
+
+
+class TestPaperArtifacts:
+    def test_dtds_consistent(self):
+        for build in (paper.d1, paper.d9, paper.d11, paper.section_dtd,
+                      paper.d2_expected, paper.d2_paper_literal,
+                      paper.d3_expected):
+            d = build()
+            d.check_consistency()
+            assert d.root is not None
+
+    def test_dtds_xml_deterministic(self):
+        # The paper's schemas are all XML-1.0 deterministic.
+        for build in (paper.d1, paper.d9, paper.d11, paper.section_dtd):
+            assert is_xml_deterministic(build())
+
+    def test_d4_consistent(self):
+        paper.d4_expected().check_consistency()
+
+    def test_queries_parse(self):
+        for build in (paper.q2, paper.q3, paper.q4, paper.q6, paper.q7,
+                      paper.q12):
+            q = build()
+            assert q.pick_variable
+
+    def test_t_chain_contains_real_pick_sequences(self):
+        # The bracket sequence of any section tree must satisfy every
+        # chain member (soundness of the approximation chain).
+        sequences = [
+            [("prolog", 0), ("conclusion", 0)],
+            [("prolog", 0), ("prolog", 0), ("conclusion", 0), ("conclusion", 0)],
+            [
+                ("prolog", 0),
+                ("prolog", 0), ("conclusion", 0),
+                ("prolog", 0), ("prolog", 0), ("conclusion", 0),
+                ("conclusion", 0),
+                ("conclusion", 0),
+            ],
+        ]
+        for k in range(4):
+            chain = paper.t_chain(k)
+            for sequence in sequences:
+                assert matches_letters(chain, sequence), (k, sequence)
+
+    def test_t_chain_strictly_decreasing(self):
+        for k in range(3):
+            assert is_proper_subset(paper.t_chain(k + 1), paper.t_chain(k))
+
+    def test_t_chain_rejects_negative(self):
+        with pytest.raises(ValueError):
+            paper.t_chain(-1)
+
+
+class TestSynthetic:
+    def test_layered_dtd_valid(self):
+        d = synthetic.layered_dtd(3, 3)
+        d.check_consistency()
+        assert d.root == "e0_0"
+
+    def test_layered_documents_valid(self, rng):
+        from repro.dtd import generate_document
+
+        d = synthetic.layered_dtd(4, 2)
+        for _ in range(5):
+            doc = generate_document(d, rng)
+            assert validate_document(doc, d).ok
+
+    def test_path_query_is_inferable(self, rng):
+        from repro.inference import infer_view_dtd
+
+        d = synthetic.layered_dtd(4, 3)
+        q = synthetic.path_query(d, 3, rng, side_conditions=2)
+        result = infer_view_dtd(d, q)
+        assert result.dtd.root == "view"
+
+    def test_sweeps_have_points(self):
+        assert len(synthetic.dtd_size_sweep([2, 3])) == 2
+        assert len(synthetic.query_depth_sweep([1, 2, 3])) == 3
+
+    def test_random_workload(self, rng):
+        from repro.dtd import DtdShape
+
+        points = synthetic.random_workload(3, DtdShape(n_names=6), rng)
+        assert len(points) == 3
+        for point in points:
+            point.dtd.check_consistency()

@@ -1,0 +1,93 @@
+"""Tests for query static analysis."""
+
+import pytest
+
+from repro.errors import QueryAnalysisError, UnknownNameError
+from repro.workloads.paper import d1, q2, q4, q12
+from repro.xmas import (
+    check_inference_applicable,
+    cond,
+    condition_size,
+    expand_wildcards,
+    has_recursive_steps,
+    parse_query,
+    pick_path,
+    query,
+    resolve_against_dtd,
+)
+
+
+class TestPickPath:
+    def test_q2_path(self):
+        path = pick_path(q2())
+        assert [str(step.test) for step in path.steps] == [
+            "department",
+            "professor | gradStudent",
+        ]
+        assert path.depth == 2
+        # The name condition is off-path at level 0; the pick's own
+        # publication conditions are not "off path" (they refine the
+        # pick type itself).
+        assert [str(c.test) for c in path.off_path_children[0]] == ["name"]
+        assert path.off_path_children[1] == ()
+
+    def test_q12_path_depth(self):
+        path = pick_path(q12())
+        assert path.depth == 4
+        assert str(path.pick.test) == "title | author"
+
+    def test_pick_at_root(self):
+        q = parse_query("SELECT X WHERE X:<a/>")
+        path = pick_path(q)
+        assert path.depth == 1
+        assert path.pick is q.root
+
+    def test_multiple_pick_nodes_rejected(self):
+        bad = query(
+            "v",
+            "X",
+            cond("a", children=(cond("b", var="X"), cond("c", var="X"))),
+        )
+        with pytest.raises(QueryAnalysisError):
+            pick_path(bad)
+
+
+class TestRecursionDetection:
+    def test_q4_recursive(self):
+        assert has_recursive_steps(q4())
+        with pytest.raises(QueryAnalysisError):
+            check_inference_applicable(q4())
+
+    def test_q2_not_recursive(self):
+        assert not has_recursive_steps(q2())
+        check_inference_applicable(q2())  # no raise
+
+
+class TestWildcardExpansion:
+    def test_expand(self):
+        q = parse_query("SELECT X WHERE <a> X:<*/> </>")
+        expanded = expand_wildcards(q, ["a", "b", "c"])
+        assert expanded.root.children[0].test.names == ("a", "b", "c")
+
+    def test_resolve_expands_and_checks(self):
+        q = parse_query("SELECT X WHERE <department> X:<*/> </>")
+        resolved = resolve_against_dtd(q, d1())
+        names = resolved.root.children[0].test.names
+        assert "professor" in names
+        assert "course" in names
+
+    def test_strict_unknown_name(self):
+        q = parse_query("SELECT X WHERE <department> X:<blog/> </>")
+        with pytest.raises(UnknownNameError):
+            resolve_against_dtd(q, d1())
+
+    def test_lenient_unknown_name(self):
+        q = parse_query("SELECT X WHERE <department> X:<blog/> </>")
+        resolved = resolve_against_dtd(q, d1(), strict=False)
+        assert resolved.root.children[0].test.names == ("blog",)
+
+
+class TestMetrics:
+    def test_condition_size(self):
+        # department, name, pick, pub1, journal, pub2, journal
+        assert condition_size(q2()) == 7

@@ -1,0 +1,158 @@
+"""Tests for CONSTRUCT queries (parsing and evaluation)."""
+
+import pytest
+
+from repro.errors import QueryAnalysisError, QuerySyntaxError
+from repro.xmas import (
+    evaluate_construct,
+    evaluate_construct_many,
+    parse_construct_query,
+)
+from repro.xmlmodel import parse_document
+
+PAIRS = """
+pairs =
+  CONSTRUCT <pair> $F $L </pair>
+  WHERE <department>
+          <professor> F:<firstName/> L:<lastName/> </>
+        </>
+"""
+
+DOC = """
+<department>
+  <name>CS</name>
+  <professor>
+    <firstName>Yannis</firstName><lastName>P</lastName>
+    <publication><title>a</title><journal>J</journal></publication>
+  </professor>
+  <professor>
+    <firstName>Mary</firstName><lastName>Q</lastName>
+    <publication><title>b</title><conference>C</conference></publication>
+  </professor>
+</department>
+"""
+
+
+class TestParsing:
+    def test_shape(self):
+        q = parse_construct_query(PAIRS)
+        assert q.view_name == "pairs"
+        assert q.template.name == "pair"
+        assert q.template.variables() == ("F", "L")
+
+    def test_text_literal(self):
+        q = parse_construct_query(
+            'CONSTRUCT <row> <label>"prof"</label> $X </row> '
+            "WHERE <department> X:<professor/> </>"
+        )
+        label = q.template.children[0]
+        from repro.xmas import Template, Text
+
+        assert isinstance(label, Template)
+        assert label.children == (Text("prof"),)
+
+    def test_nested_templates(self):
+        q = parse_construct_query(
+            "CONSTRUCT <outer> <inner> $X </inner> </outer> "
+            "WHERE <department> X:<professor/> </>"
+        )
+        assert q.template.template_names() == {"outer", "inner"}
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises((QuerySyntaxError, QueryAnalysisError)):
+            parse_construct_query(
+                "CONSTRUCT <pair> $NOPE </pair> "
+                "WHERE <department> X:<professor/> </>"
+            )
+
+    def test_variable_free_template_rejected(self):
+        with pytest.raises((QuerySyntaxError, QueryAnalysisError)):
+            parse_construct_query(
+                'CONSTRUCT <pair> "constant" </pair> '
+                "WHERE <department> X:<professor/> </>"
+            )
+
+    def test_mixed_template_content_rejected(self):
+        with pytest.raises((QuerySyntaxError, QueryAnalysisError)):
+            parse_construct_query(
+                'CONSTRUCT <pair> "text" $X </pair> '
+                "WHERE <department> X:<professor/> </>"
+            )
+
+    def test_missing_construct_keyword(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_construct_query("SELECT X WHERE X:<a/>")
+
+    def test_inequalities(self):
+        q = parse_construct_query(
+            "CONSTRUCT <pair> $A $B </pair> "
+            "WHERE <department> A:<professor/> B:<professor/> </> "
+            "AND A != B"
+        )
+        assert len(q.inequalities) == 1
+
+
+class TestEvaluation:
+    def test_one_row_per_binding(self):
+        q = parse_construct_query(PAIRS)
+        doc = parse_document(DOC)
+        result = evaluate_construct(q, doc)
+        assert result.root.name == "pairs"
+        rows = result.root.children
+        assert [r.name for r in rows] == ["pair", "pair"]
+        values = [
+            (row.children[0].text, row.children[1].text) for row in rows
+        ]
+        assert values == [("Yannis", "P"), ("Mary", "Q")]
+
+    def test_rows_in_document_order(self):
+        q = parse_construct_query(
+            "t = CONSTRUCT <row> $T </row> WHERE <department> <professor>"
+            " <publication> T:<title/> </> </> </>"
+        )
+        doc = parse_document(DOC)
+        result = evaluate_construct(q, doc)
+        titles = [row.children[0].text for row in result.root.children]
+        assert titles == ["a", "b"]
+
+    def test_distinct_projections_deduplicated(self):
+        # F projects onto firstName only; both professors yield
+        # distinct rows, but multiple bindings per professor (e.g. via
+        # different publications) must not duplicate rows.
+        q = parse_construct_query(
+            "f = CONSTRUCT <row> $F </row> WHERE <department>"
+            " <professor> F:<firstName/> <publication/> </> </>"
+        )
+        doc = parse_document(DOC)
+        result = evaluate_construct(q, doc)
+        assert len(result.root.children) == 2
+
+    def test_text_literal_instantiated(self):
+        q = parse_construct_query(
+            't = CONSTRUCT <row> <kind>"prof"</kind> $F </row> '
+            "WHERE <department> <professor> F:<firstName/> </> </>"
+        )
+        doc = parse_document(DOC)
+        row = evaluate_construct(q, doc).root.children[0]
+        assert row.children[0].name == "kind"
+        assert row.children[0].text == "prof"
+
+    def test_no_matches_empty_view(self):
+        q = parse_construct_query(
+            "v = CONSTRUCT <row> $X </row> "
+            "WHERE <department> <name>EE</name> X:<professor/> </>"
+        )
+        doc = parse_document(DOC)
+        assert evaluate_construct(q, doc).root.children == []
+
+    def test_many_documents_concatenate(self):
+        q = parse_construct_query(PAIRS)
+        doc = parse_document(DOC)
+        result = evaluate_construct_many(q, [doc, doc])
+        assert len(result.root.children) == 4
+
+    def test_fresh_ids(self):
+        q = parse_construct_query(PAIRS)
+        doc = parse_document(DOC)
+        result = evaluate_construct(q, doc)
+        assert not ({e.id for e in result.iter()} & {e.id for e in doc.iter()})

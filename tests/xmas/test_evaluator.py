@@ -1,0 +1,162 @@
+"""Tests for pick-element query evaluation."""
+
+import pytest
+
+from repro.xmas import bindings, evaluate, evaluate_many, parse_query, picked_elements
+from repro.xmlmodel import Document, parse_document
+
+
+@pytest.fixture
+def dept_doc():
+    return parse_document(
+        """
+        <department>
+          <name>CS</name>
+          <professor>
+            <firstName>Yannis</firstName><lastName>P</lastName>
+            <publication><title>a</title><author>x</author><journal>J1</journal></publication>
+            <publication><title>b</title><author>x</author><journal>J2</journal></publication>
+            <teaches>cse132</teaches>
+          </professor>
+          <professor>
+            <firstName>Mary</firstName><lastName>Q</lastName>
+            <publication><title>c</title><author>y</author><conference>C</conference></publication>
+            <publication><title>d</title><author>y</author><journal>J3</journal></publication>
+            <teaches>cse232</teaches>
+          </professor>
+          <gradStudent>
+            <firstName>Pavel</firstName><lastName>V</lastName>
+            <publication><title>e</title><author>z</author><journal>J4</journal></publication>
+            <publication><title>f</title><author>z</author><journal>J5</journal></publication>
+          </gradStudent>
+        </department>
+        """
+    )
+
+
+class TestEvaluation:
+    def test_q2_two_journal_requirement(self, dept_doc):
+        from repro.workloads.paper import q2
+
+        view = evaluate(q2(), dept_doc)
+        assert view.root.name == "withJournals"
+        picked = view.root.children
+        # Yannis (2 journals) and Pavel (2 journals) qualify; Mary
+        # (1 journal + 1 conference) does not.
+        assert [(p.name, p.children[0].text) for p in picked] == [
+            ("professor", "Yannis"),
+            ("gradStudent", "Pavel"),
+        ]
+
+    def test_document_order(self, dept_doc):
+        q = parse_query(
+            "pubs = SELECT P WHERE <department> <professor | gradStudent>"
+            " P:<publication/> </> </>"
+        )
+        view = evaluate(q, dept_doc)
+        titles = [p.children[0].text for p in view.root.children]
+        assert titles == ["a", "b", "c", "d", "e", "f"]
+
+    def test_each_element_contributed_once(self, dept_doc):
+        # A publication matches through its professor for several
+        # bindings; it must appear once.
+        q = parse_query(
+            "pubs = SELECT P WHERE <department> <professor>"
+            " P:<publication><journal/></publication> </> </>"
+        )
+        view = evaluate(q, dept_doc)
+        titles = [p.children[0].text for p in view.root.children]
+        assert titles == ["a", "b", "d"]
+
+    def test_pcdata_condition(self, dept_doc):
+        q_match = parse_query(
+            "v = SELECT P WHERE <department> <name>CS</name> P:<professor/> </>"
+        )
+        q_no_match = parse_query(
+            "v = SELECT P WHERE <department> <name>EE</name> P:<professor/> </>"
+        )
+        assert len(evaluate(q_match, dept_doc).root.children) == 2
+        assert len(evaluate(q_no_match, dept_doc).root.children) == 0
+
+    def test_inequality_forces_distinct(self):
+        doc = parse_document(
+            "<professor><journal>J</journal></professor>"
+        )
+        q = parse_query(
+            "v = SELECT X WHERE X:<professor> <journal id=A/> <journal id=B/> </>"
+            " AND A != B"
+        )
+        assert evaluate(q, doc).root.children == []
+        doc2 = parse_document(
+            "<professor><journal>J1</journal><journal>J2</journal></professor>"
+        )
+        assert len(evaluate(q, doc2).root.children) == 1
+
+    def test_sibling_conditions_implicitly_distinct(self):
+        # Even without explicit !=, sibling conditions bind to
+        # different children (the paper's standing assumption).
+        doc = parse_document("<professor><journal>J</journal></professor>")
+        q = parse_query(
+            "v = SELECT X WHERE X:<professor> <journal/> <journal/> </>"
+        )
+        assert evaluate(q, doc).root.children == []
+
+    def test_pick_copies_have_fresh_ids(self, dept_doc):
+        q = parse_query("v = SELECT P WHERE <department> P:<professor/> </>")
+        view = evaluate(q, dept_doc)
+        source_ids = {e.id for e in dept_doc.iter()}
+        view_ids = {e.id for e in view.iter()}
+        assert not (source_ids & view_ids)
+
+    def test_root_must_match_document_root(self, dept_doc):
+        q = parse_query("v = SELECT P WHERE P:<professor/>")
+        # Condition anchored at the root: professor != department.
+        assert evaluate(q, dept_doc).root.children == []
+
+    def test_bindings_environments(self, dept_doc):
+        from repro.workloads.paper import q2
+
+        envs = list(bindings(q2(), dept_doc))
+        assert envs
+        for env in envs:
+            assert env["Pub1"].id != env["Pub2"].id
+
+    def test_evaluate_many_concatenates(self, dept_doc):
+        q = parse_query("v = SELECT P WHERE <department> P:<gradStudent/> </>")
+        view = evaluate_many(q, [dept_doc, dept_doc])
+        assert len(view.root.children) == 2
+
+
+class TestRecursiveQueries:
+    def test_section_descent(self):
+        doc = parse_document(
+            """
+            <section>
+              <prolog>p1</prolog>
+              <section><prolog>p2</prolog><conclusion>c2</conclusion></section>
+              <conclusion>c1</conclusion>
+            </section>
+            """
+        )
+        from repro.workloads.paper import q4
+
+        view = evaluate(q4(), doc)
+        values = [(e.name, e.text) for e in view.root.children]
+        # Document order: p1, p2, c2, c1 -- the bracket sequence.
+        assert values == [
+            ("prolog", "p1"),
+            ("prolog", "p2"),
+            ("conclusion", "c2"),
+            ("conclusion", "c1"),
+        ]
+
+    def test_chain_must_start_at_root(self):
+        doc = parse_document(
+            "<chapter><section><prolog>p</prolog><conclusion>c</conclusion>"
+            "</section></chapter>"
+        )
+        from repro.workloads.paper import q4
+
+        # Root is 'chapter', not 'section': the recursive step cannot
+        # anchor, so nothing is picked.
+        assert evaluate(q4(), doc).root.children == []

@@ -1,0 +1,139 @@
+"""Cross-check of the memoized evaluator against a reference matcher.
+
+The production evaluator prunes with memoized subtree tests; this
+reference implementation is deliberately naive (pure backtracking over
+full bindings, no memoization, no pruning).  Agreement on randomized
+workloads guards the optimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.dtd import generate_document
+from repro.workloads import paper, synthetic
+from repro.xmas import Condition, Query, parse_query, picked_elements
+from repro.xmlmodel import Document, Element
+
+
+def _reference_bindings(query: Query, document: Document):
+    """All full environments, the slow and obvious way."""
+
+    def check_inequalities(env):
+        for pair in query.inequalities:
+            a, b = tuple(pair)
+            if a in env and b in env and env[a].id == env[b].id:
+                return False
+        return True
+
+    def match(node: Condition, element: Element, env):
+        if not node.test.accepts(element.name):
+            return
+        if node.recursive:
+            yield from match_here(node, element, env)
+            for child in element.children:
+                if node.test.accepts(child.name):
+                    yield from match(node, child, env)
+            return
+        yield from match_here(node, element, env)
+
+    def match_here(node: Condition, element: Element, env):
+        if node.pcdata is not None:
+            if element.is_pcdata and element.text == node.pcdata:
+                yield from bind(node, element, env)
+            return
+        if not node.children:
+            yield from bind(node, element, env)
+            return
+        if element.is_pcdata:
+            return
+        for env2 in bind(node, element, env):
+            yield from assign(node.children, element.children, env2)
+
+    def bind(node: Condition, element: Element, env):
+        if node.variable is None:
+            yield env
+            return
+        if node.variable in env and env[node.variable].id != element.id:
+            return
+        env2 = dict(env)
+        env2[node.variable] = element
+        if check_inequalities(env2):
+            yield env2
+
+    def assign(conditions, children, env):
+        if not conditions:
+            yield env
+            return
+        # try every injective assignment, naively
+        for permutation in itertools.permutations(
+            range(len(children)), len(conditions)
+        ):
+            def extend(index, env_inner):
+                if index == len(conditions):
+                    yield env_inner
+                    return
+                child = children[permutation[index]]
+                for env_next in match(
+                    conditions[index], child, env_inner
+                ):
+                    yield from extend(index + 1, env_next)
+
+            yield from extend(0, env)
+
+    yield from match(query.root, document.root, {})
+
+
+def _reference_picks(query: Query, document: Document):
+    picked = set()
+    for env in _reference_bindings(query, document):
+        element = env.get(query.pick_variable)
+        if element is not None:
+            picked.add(element.id)
+    return [e.id for e in document.iter() if e.id in picked]
+
+
+REFERENCE_QUERIES = [
+    "v = SELECT P WHERE <department> P:<professor | gradStudent>"
+    " <publication><journal/></publication> </> </>",
+    "v = SELECT P WHERE <department> <name>CS</name> P:<course/> </>",
+    "v = SELECT P WHERE <department> <professor> P:<publication>"
+    " <author id=A/> <author id=B/> </> </> </> AND A != B",
+    "v = SELECT X WHERE X:<department> <professor/> <professor/> </>",
+]
+
+
+@pytest.mark.parametrize("query_text", REFERENCE_QUERIES)
+@pytest.mark.parametrize("seed", range(3))
+def test_evaluator_matches_reference(query_text, seed):
+    query = parse_query(query_text)
+    rng = random.Random(seed)
+    doc = generate_document(paper.d1(), rng, star_mean=1.2)
+    fast = [e.id for e in picked_elements(query, doc)]
+    slow = _reference_picks(query, doc)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_evaluator_matches_reference_on_synthetic(seed):
+    d = synthetic.layered_dtd(3, 2)
+    rng = random.Random(seed)
+    query = synthetic.path_query(d, 2, rng, side_conditions=1)
+    doc = generate_document(d, rng, star_mean=1.0)
+    fast = [e.id for e in picked_elements(query, doc)]
+    slow = _reference_picks(query, doc)
+    assert fast == slow
+
+
+def test_recursive_query_matches_reference():
+    from repro.workloads.paper import q4, section_dtd
+
+    rng = random.Random(7)
+    doc = generate_document(section_dtd(), rng, star_mean=0.9, max_depth=8)
+    query = q4()
+    fast = [e.id for e in picked_elements(query, doc)]
+    slow = _reference_picks(query, doc)
+    assert fast == slow

@@ -1,0 +1,110 @@
+"""Tests for the XMAS surface-syntax parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xmas import parse_query
+from repro.workloads.paper import q2
+
+
+class TestParser:
+    def test_q2_shape(self):
+        q = q2()
+        assert q.view_name == "withJournals"
+        assert q.pick_variable == "P"
+        root = q.root
+        assert root.test.names == ("department",)
+        name_cond, pick = root.children
+        assert name_cond.pcdata == "CS"
+        assert pick.variable == "P"
+        assert pick.test.names == ("professor", "gradStudent")
+        assert len(pick.children) == 2
+        assert {c.variable for c in pick.children} == {"Pub1", "Pub2"}
+        assert frozenset(("Pub1", "Pub2")) in {
+            frozenset(p) for p in q.inequalities
+        }
+
+    def test_default_view_name(self):
+        q = parse_query("SELECT X WHERE X:<a/>")
+        assert q.view_name == "answer"
+
+    def test_id_attribute_binds(self):
+        q = parse_query("SELECT X WHERE <a> <b id=X/> </>")
+        (child,) = q.root.children
+        assert child.variable == "X"
+
+    def test_colon_binder(self):
+        q = parse_query("SELECT X WHERE <a> X:<b/> </>")
+        assert q.root.children[0].variable == "X"
+
+    def test_conflicting_binders_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT X WHERE <a> X:<b id=Y/> </>")
+
+    def test_consistent_double_binder_ok(self):
+        q = parse_query("SELECT X WHERE <a> X:<b id=X/> </>")
+        assert q.root.children[0].variable == "X"
+
+    def test_named_closing_tag(self):
+        q = parse_query("SELECT X WHERE X:<a><b/></a>")
+        assert q.root.variable == "X"
+
+    def test_recursive_step(self):
+        q = parse_query("SELECT X WHERE <section*> X:<prolog/> </>")
+        assert q.root.recursive
+        assert q.root.test.names == ("section",)
+
+    def test_wildcard(self):
+        q = parse_query("SELECT X WHERE <a> X:<*/> </>")
+        assert q.root.children[0].test.is_wildcard
+
+    def test_pcdata_condition(self):
+        q = parse_query("SELECT X WHERE X:<a> <name>CS</name> </>")
+        assert q.root.children[0].pcdata == "CS"
+
+    def test_multiple_inequalities(self):
+        q = parse_query(
+            "SELECT A WHERE A:<a> <b id=B1/> <b id=B2/> <b id=B3/> </> "
+            "AND B1 != B2 AND B2 != B3"
+        )
+        assert len(q.inequalities) == 2
+
+    def test_unbound_pick_rejected(self):
+        from repro.errors import QueryAnalysisError
+
+        with pytest.raises(QueryAnalysisError):
+            parse_query("SELECT Z WHERE X:<a/>")
+
+    def test_trivial_inequality_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT X WHERE X:<a/> AND X != X")
+
+    def test_inequality_unbound_variable_rejected(self):
+        from repro.errors import QueryAnalysisError
+
+        with pytest.raises(QueryAnalysisError):
+            parse_query("SELECT X WHERE X:<a/> AND X != Nope")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "WHERE <a/>",
+            "SELECT WHERE <a/>",
+            "SELECT X FROM <a/>",
+            "SELECT X WHERE X:<a>",
+            "SELECT X WHERE X:<a/> EXTRA junk",
+            "SELECT X WHERE X:<a attr=v/>",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_str_round_trip(self):
+        q = q2()
+        again = parse_query(str(q))
+        assert again.view_name == q.view_name
+        assert again.pick_variable == q.pick_variable
+        assert again.inequalities == q.inequalities
+        assert str(again.root) == str(q.root)

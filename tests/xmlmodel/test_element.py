@@ -1,0 +1,96 @@
+"""Unit tests for the element/document model."""
+
+import pytest
+
+from repro.xmlmodel import Document, Element, elem, text_elem
+
+
+class TestElement:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Element("", [])
+
+    def test_pcdata_vs_element_content(self):
+        text = text_elem("name", "CS")
+        container = elem("dept")
+        assert text.is_pcdata
+        assert text.text == "CS"
+        assert text.children == []
+        assert not container.is_pcdata
+        assert container.text is None
+
+    def test_empty_content_is_not_pcdata(self):
+        # Paper: elements with empty content != empty elements / strings.
+        empty = elem("journal")
+        assert not empty.is_pcdata
+        assert empty.children == []
+
+    def test_child_names(self):
+        e = elem("pub", text_elem("title", "t"), text_elem("author", "a"))
+        assert e.child_names() == ["title", "author"]
+
+    def test_document_order_traversal(self):
+        doc = elem(
+            "a",
+            elem("b", text_elem("c", "1")),
+            text_elem("d", "2"),
+        )
+        assert [e.name for e in doc.iter()] == ["a", "b", "c", "d"]
+
+    def test_unique_ids_by_default(self):
+        a, b = elem("x"), elem("x")
+        assert a.id != b.id
+
+    def test_structural_equality_ignores_ids(self):
+        a = elem("p", text_elem("t", "v"), id="i1")
+        b = elem("p", text_elem("t", "v"), id="i2")
+        assert a.structurally_equal(b)
+
+    def test_structural_equality_compares_strings(self):
+        a = elem("p", text_elem("t", "v1"))
+        b = elem("p", text_elem("t", "v2"))
+        assert not a.structurally_equal(b)
+
+    def test_structural_equality_checks_order(self):
+        a = elem("p", elem("x"), elem("y"))
+        b = elem("p", elem("y"), elem("x"))
+        assert not a.structurally_equal(b)
+
+    def test_deep_copy_fresh_ids(self):
+        original = elem("p", elem("x"))
+        copy = original.deep_copy(fresh_ids=True)
+        assert copy.structurally_equal(original)
+        assert copy.id != original.id
+        assert copy.children[0].id != original.children[0].id
+
+    def test_deep_copy_preserves_ids(self):
+        original = elem("p", elem("x"))
+        copy = original.deep_copy()
+        assert copy.id == original.id
+        assert copy is not original
+
+    def test_size_and_depth(self):
+        e = elem("a", elem("b", elem("c")), elem("d"))
+        assert e.size() == 4
+        assert e.depth() == 3
+
+    def test_find_all(self):
+        e = elem("a", elem("b"), elem("a", elem("b")))
+        assert len(e.descendants_named("b")) == 2
+        assert len(e.descendants_named("a")) == 2
+
+
+class TestDocument:
+    def test_root_type(self):
+        doc = Document(elem("department"))
+        assert doc.root_type == "department"
+
+    def test_duplicate_id_detection(self):
+        doc = Document(elem("a", elem("b", id="dup"), elem("c", id="dup")))
+        assert doc.check_unique_ids() == ["dup"]
+
+    def test_element_by_id(self):
+        inner = elem("b", id="target")
+        doc = Document(elem("a", inner))
+        assert doc.element_by_id("target") is inner
+        assert doc.element_by_id("missing") is None

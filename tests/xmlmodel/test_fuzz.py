@@ -1,0 +1,95 @@
+"""Fuzz-style round-trip tests for the XML layer.
+
+Random valid documents (drawn from random DTDs) must survive
+serialize -> parse unchanged, with and without IDs; malformed inputs
+must raise :class:`XmlSyntaxError`, never crash differently.
+"""
+
+import random
+
+import pytest
+
+from repro.dtd import DtdShape, generate_document, random_dtd
+from repro.errors import XmlSyntaxError
+from repro.xmlmodel import (
+    parse_document,
+    serialize_document,
+)
+
+
+class TestRoundTripFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_documents_round_trip(self, seed):
+        rng = random.Random(seed)
+        dtd = random_dtd(DtdShape(n_names=7), rng)
+        doc = generate_document(dtd, rng, string_pool=("x<y&z", "  a  ", ""))
+        text = serialize_document(doc, include_ids=True)
+        again = parse_document(text)
+        assert again.root.structurally_equal(doc.root) or _whitespace_only_diff(
+            doc, again
+        )
+        ids_a = [e.id for e in doc.iter()]
+        ids_b = [e.id for e in again.iter()]
+        assert ids_a == ids_b
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_without_ids_same_class(self, seed):
+        from repro.dtd import same_structural_class
+
+        rng = random.Random(100 + seed)
+        dtd = random_dtd(DtdShape(n_names=6), rng)
+        doc = generate_document(dtd, rng, string_pool=("v",))
+        again = parse_document(serialize_document(doc))
+        assert same_structural_class(doc.root, again.root)
+
+
+def _whitespace_only_diff(doc, again) -> bool:
+    """PCDATA values that are pure whitespace serialize to empty
+    content; accept that canonicalization."""
+
+    def normalize(element):
+        if element.is_pcdata and not (element.text or "").strip():
+            return (element.name, ())
+        if element.is_pcdata:
+            return (element.name, element.text)
+        return (
+            element.name,
+            tuple(normalize(child) for child in element.children),
+        )
+
+    return normalize(doc.root) == normalize(again.root)
+
+
+class TestMalformedInputs:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "just text",
+            "<",
+            "<a",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><a/>",
+            "<a id=></a>",
+            "<a id='x></a>",
+            "<1bad/>",
+            "<a>&unknown;</a>",
+            "<a>&#xZZ;</a>",
+            "<!-- unterminated <a/>",
+            "<a>text<b/></a>",
+        ],
+    )
+    def test_raise_xml_syntax_error(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            parse_document(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse_document("<a>\n\n  <b></c></a>")
+        except XmlSyntaxError as error:
+            assert error.line == 3
+            assert error.column > 1
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")

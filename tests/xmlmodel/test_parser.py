@@ -1,0 +1,110 @@
+"""Tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlmodel import (
+    parse_document,
+    parse_element,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestParsing:
+    def test_simple_document(self):
+        doc = parse_document("<a><b>text</b><c/></a>")
+        assert doc.root_type == "a"
+        b, c = doc.root.children
+        assert b.text == "text"
+        assert not c.is_pcdata
+        assert c.children == []
+
+    def test_id_attribute(self):
+        e = parse_element('<pub id="p1"><title>t</title></pub>')
+        assert e.id == "p1"
+
+    def test_other_attributes_carried(self):
+        # Appendix A layer: non-ID attributes are parsed and stored;
+        # the core model simply never looks at them.
+        e = parse_element('<pub year="1999" venue="ICDE"/>')
+        assert e.attributes == {"year": "1999", "venue": "ICDE"}
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element('<pub year="1999" year="2000"/>')
+
+    def test_whitespace_between_children_ignored(self):
+        doc = parse_document("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.name for c in doc.root.children] == ["b", "c"]
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a>text<b/></a>")
+
+    def test_entities(self):
+        e = parse_element("<t>a &lt; b &amp; c &gt; d</t>")
+        assert e.text == "a < b & c > d"
+
+    def test_numeric_entities(self):
+        assert parse_element("<t>&#65;&#x42;</t>").text == "AB"
+
+    def test_unknown_entity(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element("<t>&nope;</t>")
+
+    def test_comments_skipped(self):
+        doc = parse_document("<!-- head --><a><!-- mid --><b/></a>")
+        assert [c.name for c in doc.root.children] == ["b"]
+
+    def test_xml_declaration_and_doctype_skipped(self):
+        doc = parse_document(
+            '<?xml version="1.0"?>\n<!DOCTYPE a [<!ELEMENT a (b)>]>\n<a><b/></a>'
+        )
+        assert doc.root_type == "a"
+
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b></a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b/>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a/><b/>")
+
+    def test_error_reports_location(self):
+        try:
+            parse_document("<a>\n<b></c></a>")
+        except XmlSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a><b/></a>",
+            "<a><b>hello</b><c/><b>world</b></a>",
+            "<pub><title>On DTDs &amp; views</title><journal/></pub>",
+        ],
+    )
+    def test_round_trip(self, text):
+        doc = parse_document(text)
+        again = parse_document(serialize_document(doc))
+        assert again.root.structurally_equal(doc.root)
+
+    def test_ids_round_trip(self):
+        doc = parse_document('<a id="r"><b id="x"/></a>')
+        again = parse_document(serialize_document(doc, include_ids=True))
+        assert again.root.id == "r"
+        assert again.root.children[0].id == "x"
+
+    def test_escaping(self):
+        e = parse_element("<t>1 &lt; 2</t>")
+        assert "&lt;" in serialize_element(e)
