@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench examples verify all
+.PHONY: install test bench examples lint verify all
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,28 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Static checks: ruff + mypy --strict (each skipped with a notice when
+# not installed -- offline images may lack them), then `repro lint`
+# over the example workloads.  The paper workload contains a
+# deliberately dead query, so its expected exit code is 1.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff"; ruff check src tests benchmarks || exit 1; \
+	else echo "== ruff not installed, skipping"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "== mypy --strict (repro.lint)"; mypy || exit 1; \
+	else echo "== mypy not installed, skipping"; fi
+	@echo "== repro lint --workload bibdb (expect clean)"
+	@python -m repro lint --workload bibdb
+	@echo "== repro lint --workload paper (expect the q-dead error)"
+	@python -m repro lint --workload paper; \
+	status=$$?; \
+	if [ $$status -ne 1 ]; then \
+		echo "expected exit 1 from the paper workload, got $$status"; \
+		exit 1; \
+	fi
+	@echo "lint OK"
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,119 @@
+"""Lint cost: the pre-flight must be a small fraction of inference.
+
+The mediator runs ``lint_query`` before every fan-out and the CLI runs
+the full rule set over whole workloads, so the subsystem only earns
+its keep if a pre-flight costs far less than the full view-DTD
+inference it guards (one uncollapsed Tighten run versus tighten +
+list-type + merge).  Measured on the bibdb workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.inference import infer_view_dtd
+from repro.lint import lint_dtd, lint_query, run_lint
+from repro.workloads import bibdb, paper
+
+
+class TestPreflightCost:
+    def test_preflight_vs_full_inference_on_bibdb(self, benchmark):
+        schema = bibdb.bibdb_dtd()
+        views = bibdb.all_views()
+
+        def preflight_all():
+            return [lint_query(query, schema) for query in views]
+
+        reports = benchmark(preflight_all)
+        assert all(not report.has_errors for report in reports)
+
+        def clock_inference(repeat: int = 3) -> float:
+            start = time.perf_counter()
+            for _ in range(repeat):
+                for query in views:
+                    infer_view_dtd(schema, query)
+            return (time.perf_counter() - start) / repeat
+
+        inference_mean = clock_inference()
+        preflight_mean = benchmark.stats.stats.mean
+        # the acceptance bar: pre-flight is a small fraction of the
+        # inference it fronts (loose factor, CI machines are noisy)
+        assert preflight_mean < inference_mean, (
+            preflight_mean,
+            inference_mean,
+        )
+        benchmark.extra_info["preflight_fraction"] = round(
+            preflight_mean / inference_mean, 3
+        )
+
+    def test_preflight_shares_tighten_with_simplifier(self, benchmark):
+        """The cache hand-off: pre-flight + simplify pay one Tighten."""
+        from repro.mediator import simplify_query
+
+        schema = bibdb.bibdb_dtd()
+        query = bibdb.journal_articles_view()
+
+        def preflight_then_simplify():
+            cache: dict = {}
+            report = lint_query(query, schema, cache=cache)
+            decision = simplify_query(
+                query, schema, tightening=cache["tighten"]
+            )
+            return report, decision
+
+        report, decision = benchmark(preflight_then_simplify)
+        assert not report.has_errors
+        assert not decision.answer_is_empty
+
+        def clock_unshared(repeat: int = 5) -> float:
+            start = time.perf_counter()
+            for _ in range(repeat):
+                lint_query(query, schema)
+                simplify_query(query, schema)
+            return (time.perf_counter() - start) / repeat
+
+        shared_mean = benchmark.stats.stats.mean
+        unshared_mean = clock_unshared()
+        benchmark.extra_info["sharing_speedup"] = round(
+            unshared_mean / shared_mean, 2
+        )
+
+
+class TestWorkloadLint:
+    def test_full_paper_workload_lint(self, benchmark):
+        pairs = paper.lint_workload()
+
+        def lint_all():
+            total = None
+            audited = set()
+            for label, source_dtd, query in pairs:
+                signature = (source_dtd.root, source_dtd.names)
+                scopes = (
+                    {"query", "dtd"}
+                    if signature not in audited
+                    else {"query"}
+                )
+                audited.add(signature)
+                report = run_lint(
+                    dtd=source_dtd, query=query, scopes=scopes, origin=label
+                )
+                total = report if total is None else total.merged_with(report)
+            return total
+
+        report = benchmark(lint_all)
+        # the workload exercises all three classifications, and only
+        # the dead companion carries the error
+        verdicts = {
+            d.data["classification"] for d in report.by_code("MIX100")
+        }
+        assert verdicts == {"valid", "satisfiable", "unsatisfiable"}
+        assert report.exit_code == 1
+        assert all(d.origin == "q-dead-over-d9" for d in report.errors)
+        benchmark.extra_info["findings"] = len(report)
+
+    def test_dtd_audit_alone(self, benchmark):
+        schema = bibdb.bibdb_dtd()
+        report = benchmark(lambda: lint_dtd(schema))
+        assert not report.has_errors

@@ -55,6 +55,7 @@ from .inference import (
     refine,
     tighten,
 )
+from .lint import DiagnosticReport, Severity, lint_dtd, lint_query, run_lint
 from .mediator import Mediator, QueryBuilder, Source, simplify_query, structure_tree
 from .regex import parse_regex, to_string
 from .xmas import Query, evaluate, parse_query
@@ -64,6 +65,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Classification",
+    "DiagnosticReport",
     "Document",
     "Dtd",
     "Element",
@@ -73,11 +75,14 @@ __all__ = [
     "PCDATA",
     "Query",
     "QueryBuilder",
+    "Severity",
     "Source",
     "SpecializedDtd",
     "__version__",
     "check_soundness",
     "dtd",
+    "lint_dtd",
+    "lint_query",
     "evaluate",
     "infer_list_type",
     "infer_view_dtd",
@@ -90,6 +95,7 @@ __all__ = [
     "parse_query",
     "parse_regex",
     "refine",
+    "run_lint",
     "satisfies_sdtd",
     "sdtd",
     "serialize_document",

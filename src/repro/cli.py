@@ -7,6 +7,7 @@ Commands:
 * ``evaluate``  -- run a query over an XML document
 * ``validate``  -- validate a document against a DTD
 * ``structure`` -- display the browsable structure of a DTD
+* ``lint``      -- static diagnostics for DTDs and queries
 
 DTD files may use standard ``<!ELEMENT>`` declarations (optionally
 DOCTYPE-wrapped) or the paper's ``{<name : model> ...}`` notation;
@@ -97,6 +98,94 @@ def _cmd_xmlize(args: argparse.Namespace) -> int:
     return 0 if report.fully_deterministic else 1
 
 
+def _split_codes(raw: list[str] | None) -> list[str] | None:
+    if not raw:
+        return None
+    codes: list[str] = []
+    for chunk in raw:
+        codes.extend(code.strip() for code in chunk.split(",") if code.strip())
+    return codes or None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .inference import InferenceMode
+    from .lint import DiagnosticReport, run_lint
+
+    if not args.workload and not args.dtd:
+        print("error: lint needs --dtd and/or --workload", file=sys.stderr)
+        return 2
+    if args.query and not args.dtd:
+        print("error: --query needs --dtd to check against", file=sys.stderr)
+        return 2
+    mode = InferenceMode(args.mode)
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    report = DiagnosticReport()
+
+    if args.workload:
+        from .workloads import bibdb
+        from .workloads import paper as paper_workload
+
+        pairs = (
+            paper_workload.lint_workload()
+            if args.workload == "paper"
+            else bibdb.lint_workload()
+        )
+        audited_dtds: set = set()
+        for label, source_dtd, query in pairs:
+            # Audit each distinct DTD once; lint every query against it.
+            signature = (source_dtd.root, source_dtd.names)
+            report = report.merged_with(
+                run_lint(
+                    dtd=source_dtd,
+                    query=query,
+                    mode=mode,
+                    select=select,
+                    ignore=ignore,
+                    scopes=(
+                        {"query", "dtd"}
+                        if signature not in audited_dtds
+                        else {"query"}
+                    ),
+                    origin=label,
+                )
+            )
+            audited_dtds.add(signature)
+    if args.dtd:
+        dtd_text = Path(args.dtd).read_text()
+        source_dtd = _load_dtd(args.dtd, args.root)
+        if args.query:
+            for query_path in args.query:
+                query_text = Path(query_path).read_text()
+                report = report.merged_with(
+                    run_lint(
+                        dtd=source_dtd,
+                        query=parse_query(query_text),
+                        mode=mode,
+                        select=select,
+                        ignore=ignore,
+                        dtd_text=dtd_text,
+                        query_text=query_text,
+                        origin=Path(query_path).name if len(args.query) > 1 else "",
+                    )
+                )
+        else:
+            report = report.merged_with(
+                run_lint(
+                    dtd=source_dtd,
+                    select=select,
+                    ignore=ignore,
+                    dtd_text=dtd_text,
+                )
+            )
+
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -159,6 +248,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_dtd_options(p)
     p.set_defaults(func=_cmd_xmlize)
 
+    p = sub.add_parser(
+        "lint",
+        help="static diagnostics for DTDs and XMAS queries",
+        description=(
+            "Run the rule-based static analyzer (see docs/DIAGNOSTICS.md)."
+            " Exits 1 exactly when an error-severity diagnostic is present,"
+            " 0 otherwise."
+        ),
+    )
+    p.add_argument("--dtd", help="DTD file to audit / check queries against")
+    p.add_argument("--root", default=None, help="document type (override)")
+    p.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="XMAS query file to check against --dtd (repeatable)",
+    )
+    p.add_argument(
+        "--workload",
+        choices=["paper", "bibdb"],
+        help="lint a built-in workload's DTD/query pairs",
+    )
+    p.add_argument(
+        "--mode",
+        choices=[m.value for m in InferenceMode],
+        default="exact",
+        help="validity decision mode (default: exact)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--select",
+        action="append",
+        help="only run these codes/prefixes (comma-separated, repeatable)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        help="skip these codes/prefixes (comma-separated, repeatable)",
+    )
+    p.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -168,7 +303,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        # Runtime failures share the lint rules' code namespace
+        # (docs/DIAGNOSTICS.md); print the code so output is greppable.
+        print(f"error[{error.code}]: {error}", file=sys.stderr)
         return 2
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)

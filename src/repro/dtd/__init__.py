@@ -7,6 +7,7 @@ generation of DTDs and conforming documents.
 """
 
 from .analysis import (
+    dangling_specializations,
     is_recursive,
     is_xml_deterministic,
     max_document_depth,
@@ -85,6 +86,7 @@ __all__ = [
     "apply_defaults",
     "carry_over_attributes",
     "compare_tightness",
+    "dangling_specializations",
     "determinize_content_model",
     "dtd",
     "equivalent_dtds",

@@ -15,29 +15,71 @@ from .sdtd import SpecializedDtd, TaggedName
 
 
 def reachable_names(dtd: Dtd, start: str | None = None) -> frozenset[str]:
-    """Names reachable from ``start`` (default: the document type)."""
+    """Names reachable from ``start`` (default: the document type).
+
+    Reachability follows content-model references and, additionally,
+    *attribute* references: when a reachable element declares an
+    IDREF/IDREFS attribute (Appendix A), every element declaring an ID
+    attribute is a potential target -- the DTD does not type IDREF
+    targets, so pruning such a name would drop a declaration the
+    attribute layer can still point at.
+    """
     root = start if start is not None else dtd.root
     if root is None:
         return dtd.names
     if root not in dtd:
         return frozenset()
+    id_targets = _id_declaring_names(dtd)
     seen: set[str] = {root}
     frontier = [root]
     while frontier:
         name = frontier.pop()
-        for referenced in dtd.referenced_names(name):
-            if referenced in dtd and referenced not in seen:
-                seen.add(referenced)
-                frontier.append(referenced)
+        referenced = set(dtd.referenced_names(name))
+        if _declares_idref(dtd, name):
+            referenced |= id_targets
+        for target in referenced:
+            if target in dtd and target not in seen:
+                seen.add(target)
+                frontier.append(target)
     return frozenset(seen)
 
 
+def _id_declaring_names(dtd: Dtd) -> set[str]:
+    """Element names whose ATTLIST declares an ID attribute."""
+    targets: set[str] = set()
+    for name, declarations in dtd.attributes.items():
+        for decl in declarations.values():
+            kind = getattr(decl, "kind", None)
+            if kind is not None and kind.value == "ID":
+                targets.add(name)
+    return targets
+
+
+def _declares_idref(dtd: Dtd, name: str) -> bool:
+    """Does ``name``'s ATTLIST declare an IDREF or IDREFS attribute?"""
+    for decl in dtd.attributes.get(name, {}).values():
+        kind = getattr(decl, "kind", None)
+        if kind is not None and kind.value in ("IDREF", "IDREFS"):
+            return True
+    return False
+
+
 def prune_unreachable(dtd: Dtd, start: str | None = None) -> Dtd:
-    """Drop declarations not reachable from the root (Example 3.1 step)."""
+    """Drop declarations not reachable from the root (Example 3.1 step).
+
+    Attribute declarations of surviving names are carried over (they
+    never affect content models, but dropping them silently would lose
+    the Appendix A layer).
+    """
     keep = reachable_names(dtd, start)
     return Dtd(
         {name: content for name, content in dtd.types.items() if name in keep},
         dtd.root if dtd.root in keep else None,
+        {
+            name: declarations
+            for name, declarations in dtd.attributes.items()
+            if name in keep
+        },
     )
 
 
@@ -130,6 +172,27 @@ def max_document_depth(dtd: Dtd) -> int | None:
     if dtd.root is not None:
         return visit(dtd.root)
     return max((visit(name) for name in reachable), default=0)
+
+
+def dangling_specializations(sdtd: SpecializedDtd) -> frozenset[TaggedName]:
+    """Proper specializations no type (transitively) uses.
+
+    With a root: tagged names (tag > 0) unreachable from it.  Without a
+    root: tagged names no *other* declaration references.  Inference
+    prunes these itself (:func:`prune_unreachable_sdtd`), so a dangling
+    tag in an s-DTD handed to a stacked mediator or serialized for a
+    client signals a buggy producer or a hand-edit gone stale -- the
+    tag hygiene check of the lint layer.
+    """
+    proper = frozenset(key for key in sdtd.types if key[1] != 0)
+    if not proper:
+        return frozenset()
+    if sdtd.root is not None:
+        return proper - reachable_keys(sdtd)
+    referenced: set[TaggedName] = set()
+    for key in sdtd.types:
+        referenced |= sdtd.referenced_keys(key)
+    return proper - referenced
 
 
 def nondeterministic_names(dtd: Dtd) -> frozenset[str]:

@@ -1,19 +1,53 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and the diagnostic-code namespace.
 
 Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch library failures without also
 swallowing programming errors such as ``TypeError``.
+
+Every exception class additionally carries a stable *diagnostic code*
+(``DTD002``, ``MIX002``, ...).  Lint rules (:mod:`repro.lint`) register
+their rule codes in the same namespace via
+:func:`register_diagnostic_code`, so a code printed by the CLI -- be it
+from a runtime failure or a static finding -- identifies exactly one
+condition, catalogued in ``docs/DIAGNOSTICS.md``.
 """
 
 from __future__ import annotations
+
+#: The unified code namespace: code -> one-line description.  Exception
+#: codes are registered below; lint rules add theirs on import of
+#: :mod:`repro.lint`.
+DIAGNOSTIC_CODES: dict[str, str] = {}
+
+
+def register_diagnostic_code(code: str, description: str) -> str:
+    """Claim a diagnostic code; collisions are programming errors.
+
+    Returns the code so registrations can double as assignments.
+    """
+    if not code or not code[-1].isdigit():
+        raise ValueError(f"malformed diagnostic code {code!r}")
+    existing = DIAGNOSTIC_CODES.get(code)
+    if existing is not None and existing != description:
+        raise ValueError(
+            f"diagnostic code {code!r} already registered for {existing!r}"
+        )
+    DIAGNOSTIC_CODES[code] = description
+    return code
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    code = register_diagnostic_code("REPRO001", "library failure")
+
 
 class RegexSyntaxError(ReproError):
     """A DTD content-model expression could not be parsed."""
+
+    code = register_diagnostic_code(
+        "REX001", "content-model expression syntax error"
+    )
 
     def __init__(self, message: str, text: str, position: int) -> None:
         super().__init__(f"{message} at position {position} in {text!r}")
@@ -24,6 +58,8 @@ class RegexSyntaxError(ReproError):
 class XmlSyntaxError(ReproError):
     """An XML document could not be parsed."""
 
+    code = register_diagnostic_code("XML001", "XML document syntax error")
+
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
         self.line = line
@@ -33,9 +69,15 @@ class XmlSyntaxError(ReproError):
 class DtdSyntaxError(ReproError):
     """A DTD declaration could not be parsed."""
 
+    code = register_diagnostic_code("DTD001", "DTD declaration syntax error")
+
 
 class DtdConsistencyError(ReproError):
     """A DTD references undeclared names or is otherwise malformed."""
+
+    code = register_diagnostic_code(
+        "DTD002", "DTD references undeclared names / malformed"
+    )
 
 
 class ValidationError(ReproError):
@@ -45,9 +87,15 @@ class ValidationError(ReproError):
     return a report object instead.
     """
 
+    code = register_diagnostic_code(
+        "VAL001", "document does not satisfy its DTD"
+    )
+
 
 class QuerySyntaxError(ReproError):
     """An XMAS query could not be parsed."""
+
+    code = register_diagnostic_code("MIX001", "XMAS query syntax error")
 
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
@@ -62,10 +110,20 @@ class QueryAnalysisError(ReproError):
     with recursive path steps (Section 4.4, footnote 9 of the paper).
     """
 
+    code = register_diagnostic_code(
+        "MIX002", "query outside the class an algorithm handles"
+    )
+
 
 class UnknownNameError(ReproError):
     """A query or document mentions an element name absent from the DTD."""
 
+    code = register_diagnostic_code(
+        "MIX003", "undeclared element name mentioned"
+    )
+
 
 class MediatorError(ReproError):
     """A mediator operation failed (unknown view, unknown source, ...)."""
+
+    code = register_diagnostic_code("MED001", "mediator operation failed")

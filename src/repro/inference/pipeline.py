@@ -59,6 +59,25 @@ class InferenceResult:
         """True when no valid source document yields a non-empty view."""
         return self.classification is Classification.UNSATISFIABLE
 
+    def diagnostics(self):
+        """Static diagnostics for the inferred view DTDs.
+
+        Runs the DTD rules over the plain view DTD, the s-DTD hygiene
+        rules over the specialized one, and the view rules over this
+        result (empty view, lossy merge) -- the lint subsystem's third
+        integration layer.  Computed on demand; returns a
+        :class:`repro.lint.DiagnosticReport`.
+        """
+        from ..lint import run_lint
+
+        return run_lint(
+            dtd=self.dtd,
+            sdtd=self.sdtd,
+            inference=self,
+            mode=self.mode,
+            origin=self.query.view_name,
+        )
+
     def xml_dtd(self):
         """The plain view DTD with XML-1.0 deterministic content models.
 

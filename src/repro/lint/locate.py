@@ -1,0 +1,95 @@
+"""Best-effort source spans.
+
+The ASTs carry no positions (they are frozen semantic objects shared
+by every algorithm), so the lint layer recovers line/column spans from
+the *source text* when the caller has it: the CLI passes file contents,
+programmatic callers usually do not, and the structural ``subject``
+locator is always present either way.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .diagnostics import Span
+
+
+def _line_col(text: str, index: int) -> tuple[int, int]:
+    """1-based line/column of a character offset."""
+    line = text.count("\n", 0, index) + 1
+    last_newline = text.rfind("\n", 0, index)
+    column = index - last_newline
+    return line, column
+
+
+def locate_declaration(text: str | None, name: str) -> tuple[int, int] | None:
+    """Find the declaration of element ``name`` in DTD source text.
+
+    Understands both standard ``<!ELEMENT name ...`` declarations and
+    the paper's ``<name : model>`` notation.
+    """
+    if not text:
+        return None
+    escaped = re.escape(name)
+    for pattern in (
+        rf"<!ELEMENT\s+({escaped})[\s(>]",
+        rf"<\s*(?:\(root\)\s*)?({escaped})\s*:",
+    ):
+        match = re.search(pattern, text)
+        if match:
+            return _line_col(text, match.start(1))
+    return None
+
+
+def locate_token(text: str | None, token: str) -> tuple[int, int] | None:
+    """First word-boundary occurrence of ``token`` in query source text."""
+    if not text:
+        return None
+    match = re.search(rf"(?<![\w]){re.escape(token)}(?![\w])", text)
+    if match:
+        return _line_col(text, match.start())
+    return None
+
+
+def dtd_span(text: str | None, name: str) -> Span:
+    """A span pointing at a DTD declaration."""
+    found = locate_declaration(text, name)
+    if found is None:
+        return Span(name)
+    return Span(name, found[0], found[1])
+
+
+def query_span(text: str | None, subject: str, token: str | None = None) -> Span:
+    """A span pointing into a query condition tree.
+
+    ``subject`` is the structural path; ``token`` (usually the node's
+    first constant name) drives the textual lookup.
+    """
+    found = locate_token(text, token) if token else None
+    if found is None:
+        return Span(subject)
+    return Span(subject, found[0], found[1])
+
+
+def condition_path(root, target) -> str:
+    """The ``/``-joined name-test path from the query root to a node.
+
+    Falls back to the target's own name test when the node is not
+    under ``root`` (cannot happen for nodes produced by the same
+    query).
+    """
+    trail = _find_trail(root, target)
+    if trail is None:  # pragma: no cover - defensive
+        return str(target.test)
+    return "/".join(str(node.test) for node in trail)
+
+
+def _find_trail(node, target, trail=()):  # type: ignore[no-untyped-def]
+    trail = trail + (node,)
+    if node is target:
+        return trail
+    for child in node.children:
+        found = _find_trail(child, target, trail)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,144 @@
+"""DTD structure rules: DTD1xx.
+
+These unify the scattered structural analyses of :mod:`repro.dtd`
+behind stable diagnostic codes: undeclared references, unreachable
+declarations (the Example 3.1 pruning step, as a finding instead of a
+silent drop), XML 1.0 determinism (Glushkov), one-unambiguity (BKW --
+whether *any* deterministic model exists), and recursion (Section 3.4,
+which changes which algorithms apply).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dtd.analysis import (
+    nondeterministic_names,
+    reachable_names,
+    recursive_names,
+)
+from ..dtd.dtd import Pcdata
+from ..dtd.one_unambiguity import is_one_unambiguous
+from .diagnostics import Diagnostic, Severity
+from .locate import dtd_span
+from .registry import LintContext, LintRule, register_rule
+
+
+@register_rule
+class UndeclaredReferenceRule(LintRule):
+    code = "DTD101"
+    name = "undeclared-reference"
+    severity = Severity.ERROR
+    scope = "dtd"
+    anchor = "Definition 2.2 (types are regexes over declared names)"
+    description = "content model references an undeclared element name"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.dtd is not None
+        for name, missing in sorted(ctx.dtd.undeclared_references().items()):
+            yield self.finding(
+                ctx,
+                f"content model of {name!r} references undeclared "
+                f"names: {sorted(missing)}",
+                span=dtd_span(ctx.dtd_text, name),
+                referenced=sorted(missing),
+            )
+
+
+@register_rule
+class UnreachableDeclarationRule(LintRule):
+    code = "DTD102"
+    name = "unreachable-declaration"
+    severity = Severity.WARNING
+    scope = "dtd"
+    anchor = "Example 3.1 (inference eliminates unreferenced names)"
+    description = "declaration not reachable from the document type"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.dtd is not None
+        if ctx.dtd.root is None:
+            return  # no document type: every declaration is a root candidate
+        reachable = reachable_names(ctx.dtd)
+        for name in sorted(ctx.dtd.names - reachable):
+            yield self.finding(
+                ctx,
+                f"element {name!r} is declared but unreachable from "
+                f"document type {ctx.dtd.root!r}",
+                span=dtd_span(ctx.dtd_text, name),
+                root=ctx.dtd.root,
+            )
+
+
+@register_rule
+class NondeterministicModelRule(LintRule):
+    code = "DTD103"
+    name = "nondeterministic-content-model"
+    severity = Severity.WARNING
+    scope = "dtd"
+    anchor = "XML 1.0 determinism; repairable via repro.dtd.determinize"
+    description = "content model is not XML-1.0 deterministic"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.dtd is not None
+        offenders = nondeterministic_names(ctx.dtd)
+        ctx.cache["nondeterministic"] = offenders
+        for name in sorted(offenders):
+            yield self.finding(
+                ctx,
+                f"content model of {name!r} violates XML 1.0 "
+                "determinism (Glushkov automaton is nondeterministic)",
+                span=dtd_span(ctx.dtd_text, name),
+            )
+
+
+@register_rule
+class OneAmbiguousModelRule(LintRule):
+    code = "DTD104"
+    name = "one-ambiguous-language"
+    severity = Severity.WARNING
+    scope = "dtd"
+    anchor = "Brüggemann-Klein & Wood 1998 (one-unambiguous languages)"
+    description = "no deterministic content model exists for this language"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.dtd is not None
+        # Only languages already flagged DTD103 can be one-ambiguous;
+        # the shared cache avoids re-deciding determinism.
+        offenders = ctx.cache.get("nondeterministic")
+        if offenders is None:
+            offenders = nondeterministic_names(ctx.dtd)
+        for name in sorted(offenders):
+            content = ctx.dtd.type_of(name)
+            if isinstance(content, Pcdata):  # pragma: no cover - DTD103 skips
+                continue
+            if not is_one_unambiguous(content):
+                yield self.finding(
+                    ctx,
+                    f"the language of {name!r} has *no* deterministic "
+                    "content model; xmlize can only approximate it",
+                    span=dtd_span(ctx.dtd_text, name),
+                )
+
+
+@register_rule
+class RecursiveDtdRule(LintRule):
+    code = "DTD105"
+    name = "recursive-name"
+    severity = Severity.INFO
+    scope = "dtd"
+    anchor = "Section 3.4 / Example 3.5 (no tightest DTDs under recursion)"
+    description = "element name participates in a reference cycle"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.dtd is not None
+        names = recursive_names(ctx.dtd)
+        if not names:
+            return
+        listed = ", ".join(sorted(names))
+        yield self.finding(
+            ctx,
+            f"DTD is recursive via {listed}; view-DTD inference rejects "
+            "queries whose conditions traverse these cycles",
+            span=dtd_span(ctx.dtd_text, sorted(names)[0]),
+            names=sorted(names),
+        )

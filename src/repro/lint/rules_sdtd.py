@@ -1,0 +1,64 @@
+"""Specialized-DTD hygiene rules: SDT2xx.
+
+An s-DTD is the artifact a mediator hands to stacked mediators and to
+the DTD-based query interface (Section 3.3), so a malformed one
+propagates: undeclared tagged references break consumers outright, and
+dangling specialization tags -- declared ``n^i`` that nothing reaches
+after Merge/collapse -- mislead clients about which refinements exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dtd.analysis import dangling_specializations
+from ..dtd.sdtd import format_tagged
+from .diagnostics import Diagnostic, Severity, Span
+from .registry import LintContext, LintRule, register_rule
+
+
+@register_rule
+class UndeclaredTaggedReferenceRule(LintRule):
+    code = "SDT201"
+    name = "undeclared-tagged-reference"
+    severity = Severity.ERROR
+    scope = "sdtd"
+    anchor = "Definition 3.8 (s-DTD content models over declared n^i)"
+    description = "s-DTD content model references an undeclared tagged name"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.sdtd is not None
+        for key, missing in sorted(ctx.sdtd.undeclared_references().items()):
+            rendered = sorted(format_tagged(m) for m in missing)
+            yield self.finding(
+                ctx,
+                f"type of {format_tagged(key)} references undeclared "
+                f"tagged names: {rendered}",
+                span=Span(format_tagged(key)),
+                referenced=rendered,
+            )
+
+
+@register_rule
+class DanglingSpecializationRule(LintRule):
+    code = "SDT202"
+    name = "dangling-specialization"
+    severity = Severity.WARNING
+    scope = "sdtd"
+    anchor = "footnote 8 / Section 4.3 (collapse and Merge drop tags)"
+    description = "specialization tag declared but never used"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.sdtd is not None
+        for key in sorted(dangling_specializations(ctx.sdtd)):
+            yield self.finding(
+                ctx,
+                f"specialization {format_tagged(key)} is declared but "
+                "unused (nothing references it"
+                + (
+                    " from the root); stale after Merge/collapse?"
+                    if ctx.sdtd.root is not None
+                    else "); stale after Merge/collapse?"
+                ),
+                span=Span(format_tagged(key)),
+            )

@@ -1,0 +1,59 @@
+"""Inferred-view rules: VIEW3xx.
+
+These run when the lint context carries a full
+:class:`~repro.inference.pipeline.InferenceResult` -- the pipeline
+attaches them to every inferred view DTD via
+:meth:`InferenceResult.diagnostics`, surfacing what used to be buried
+fields (the empty-view classification, Merge's non-tightness signals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity, Span
+from .registry import LintContext, LintRule, register_rule
+
+
+@register_rule
+class EmptyViewRule(LintRule):
+    code = "VIEW301"
+    name = "empty-view"
+    severity = Severity.WARNING
+    scope = "view"
+    anchor = "Section 4.2 (UNSATISFIABLE views are provably empty)"
+    description = "the registered view is provably empty"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.inference is not None
+        if not ctx.inference.is_empty_view:
+            return
+        yield self.finding(
+            ctx,
+            f"view {ctx.inference.query.view_name!r} is provably empty: "
+            "its condition is unsatisfiable against the source DTD, so "
+            "every materialization is the bare view element",
+            span=Span(ctx.inference.query.view_name),
+        )
+
+
+@register_rule
+class LossyMergeRule(LintRule):
+    code = "VIEW302"
+    name = "lossy-merge"
+    severity = Severity.INFO
+    scope = "view"
+    anchor = "Example 4.3 (merging inadvertently introduces non-tightness)"
+    description = "Merge unioned genuinely different specializations"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        assert ctx.inference is not None
+        for name in ctx.inference.merge.lossy_names:
+            yield self.finding(
+                ctx,
+                f"plain view DTD merged genuinely different "
+                f"specializations of {name!r}; the plain DTD is looser "
+                "than the specialized one -- serve the s-DTD to clients "
+                "that understand tags",
+                span=Span(name),
+            )

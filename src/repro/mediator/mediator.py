@@ -106,6 +106,10 @@ class QueryStats:
     answered_without_source: int = 0
     conditions_pruned: int = 0
     composed: int = 0
+    #: queries the static pre-flight rejected before any planning
+    preflight_rejections: int = 0
+    #: source fan-outs that never happened thanks to the pre-flight
+    fanouts_skipped: int = 0
 
 
 class Mediator:
@@ -118,6 +122,9 @@ class Mediator:
         self.views: dict[str, ViewRegistration] = {}
         self.union_views: dict[str, "UnionViewRegistration"] = {}
         self.stats = QueryStats()
+        #: the diagnostics of the most recent pre-flight (inspection aid)
+        self.last_preflight = None
+        self._preflight_cache: dict = {}
 
     # -- administration --------------------------------------------------
 
@@ -171,18 +178,45 @@ class Mediator:
         source = self.sources[registration.source_name]
         return source.query(registration.query)
 
+    def preflight(self, query: Query, view_name: str):
+        """Static pre-flight: lint a query against the view DTD.
+
+        Runs the query-scope lint rules (one uncollapsed Tighten run)
+        and returns the :class:`~repro.lint.DiagnosticReport`.  An
+        error-severity finding (a provably-empty ``MIX101`` dead path)
+        means the mediator can answer without any source fan-out; the
+        run's shared cache is kept so :meth:`query_view` hands the same
+        Tighten result to the simplifier -- pre-flight plus
+        simplification cost one classification, not two.
+        """
+        from ..lint import lint_query
+
+        registration = self._view(view_name)
+        cache: dict = {}
+        report = lint_query(
+            query, registration.dtd, mode=self.mode, cache=cache
+        )
+        self.last_preflight = report
+        self._preflight_cache = cache
+        return report
+
     def query_view(
         self,
         query: Query,
         view_name: str,
         use_simplifier: bool = True,
         strategy: str = "auto",
+        preflight: bool | None = None,
     ) -> Document:
         """Answer a query posed against a mediated view.
 
-        With the simplifier on, the view DTD is consulted first: an
-        unsatisfiable query is answered with the empty view without
-        materializing anything, and valid sub-conditions are pruned.
+        With the simplifier on, the view DTD is consulted first: the
+        static pre-flight rejects unsatisfiable queries with the empty
+        view without materializing anything (recording the skipped
+        fan-out), and valid sub-conditions are pruned.
+
+        ``preflight`` defaults to ``use_simplifier``; pass ``False`` to
+        measure the un-assisted path.
 
         ``strategy`` selects the execution plan:
 
@@ -197,9 +231,23 @@ class Mediator:
         registration = self._view(view_name)
         self.stats.queries += 1
         effective = query
+        run_preflight = use_simplifier if preflight is None else preflight
+        tightening = None
+        if run_preflight:
+            report = self.preflight(query, view_name)
+            tightening = self._preflight_cache.get("tighten")
+            if report.has_errors:
+                self.stats.preflight_rejections += 1
+                self.stats.fanouts_skipped += 1
+                self.stats.answered_without_source += 1
+                from ..xmlmodel import Element, fresh_id
+
+                return Document(
+                    Element(query.view_name, [], fresh_id())
+                )
         if use_simplifier:
             decision: SimplifierDecision = simplify_query(
-                query, registration.dtd, self.mode
+                query, registration.dtd, self.mode, tightening=tightening
             )
             if decision.answer_is_empty:
                 self.stats.answered_without_source += 1

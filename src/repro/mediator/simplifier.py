@@ -88,6 +88,7 @@ def simplify_query(
     query: Query,
     dtd: Dtd,
     mode: InferenceMode = InferenceMode.EXACT,
+    tightening: TightenResult | None = None,
 ) -> SimplifierDecision:
     """Classify and prune a query against a DTD.
 
@@ -95,8 +96,18 @@ def simplify_query(
     valid under ``dtd``: only subtrees proven to hold for *every*
     candidate element are reduced to existence tests, and subtrees
     binding variables the query still needs are kept intact.
+
+    ``tightening`` may carry a precomputed Tighten run for this
+    query/DTD pair (the mediator pre-flight shares its own run so the
+    query pays for one classification, not two); per-node
+    classifications do not depend on specialization collapse, so an
+    uncollapsed run is accepted.
     """
-    result = tighten(dtd, query, mode, strict=False)
+    result = (
+        tightening
+        if tightening is not None
+        else tighten(dtd, query, mode, collapse=False, strict=False)
+    )
     classification = result.classification
     if dtd.root is not None and dtd.root not in result.root.keys:
         # The condition tree is anchored at the document root: a root

@@ -31,6 +31,9 @@ class Source:
     documents: list[Document] = field(default_factory=list)
     #: set False to skip validation for trusted bulk loads (benchmarks)
     validate: bool = True
+    #: how many queries this source has answered (fan-out accounting:
+    #: the mediator pre-flight is measured by what *never* gets here)
+    queries_served: int = 0
 
     def __post_init__(self) -> None:
         existing, self.documents = self.documents, []
@@ -51,6 +54,7 @@ class Source:
         """Answer a pick-element query over all documents."""
         if not self.documents:
             raise MediatorError(f"source {self.name!r} holds no documents")
+        self.queries_served += 1
         return evaluate_many(query, self.documents)
 
     def size(self) -> int:

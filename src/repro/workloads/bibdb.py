@@ -126,6 +126,12 @@ def all_views() -> list[Query]:
     return [journal_articles_view(), cited_articles_view(), people_view()]
 
 
+def lint_workload() -> list[tuple[str, Dtd, Query]]:
+    """Labelled (DTD, query) pairs for ``repro lint --workload bibdb``."""
+    schema = bibdb_dtd()
+    return [(query.view_name, schema, query) for query in all_views()]
+
+
 def corpus(
     n_documents: int,
     rng: random.Random,

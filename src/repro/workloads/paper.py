@@ -183,6 +183,62 @@ def q12() -> Query:
     )
 
 
+def q_valid() -> Query:
+    """Lint companion (not printed in the paper): a *valid* condition.
+
+    Every department carries a ``name`` child (D1 requires it), so the
+    condition holds on every valid document -- the VALID verdict of
+    Section 4.2, which the paper exercises only on sub-conditions.
+    """
+    return parse_query(
+        """
+        departments =
+          SELECT X
+          WHERE X:<department>
+                  <name/>
+                </>
+        """
+    )
+
+
+def q_dead() -> Query:
+    """Lint companion (not printed in the paper): an *unsatisfiable*
+    condition.
+
+    ``name`` is PCDATA under (D9); demanding a ``journal`` child of it
+    can never be satisfied, so the query is provably empty -- the
+    simplifier benefit of Section 1.
+    """
+    return parse_query(
+        """
+        dead =
+          SELECT X
+          WHERE X:<name>
+                  <journal/>
+                </>
+        """
+    )
+
+
+def lint_workload() -> list[tuple[str, Dtd, Query]]:
+    """Labelled (DTD, query) pairs for ``repro lint --workload paper``.
+
+    Covers every Tighten classification: the paper's queries are
+    satisfiable, (Q4) is recursive (outside inference scope), and the
+    two lint companions exercise the valid and unsatisfiable verdicts.
+    """
+    return [
+        ("q2-over-d1", d1(), q2()),
+        ("q3-over-d1", d1(), q3()),
+        ("q4-over-section", section_dtd(), q4()),
+        ("q6-over-d9", d9(), q6()),
+        ("q7-over-d9", d9(), q7()),
+        ("q12-over-d11", d11(), q12()),
+        ("q-valid-over-d1", d1(), q_valid()),
+        ("q-dead-over-d9", d9(), q_dead()),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Expected outputs from the paper
 # ---------------------------------------------------------------------------

@@ -101,3 +101,113 @@ class TestDeterminism:
             root="r",
         )
         assert is_xml_deterministic(d)
+
+
+class TestAttributeReachability:
+    """Names referenced only via ATTLISTs must survive pruning."""
+
+    def docs_dtd(self):
+        from repro.dtd.attributes import (
+            AttributeDecl,
+            AttributeKind,
+            DefaultMode,
+        )
+        from repro.dtd.dtd import Dtd
+        from repro.regex import parse_regex
+
+        # glossary is never mentioned in a content model: only the
+        # IDREF attribute of `ref` can point at it
+        return Dtd(
+            {
+                "doc": parse_regex("para*"),
+                "para": parse_regex("ref?"),
+                "ref": parse_regex("()"),
+                "glossary": parse_regex("()"),
+                "orphan": parse_regex("()"),
+            },
+            "doc",
+            {
+                "ref": {
+                    "target": AttributeDecl(
+                        "target", AttributeKind.IDREF, DefaultMode.REQUIRED
+                    )
+                },
+                "glossary": {
+                    "id": AttributeDecl(
+                        "id", AttributeKind.ID, DefaultMode.REQUIRED
+                    )
+                },
+            },
+        )
+
+    def test_idref_keeps_id_targets_reachable(self):
+        assert "glossary" in reachable_names(self.docs_dtd())
+
+    def test_plain_orphans_still_pruned(self):
+        assert "orphan" not in reachable_names(self.docs_dtd())
+
+    def test_prune_keeps_attribute_only_names(self):
+        pruned = prune_unreachable(self.docs_dtd())
+        assert "glossary" in pruned
+        assert "orphan" not in pruned
+
+    def test_prune_carries_surviving_attlists(self):
+        pruned = prune_unreachable(self.docs_dtd())
+        assert "target" in pruned.attributes["ref"]
+        assert "id" in pruned.attributes["glossary"]
+
+    def test_prune_drops_attlists_of_dropped_names(self):
+        from repro.dtd.attributes import (
+            AttributeDecl,
+            AttributeKind,
+            DefaultMode,
+        )
+        from repro.dtd.dtd import Dtd
+        from repro.regex import parse_regex
+
+        d = Dtd(
+            {"r": parse_regex("a"), "a": parse_regex("()"), "x": parse_regex("()")},
+            "r",
+            {
+                "x": {
+                    "class": AttributeDecl(
+                        "class", AttributeKind.CDATA, DefaultMode.IMPLIED
+                    )
+                }
+            },
+        )
+        pruned = prune_unreachable(d)
+        assert "x" not in pruned
+        assert "x" not in pruned.attributes
+
+    def test_no_idref_no_extra_reachability(self):
+        d = self.docs_dtd()
+        stripped = type(d)(dict(d.types), d.root, {})
+        assert "glossary" not in reachable_names(stripped)
+
+
+class TestDanglingSpecializations:
+    def test_unreferenced_proper_tag_dangles(self):
+        from repro.dtd import dangling_specializations
+
+        s = sdtd(
+            {"v": "a^1*", "a^1": "b", "a^2": "b", "b": "#PCDATA"},
+            root="v",
+        )
+        assert dangling_specializations(s) == frozenset({("a", 2)})
+
+    def test_base_tags_never_dangle(self):
+        from repro.dtd import dangling_specializations
+
+        s = sdtd(
+            {"v": "a^1*", "a^1": "b", "a": "b*", "b": "#PCDATA"},
+            root="v",
+        )
+        assert dangling_specializations(s) == frozenset()
+
+    def test_rootless_sdtd_uses_reference_counting(self):
+        from repro.dtd import dangling_specializations
+
+        s = sdtd({"a^1": "b", "a^2": "a^1", "b": "#PCDATA"})
+        # a^1 is referenced by a^2; a^2 is referenced by nothing
+        assert dangling_specializations(s) == frozenset({("a", 2)})

@@ -1,0 +1,81 @@
+"""Edge cases for the one-unambiguity decision (BKW 1998).
+
+``is_one_unambiguous`` decides whether *any* XML-deterministic content
+model denotes the same language -- the property behind lint's DTD104.
+The edge cases here are the syntactic corners the smart constructors
+normalize away: empty choice groups, nested optionals, and duplicated
+names across alternation branches.
+"""
+
+from repro.dtd.one_unambiguity import is_one_unambiguous
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    alt,
+    concat,
+    opt,
+    parse_regex,
+    plus,
+    star,
+    sym,
+)
+
+A, B, C = sym("a"), sym("b"), sym("c")
+
+
+class TestEmptyChoiceGroups:
+    def test_epsilon_is_one_unambiguous(self):
+        assert is_one_unambiguous(EPSILON)
+
+    def test_empty_language_is_one_unambiguous(self):
+        assert is_one_unambiguous(EMPTY)
+
+    def test_empty_group_literal(self):
+        assert is_one_unambiguous(parse_regex("()"))
+
+    def test_empty_branch_collapses(self):
+        # alt with an EMPTY branch denotes just the other branch
+        assert alt(EMPTY, A) == A
+        assert is_one_unambiguous(alt(EMPTY, A))
+
+    def test_epsilon_branch_stays_decidable(self):
+        assert is_one_unambiguous(alt(EPSILON, A))
+        assert is_one_unambiguous(star(EMPTY))
+
+
+class TestNestedOptionals:
+    def test_double_optional_collapses(self):
+        assert opt(opt(A)) == opt(A)
+        assert is_one_unambiguous(opt(opt(A)))
+
+    def test_optional_chain_in_concat(self):
+        assert is_one_unambiguous(concat(opt(opt(A)), B))
+
+    def test_plus_of_optional(self):
+        # (a?)+ denotes a*, which is one-unambiguous
+        assert is_one_unambiguous(plus(opt(A)))
+
+    def test_optional_around_choice(self):
+        assert is_one_unambiguous(opt(alt(A, opt(B))))
+
+
+class TestDuplicatedNamesAcrossBranches:
+    def test_left_factorable_duplication(self):
+        # (a,b)|(a,c): Glushkov-nondeterministic, but the language has
+        # the deterministic model a,(b|c)
+        assert is_one_unambiguous(alt(concat(A, B), concat(A, C)))
+
+    def test_words_ending_in_a(self):
+        # (a|b)*,a rewrites to the deterministic (b*,a)+
+        assert is_one_unambiguous(concat(star(alt(A, B)), A))
+
+    def test_bkw_counterexample(self):
+        # (a|b)*,a,(a|b) -- "next-to-last symbol is a" -- is the
+        # classic language with *no* deterministic model
+        assert not is_one_unambiguous(
+            concat(star(alt(A, B)), concat(A, alt(A, B)))
+        )
+
+    def test_duplication_in_both_orders(self):
+        # (b,a)|(c,a) is already Glushkov-deterministic
+        assert is_one_unambiguous(alt(concat(B, A), concat(C, A)))

@@ -1,0 +1,156 @@
+"""Tests for the ``repro lint`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DTD_TEXT = """
+{<professor : name, (journal | conference)*>
+ <name : #PCDATA> <journal : #PCDATA> <conference : #PCDATA>}
+"""
+
+SAT_QUERY = "SELECT X WHERE X:<professor><journal/></professor>"
+
+DEAD_QUERY = "SELECT X WHERE X:<name><journal/></name>"
+
+
+@pytest.fixture
+def files(tmp_path):
+    dtd_file = tmp_path / "source.dtd"
+    dtd_file.write_text(DTD_TEXT)
+    sat_file = tmp_path / "sat.xmas"
+    sat_file.write_text(SAT_QUERY)
+    dead_file = tmp_path / "dead.xmas"
+    dead_file.write_text(DEAD_QUERY)
+    return {
+        "dtd": str(dtd_file),
+        "sat": str(sat_file),
+        "dead": str(dead_file),
+    }
+
+
+class TestFileMode:
+    def test_dtd_alone_is_clean(self, files, capsys):
+        assert main(["lint", "--dtd", files["dtd"]]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_satisfiable_query_exits_zero(self, files, capsys):
+        code = main(["lint", "--dtd", files["dtd"], "--query", files["sat"]])
+        assert code == 0
+        assert "satisfiable" in capsys.readouterr().out
+
+    def test_dead_query_exits_nonzero(self, files, capsys):
+        code = main(["lint", "--dtd", files["dtd"], "--query", files["dead"]])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "error[MIX101]" in out
+        assert "unsatisfiable" in out
+
+    def test_multiple_queries_get_origins(self, files, capsys):
+        code = main(
+            [
+                "lint",
+                "--dtd",
+                files["dtd"],
+                "--query",
+                files["sat"],
+                "--query",
+                files["dead"],
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "(sat.xmas)" in out
+        assert "(dead.xmas)" in out
+
+    def test_json_format(self, files, capsys):
+        code = main(
+            [
+                "lint",
+                "--dtd",
+                files["dtd"],
+                "--query",
+                files["dead"],
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 1
+        assert any(
+            d["code"] == "MIX101" for d in payload["diagnostics"]
+        )
+
+    def test_select_filters_codes(self, files, capsys):
+        code = main(
+            [
+                "lint",
+                "--dtd",
+                files["dtd"],
+                "--query",
+                files["dead"],
+                "--select",
+                "MIX100",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0  # MIX101 filtered out, no error-severity left
+        payload = json.loads(capsys.readouterr().out)
+        assert {d["code"] for d in payload["diagnostics"]} == {"MIX100"}
+
+    def test_ignore_drops_codes(self, files, capsys):
+        code = main(
+            [
+                "lint",
+                "--dtd",
+                files["dtd"],
+                "--query",
+                files["dead"],
+                "--ignore",
+                "MIX101",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_inputs_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestWorkloadMode:
+    def test_paper_workload_covers_all_classifications(self, capsys):
+        # the paper workload exercises valid, satisfiable, AND
+        # unsatisfiable; the dead companion makes the run exit nonzero
+        code = main(["lint", "--workload", "paper", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        verdicts = {
+            d["data"]["classification"]
+            for d in payload["diagnostics"]
+            if d["code"] == "MIX100"
+        }
+        assert verdicts == {"valid", "satisfiable", "unsatisfiable"}
+
+    def test_paper_workload_labels_origins(self, capsys):
+        assert main(["lint", "--workload", "paper"]) == 1
+        out = capsys.readouterr().out
+        assert "(q-dead-over-d9)" in out
+        assert "(q2-over-d1)" in out
+
+    def test_bibdb_workload_is_error_free(self, capsys):
+        assert main(["lint", "--workload", "bibdb"]) == 0
+
+    def test_shared_dtds_audited_once(self, capsys):
+        # d9 backs three paper pairs; its DTD findings must not triple
+        main(["lint", "--workload", "paper", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        keys = [
+            (d["code"], d.get("span", {}).get("subject"))
+            for d in payload["diagnostics"]
+            if d["code"].startswith("DTD")
+        ]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,136 @@
+"""Tests for the diagnostics framework: severities, spans, reports."""
+
+import json
+
+from repro.lint import DiagnosticReport, Severity
+from repro.lint.diagnostics import Diagnostic, Span
+
+
+def diag(code="MIX100", severity=Severity.INFO, message="m", **kwargs):
+    return Diagnostic(code=code, severity=severity, message=message, **kwargs)
+
+
+class TestSeverity:
+    def test_rank_orders_errors_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_values_are_lowercase_words(self):
+        assert [s.value for s in Severity] == ["error", "warning", "info"]
+
+
+class TestSpan:
+    def test_subject_only(self):
+        span = Span("professor")
+        assert str(span) == "professor"
+        assert span.to_dict() == {"subject": "professor"}
+
+    def test_line_only(self):
+        assert str(Span("professor", 3)) == "professor (line 3)"
+
+    def test_line_and_column(self):
+        span = Span("professor", 3, 7)
+        assert str(span) == "professor (line 3, column 7)"
+        assert span.to_dict() == {"subject": "professor", "line": 3, "column": 7}
+
+
+class TestDiagnostic:
+    def test_render_minimal(self):
+        assert diag().render() == "info[MIX100] m"
+
+    def test_render_full(self):
+        d = diag(
+            code="DTD101",
+            severity=Severity.ERROR,
+            message="bad ref",
+            span=Span("x", 2),
+            origin="q2-over-d1",
+        )
+        assert d.render() == "error[DTD101] (q2-over-d1) at x (line 2): bad ref"
+
+    def test_to_dict_omits_empty_fields(self):
+        d = diag()
+        assert d.to_dict() == {
+            "code": "MIX100",
+            "severity": "info",
+            "message": "m",
+            "rule": "",
+        }
+
+    def test_to_dict_keeps_data_and_anchor(self):
+        d = diag(anchor="Section 4.2", data={"names": ["a"]})
+        payload = d.to_dict()
+        assert payload["anchor"] == "Section 4.2"
+        assert payload["data"] == {"names": ["a"]}
+
+
+class TestDiagnosticReport:
+    def sample(self):
+        report = DiagnosticReport()
+        report.add(diag(code="MIX102", severity=Severity.INFO))
+        report.add(diag(code="DTD101", severity=Severity.ERROR))
+        report.add(diag(code="DTD103", severity=Severity.WARNING))
+        report.add(diag(code="MIX101", severity=Severity.ERROR))
+        return report
+
+    def test_sorted_by_severity_then_code(self):
+        codes = [d.code for d in self.sample().sorted()]
+        assert codes == ["DTD101", "MIX101", "DTD103", "MIX102"]
+
+    def test_iter_uses_sorted_order(self):
+        assert [d.code for d in self.sample()] == [
+            d.code for d in self.sample().sorted()
+        ]
+
+    def test_by_code_and_codes(self):
+        report = self.sample()
+        assert len(report.by_code("MIX101")) == 1
+        assert report.codes() == frozenset(
+            {"MIX101", "MIX102", "DTD101", "DTD103"}
+        )
+
+    def test_severity_buckets(self):
+        report = self.sample()
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+
+    def test_exit_code_nonzero_iff_errors(self):
+        assert self.sample().exit_code == 1
+        clean = DiagnosticReport([diag(severity=Severity.WARNING)])
+        assert clean.exit_code == 0
+        assert not clean.has_errors
+
+    def test_summary_pluralizes_and_omits_zero(self):
+        assert self.sample().summary() == "2 errors, 1 warning, 1 info"
+        assert DiagnosticReport().summary() == "clean"
+
+    def test_render_ends_with_summary(self):
+        rendered = self.sample().render()
+        assert rendered.splitlines()[-1] == "2 errors, 1 warning, 1 info"
+
+    def test_render_shows_anchor_lines(self):
+        report = DiagnosticReport([diag(anchor="Section 4.2")])
+        assert "  = paper: Section 4.2" in report.render()
+        assert "= paper" not in report.render(show_anchors=False)
+
+    def test_to_json_round_trips(self):
+        payload = json.loads(self.sample().to_json())
+        assert payload["summary"] == {
+            "errors": 2,
+            "warnings": 1,
+            "infos": 1,
+            "exit_code": 1,
+        }
+        assert [d["code"] for d in payload["diagnostics"]] == [
+            "DTD101",
+            "MIX101",
+            "DTD103",
+            "MIX102",
+        ]
+
+    def test_merged_with(self):
+        merged = self.sample().merged_with(
+            DiagnosticReport([diag(code="VIEW301", severity=Severity.WARNING)])
+        )
+        assert len(merged) == 5
+        assert "VIEW301" in merged.codes()

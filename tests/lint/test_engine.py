@@ -1,0 +1,80 @@
+"""Tests for the lint driver: selection, scopes, cache sharing."""
+
+from repro.dtd import dtd
+from repro.lint import lint_dtd, lint_query, run_lint
+from repro.workloads.paper import d1, d9, q2, q_dead, q_valid
+
+
+def orphaned():
+    return dtd(
+        {
+            "r": "(a | b)*, a, (a | b)",
+            "a": "#PCDATA",
+            "b": "#PCDATA",
+            "orphan": "a",
+        },
+        root="r",
+    )
+
+
+class TestSelection:
+    def test_select_exact_code(self):
+        report = run_lint(dtd=orphaned(), select=["DTD102"])
+        assert report.codes() == {"DTD102"}
+
+    def test_select_prefix(self):
+        report = run_lint(dtd=orphaned(), query=q_dead(), select=["MIX"])
+        assert report.codes()
+        assert all(code.startswith("MIX") for code in report.codes())
+
+    def test_ignore_wins_over_select(self):
+        report = run_lint(
+            dtd=orphaned(), select=["DTD"], ignore=["DTD102", "DTD104"]
+        )
+        assert "DTD102" not in report.codes()
+        assert "DTD104" not in report.codes()
+        assert "DTD103" in report.codes()
+
+    def test_scopes_restrict_rule_families(self):
+        report = run_lint(dtd=orphaned(), query=q_dead(), scopes={"dtd"})
+        assert report.codes()
+        assert all(code.startswith("DTD") for code in report.codes())
+
+
+class TestEntryPoints:
+    def test_lint_dtd_runs_only_dtd_rules(self):
+        report = lint_dtd(orphaned())
+        assert {"DTD102", "DTD103", "DTD104"} <= report.codes()
+        assert all(code.startswith("DTD") for code in report.codes())
+
+    def test_lint_query_runs_only_query_rules(self):
+        report = lint_query(q_valid(), d1())
+        assert report.codes()
+        assert all(code.startswith("MIX") for code in report.codes())
+
+    def test_lint_query_skips_dtd_audit(self):
+        # the DTD has an orphan, but the pre-flight form must not pay
+        # for (or report) the DTD audit
+        q = q_dead()
+        report = lint_query(q, d9())
+        assert not [c for c in report.codes() if c.startswith("DTD")]
+
+
+class TestCacheSharing:
+    def test_caller_cache_receives_the_tighten_run(self):
+        cache = {}
+        lint_query(q2(), d1(), cache=cache)
+        assert cache["tighten"] is not None
+        assert "classification" in cache
+
+    def test_cached_tightening_is_reused(self):
+        cache = {"tighten": None}
+        # a pre-seeded None means "outside the pick class": the rules
+        # must trust the cache instead of recomputing
+        report = lint_query(q2(), d1(), cache=cache)
+        assert not report.by_code("MIX100")
+
+    def test_origin_tags_every_finding(self):
+        report = lint_query(q_dead(), d9(), origin="my-label")
+        assert report.diagnostics
+        assert all(d.origin == "my-label" for d in report)

@@ -1,0 +1,125 @@
+"""Tests for the rule registry and the shared lint context."""
+
+import pytest
+
+from repro.errors import DIAGNOSTIC_CODES, register_diagnostic_code
+from repro.lint import Severity
+from repro.lint.registry import (
+    LintContext,
+    LintRule,
+    all_rules,
+    iter_rule_catalog,
+    register_rule,
+    rule_by_code,
+    rules_for_scopes,
+)
+from repro.workloads.paper import d1, q2, q4, section_dtd
+
+
+class TestRegistry:
+    def test_rules_are_registered(self):
+        codes = {rule.code for rule in all_rules()}
+        assert {"MIX100", "MIX101", "DTD101", "SDT201", "VIEW301"} <= codes
+
+    def test_codes_live_in_the_unified_namespace(self):
+        for rule in all_rules():
+            assert rule.code in DIAGNOSTIC_CODES
+
+    def test_exception_codes_share_the_namespace(self):
+        # runtime errors and lint findings cannot collide
+        assert "MED001" in DIAGNOSTIC_CODES
+        assert "MIX101" in DIAGNOSTIC_CODES
+
+    def test_code_collision_rejected(self):
+        with pytest.raises(ValueError):
+            register_diagnostic_code("MIX101", "something else entirely")
+
+    def test_duplicate_rule_code_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_rule
+            class Duplicate(LintRule):
+                code = "MIX100"
+                name = "duplicate"
+
+                def check(self, ctx):
+                    return []
+
+    def test_rule_without_code_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_rule
+            class Nameless(LintRule):
+                def check(self, ctx):
+                    return []
+
+    def test_rules_for_scopes(self):
+        query_rules = rules_for_scopes({"query"})
+        assert query_rules
+        assert all(rule.scope == "query" for rule in query_rules)
+        assert all(rule.code.startswith("MIX") for rule in query_rules)
+
+    def test_rule_by_code(self):
+        assert rule_by_code("MIX101").name == "dead-path"
+        with pytest.raises(KeyError):
+            rule_by_code("NOPE999")
+
+    def test_catalog_rows_cover_every_rule(self):
+        rows = list(iter_rule_catalog())
+        assert len(rows) == len(all_rules())
+        for code, name, severity, scope, anchor in rows:
+            assert code and name and anchor
+            assert severity in ("error", "warning", "info")
+            assert scope in ("dtd", "query", "sdtd", "view")
+
+
+class TestApplicability:
+    def test_scope_dispatch(self):
+        ctx = LintContext(dtd=d1())
+        assert rule_by_code("DTD101").applicable(ctx)
+        assert not rule_by_code("MIX101").applicable(ctx)
+        assert not rule_by_code("SDT201").applicable(ctx)
+        assert not rule_by_code("VIEW301").applicable(ctx)
+
+    def test_query_scope_needs_a_dtd(self):
+        assert not rule_by_code("MIX101").applicable(LintContext(query=q2()))
+        assert rule_by_code("MIX101").applicable(
+            LintContext(dtd=d1(), query=q2())
+        )
+
+    def test_unknown_scope_raises(self):
+        class Bad(LintRule):
+            code = "X"
+            name = "x"
+            scope = "bogus"
+
+        with pytest.raises(ValueError):
+            Bad().applicable(LintContext())
+
+
+class TestLintContext:
+    def test_tightening_is_cached(self):
+        ctx = LintContext(dtd=d1(), query=q2())
+        first = ctx.tightening()
+        assert first is not None
+        assert ctx.cache["tighten"] is first
+        assert ctx.tightening() is first
+
+    def test_tightening_none_outside_pick_class(self):
+        # (Q4) has a recursive path step: Tighten refuses, lint reports
+        ctx = LintContext(dtd=section_dtd(), query=q4())
+        assert ctx.tightening() is None
+        assert ctx.cache["tighten"] is None
+
+    def test_tightening_none_without_inputs(self):
+        assert LintContext(dtd=d1()).tightening() is None
+
+    def test_finding_inherits_rule_attributes(self):
+        rule = rule_by_code("MIX101")
+        ctx = LintContext(origin="label")
+        found = rule.finding(ctx, "boom", names=["a"])
+        assert found.code == "MIX101"
+        assert found.severity is Severity.ERROR
+        assert found.rule == "dead-path"
+        assert found.origin == "label"
+        assert found.data == {"names": ["a"]}

@@ -1,0 +1,91 @@
+"""Tests for the DTD structure rules (DTD1xx)."""
+
+from repro.dtd import PCDATA, Dtd, dtd
+from repro.lint import Severity, lint_dtd
+from repro.regex import parse_regex
+
+
+def broken_dtd():
+    """References an undeclared name; bypasses the checking builder."""
+    return Dtd({"r": parse_regex("a, ghost"), "a": PCDATA}, "r")
+
+
+class TestUndeclaredReference:
+    def test_dtd101_reported_as_error(self):
+        report = lint_dtd(broken_dtd())
+        findings = report.by_code("DTD101")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].data["referenced"] == ["ghost"]
+        assert report.exit_code == 1
+
+    def test_clean_dtd_has_no_dtd101(self):
+        clean = dtd({"r": "a*", "a": "#PCDATA"}, root="r")
+        assert not lint_dtd(clean).by_code("DTD101")
+
+
+class TestUnreachableDeclaration:
+    def test_dtd102_names_the_orphan(self):
+        source = dtd(
+            {"r": "a*", "a": "#PCDATA", "orphan": "a"}, root="r"
+        )
+        findings = lint_dtd(source).by_code("DTD102")
+        assert [f.span.subject for f in findings] == ["orphan"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_rootless_dtd_skips_dtd102(self):
+        source = dtd({"r": "a*", "a": "#PCDATA", "orphan": "a"})
+        assert not lint_dtd(source).by_code("DTD102")
+
+    def test_span_resolves_into_paper_notation_text(self):
+        text = "{<(root) r : a*>\n <a : #PCDATA>\n <orphan : a>}"
+        source = dtd({"r": "a*", "a": "#PCDATA", "orphan": "a"}, root="r")
+        findings = lint_dtd(source, dtd_text=text).by_code("DTD102")
+        assert findings[0].span.line == 3
+
+
+class TestDeterminism:
+    def test_dtd103_flags_glushkov_nondeterminism(self):
+        source = dtd(
+            {"r": "(a, b) | (a, c)", "a": "#PCDATA", "b": "#PCDATA", "c": "#PCDATA"},
+            root="r",
+        )
+        report = lint_dtd(source)
+        assert [f.span.subject for f in report.by_code("DTD103")] == ["r"]
+        # the *language* {ab, ac} has the deterministic model a,(b|c):
+        # no DTD104
+        assert not report.by_code("DTD104")
+
+    def test_dtd104_flags_one_ambiguous_languages(self):
+        # BKW's (a|b)*,a,(a|b): no deterministic model exists at all
+        source = dtd(
+            {"r": "(a | b)*, a, (a | b)", "a": "#PCDATA", "b": "#PCDATA"},
+            root="r",
+        )
+        report = lint_dtd(source)
+        assert [f.span.subject for f in report.by_code("DTD103")] == ["r"]
+        assert [f.span.subject for f in report.by_code("DTD104")] == ["r"]
+
+    def test_deterministic_models_stay_silent(self):
+        source = dtd(
+            {"r": "a, (b | c)", "a": "#PCDATA", "b": "#PCDATA", "c": "#PCDATA"},
+            root="r",
+        )
+        report = lint_dtd(source)
+        assert not report.by_code("DTD103")
+        assert not report.by_code("DTD104")
+
+
+class TestRecursion:
+    def test_dtd105_lists_cycle_names(self):
+        source = dtd(
+            {"part": "name, part*", "name": "#PCDATA"}, root="part"
+        )
+        findings = lint_dtd(source).by_code("DTD105")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert findings[0].data["names"] == ["part"]
+
+    def test_nonrecursive_dtd_silent(self):
+        source = dtd({"r": "a*", "a": "#PCDATA"}, root="r")
+        assert not lint_dtd(source).by_code("DTD105")

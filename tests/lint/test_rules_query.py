@@ -1,0 +1,162 @@
+"""Tests for the query-vs-DTD rules (MIX1xx)."""
+
+from repro.dtd import dtd
+from repro.lint import Severity, lint_query
+from repro.lint.registry import LintConfig
+from repro.workloads.paper import d1, d9, q4, q_dead, q_valid, section_dtd
+from repro.xmas import cond, parse_query, query
+
+
+def source():
+    return dtd(
+        {
+            "r": "a*, b?",
+            "a": "c, d*",
+            "b": "#PCDATA",
+            "c": "#PCDATA",
+            "d": "#PCDATA",
+        },
+        root="r",
+    )
+
+
+class TestClassification:
+    def test_mix100_valid(self):
+        report = lint_query(q_valid(), d1())
+        [finding] = report.by_code("MIX100")
+        assert finding.data["classification"] == "valid"
+        assert finding.severity is Severity.INFO
+
+    def test_mix100_satisfiable(self):
+        q = parse_query("SELECT X WHERE X:<r><a><d/></a></r>")
+        [finding] = lint_query(q, source()).by_code("MIX100")
+        assert finding.data["classification"] == "satisfiable"
+
+    def test_mix100_unsatisfiable(self):
+        [finding] = lint_query(q_dead(), d9()).by_code("MIX100")
+        assert finding.data["classification"] == "unsatisfiable"
+
+    def test_mix100_absent_outside_pick_class(self):
+        assert not lint_query(q4(), section_dtd()).by_code("MIX100")
+
+
+class TestDeadPath:
+    def test_mix101_on_dead_subcondition(self):
+        # b is PCDATA: demanding a <c> child of it can never hold
+        q = parse_query("SELECT X WHERE X:<r><b><c/></b></r>")
+        report = lint_query(q, source())
+        [finding] = report.by_code("MIX101")
+        assert finding.severity is Severity.ERROR
+        assert report.exit_code == 1
+        assert "b" in finding.span.subject
+
+    def test_mix101_root_anchoring(self):
+        # <a> is declared and feasible, but the document type is r
+        q = parse_query("SELECT X WHERE X:<a><c/></a>")
+        [finding] = lint_query(q, source()).by_code("MIX101")
+        assert "document type 'r'" in finding.message
+
+    def test_satisfiable_query_has_no_mix101(self):
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        report = lint_query(q, source())
+        assert not report.by_code("MIX101")
+        assert report.exit_code == 0
+
+    def test_span_resolves_into_query_text(self):
+        text = "SELECT X\nWHERE X:<r><b><c/></b></r>"
+        q = parse_query(text)
+        [finding] = lint_query(q, source(), query_text=text).by_code("MIX101")
+        assert finding.span.line == 2
+
+
+class TestRedundantCondition:
+    def test_mix102_on_always_true_subcondition(self):
+        # every valid department has a name child (D1 requires it)
+        report = lint_query(q_valid(), d1())
+        findings = report.by_code("MIX102")
+        assert findings
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_mix102_suppressed_on_dead_queries(self):
+        assert not lint_query(q_dead(), d9()).by_code("MIX102")
+
+    def test_no_mix102_when_condition_filters(self):
+        # not every r has an a child (a*), so the condition is not valid
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        assert not lint_query(q, source()).by_code("MIX102")
+
+
+class TestRecursivePath:
+    def test_mix103_on_recursive_steps(self):
+        findings = lint_query(q4(), section_dtd()).by_code("MIX103")
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_plain_queries_silent(self):
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        assert not lint_query(q, source()).by_code("MIX103")
+
+
+class TestWildcardBlowup:
+    def wide_dtd(self, width):
+        names = [f"n{i}" for i in range(width)]
+        decls = {"r": ", ".join(f"{n}?" for n in names)}
+        decls.update({n: "#PCDATA" for n in names})
+        return dtd(decls, root="r")
+
+    def test_mix104_above_the_limit(self):
+        q = query("v", "X", cond("r", children=(cond(var="X"),)))
+        wide = self.wide_dtd(5)
+        config = LintConfig(wildcard_expansion_limit=3)
+        [finding] = lint_query(q, wide, config=config).by_code("MIX104")
+        assert finding.data["dtd_names"] == 6  # 5 leaves + the root
+        assert finding.data["wildcard_nodes"] == 1
+
+    def test_silent_at_or_below_the_limit(self):
+        q = query("v", "X", cond("r", children=(cond(var="X"),)))
+        config = LintConfig(wildcard_expansion_limit=6)
+        assert not lint_query(q, self.wide_dtd(5), config=config).by_code(
+            "MIX104"
+        )
+
+    def test_silent_without_wildcards(self):
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        config = LintConfig(wildcard_expansion_limit=1)
+        assert not lint_query(q, source(), config=config).by_code("MIX104")
+
+
+class TestUndeclaredQueryName:
+    def test_mix105_all_names_missing(self):
+        q = parse_query("SELECT X WHERE X:<r><ghost/></r>")
+        [finding] = lint_query(q, source()).by_code("MIX105")
+        assert finding.data["names"] == ["ghost"]
+        assert "can never match" in finding.message
+
+    def test_mix105_partial_disjunction(self):
+        q = query(
+            "v",
+            "X",
+            cond("r", children=(cond("a", "ghost", var="X"),)),
+        )
+        [finding] = lint_query(q, source()).by_code("MIX105")
+        assert finding.data["names"] == ["ghost"]
+        assert "disjuncts" in finding.message
+
+    def test_declared_names_silent(self):
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        assert not lint_query(q, source()).by_code("MIX105")
+
+
+class TestPickClass:
+    def test_mix106_on_multiple_pick_nodes(self):
+        q = query(
+            "v",
+            "X",
+            cond("r", children=(cond("a", var="X"), cond("b", var="X"))),
+        )
+        [finding] = lint_query(q, source()).by_code("MIX106")
+        assert finding.data["pick_nodes"] == 2
+
+    def test_single_pick_silent(self):
+        q = parse_query("SELECT X WHERE X:<r><a/></r>")
+        assert not lint_query(q, source()).by_code("MIX106")

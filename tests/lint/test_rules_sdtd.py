@@ -1,0 +1,80 @@
+"""Tests for the s-DTD hygiene (SDT2xx) and view (VIEW3xx) rules."""
+
+from repro.dtd import PCDATA, SpecializedDtd, sdtd
+from repro.inference import infer_view_dtd
+from repro.lint import Severity, run_lint
+from repro.regex import parse_regex
+from repro.workloads.paper import d1, d9, q2, q_dead
+
+
+class TestUndeclaredTaggedReference:
+    def test_sdt201_reported_as_error(self):
+        broken = SpecializedDtd(
+            {
+                ("v", 0): parse_regex("a^1*"),
+                ("a", 1): parse_regex("b^2"),  # b^2 never declared
+                ("b", 0): PCDATA,
+            },
+            ("v", 0),
+        )
+        report = run_lint(sdtd=broken)
+        [finding] = report.by_code("SDT201")
+        assert finding.severity is Severity.ERROR
+        assert finding.data["referenced"] == ["b^2"]
+        assert report.exit_code == 1
+
+    def test_consistent_sdtd_silent(self):
+        clean = sdtd(
+            {"v": "a^1*", "a^1": "b", "b": "#PCDATA"}, root="v"
+        )
+        assert not run_lint(sdtd=clean).by_code("SDT201")
+
+
+class TestDanglingSpecialization:
+    def test_sdt202_on_unreferenced_tag(self):
+        stale = sdtd(
+            {"v": "a^1*", "a^1": "b", "a^2": "b", "b": "#PCDATA"},
+            root="v",
+        )
+        [finding] = run_lint(sdtd=stale).by_code("SDT202")
+        assert finding.span.subject == "a^2"
+        assert finding.severity is Severity.WARNING
+
+    def test_base_tags_never_dangle(self):
+        clean = sdtd(
+            {"v": "a^1*", "a^1": "b", "a": "b*", "b": "#PCDATA"},
+            root="v",
+        )
+        # a (tag 0) is unreachable but *not* a specialization: no SDT202
+        assert not run_lint(sdtd=clean).by_code("SDT202")
+
+    def test_every_tag_used_is_silent(self):
+        clean = sdtd(
+            {"v": "a^1*", "a^1": "b", "b": "#PCDATA"}, root="v"
+        )
+        assert not run_lint(sdtd=clean).by_code("SDT202")
+
+
+class TestViewRules:
+    def test_view301_on_provably_empty_view(self):
+        result = infer_view_dtd(d9(), q_dead())
+        report = result.diagnostics()
+        [finding] = report.by_code("VIEW301")
+        assert finding.severity is Severity.WARNING
+        assert "provably empty" in finding.message
+
+    def test_view302_on_lossy_merge(self):
+        result = infer_view_dtd(d1(), q2())
+        report = result.diagnostics()
+        findings = report.by_code("VIEW302")
+        assert findings
+        assert {f.span.subject for f in findings} <= set(
+            result.merge.lossy_names
+        )
+
+    def test_inferred_sdtd_is_hygienic(self):
+        result = infer_view_dtd(d1(), q2())
+        report = result.diagnostics()
+        assert not report.by_code("SDT201")
+        assert not report.by_code("SDT202")
+        assert result.diagnostics().codes() == report.codes()

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from hypothesis import strategies as st
 
 from repro.regex import EPSILON, alt, concat, opt, plus, star, sym
+from repro.xmas import cond
+from repro.xmas import query as make_query
 
 #: small alphabet used by the random regex strategies
 NAMES = ("a", "b", "c")
@@ -43,3 +47,57 @@ def words_strategy(names=NAMES, max_size: int = 6):
     return st.lists(
         symbols_strategy(names), min_size=0, max_size=max_size
     )
+
+
+def condition_strategy(children_map, name, max_depth: int = 3, max_children: int = 2):
+    """Random condition trees over a parent -> candidate-children map.
+
+    The map controls nesting, so callers steer satisfiability: a map
+    mirroring the DTD yields satisfiable trees, a map with impossible
+    nestings yields unsatisfiable ones (the lint property tests want a
+    mix of both).
+    """
+
+    @st.composite
+    def _tree(draw, node_name, depth):
+        options = sorted(children_map.get(node_name, ()))
+        n_children = 0
+        if options and depth < max_depth:
+            n_children = draw(st.integers(min_value=0, max_value=max_children))
+        children = []
+        for _ in range(n_children):
+            child_name = draw(st.sampled_from(options))
+            children.append(draw(_tree(child_name, depth + 1)))
+        return cond(node_name, children=tuple(children))
+
+    return _tree(name, 0)
+
+
+def pick_query_strategy(
+    children_map,
+    root_name,
+    view_name: str = "v",
+    pick_variable: str = "P",
+    max_depth: int = 3,
+):
+    """Random pick-element queries: a condition tree with one pick node."""
+
+    @st.composite
+    def _queries(draw):
+        root = draw(condition_strategy(children_map, root_name, max_depth))
+        nodes = list(root.iter_nodes())
+        pick_index = draw(st.integers(min_value=0, max_value=len(nodes) - 1))
+        counter = [-1]
+
+        def rebuild(node):
+            counter[0] += 1
+            variable = pick_variable if counter[0] == pick_index else None
+            return replace(
+                node,
+                variable=variable,
+                children=tuple(rebuild(child) for child in node.children),
+            )
+
+        return make_query(view_name, pick_variable, rebuild(root))
+
+    return _queries()
