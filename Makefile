@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench examples lint verify all
+.PHONY: install test bench bench-smoke bench-json examples lint verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,27 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast benchmark sanity pass (seconds, not minutes): a single round of
+# the two suites that sweep the full pipeline, GC off so one-round
+# timings are not noise-dominated.  Part of `make check`.
+bench-smoke:
+	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py -q \
+		--benchmark-only --benchmark-disable-gc \
+		--benchmark-min-rounds=1 --benchmark-warmup=off
+
+# Full benchmark run exported to JSON, then compared against the
+# committed pre-kernel baseline (median speedups + extra_info
+# reproduction-fact equality); writes the BENCH_PR2.json trajectory
+# file.  See docs/PERFORMANCE.md.
+bench-json:
+	pytest benchmarks/ -q --benchmark-only \
+		--benchmark-json=.bench_current.json
+	python benchmarks/compare_bench.py compare \
+		--baseline benchmarks/baseline_prekernel.json \
+		--current .bench_current.json \
+		--output BENCH_PR2.json \
+		--require-speedup 3 --require-count 2
 
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`
@@ -39,6 +60,9 @@ examples:
 		python $$ex > /dev/null || exit 1; \
 	done
 	@echo "all examples ran"
+
+# Default local gate: unit tests, static+workload lint, benchmark smoke.
+check: test lint bench-smoke
 
 verify: test bench examples
 

@@ -1,0 +1,127 @@
+"""Kernel-critical workloads: equivalence and collapse at scale.
+
+The inference algorithms reduce every interesting question to
+language equivalence/inclusion on content models, and Collapse
+partitions specialization tags by equivalence.  These benchmarks
+exercise exactly those paths on scaled-up inputs -- many
+specializations per name, many syntactic variants per language --
+which is where a per-call product-automaton strategy degrades and a
+canonical-form kernel pays off.  The correctness assertions (class
+counts, partition shapes) are the reproduction facts; they must not
+change when the kernel implementation underneath does.
+"""
+
+from __future__ import annotations
+
+from repro.dtd import SpecializedDtd, sdtd
+from repro.inference import collapse_equivalent, compute_equivalence
+from repro.regex import Regex, is_equivalent, is_subset, parse_regex
+
+#: number of language groups / syntactic variants per group in the ladder
+GROUPS = 8
+PER_GROUP = 8
+
+
+def specialization_ladder(
+    groups: int = GROUPS, per_group: int = PER_GROUP
+) -> SpecializedDtd:
+    """An s-DTD with ``groups * per_group`` specializations of one name.
+
+    Group ``g`` members all describe "at least ``g`` b-children" via
+    three rotating syntactic variants, so within a group every tag is
+    language-equivalent while across groups none are.  This is the
+    footnote-8 situation (Tighten minting many equivalent tags) at a
+    scale where the equivalence-partition strategy dominates cost.
+    """
+    decls: dict[str, str] = {}
+    tags: list[int] = []
+    tag = 0
+    for g in range(1, groups + 1):
+        for i in range(per_group):
+            tag += 1
+            tags.append(tag)
+            prefix = "b, " * (g - 1)
+            variant = i % 3
+            if variant == 0:
+                model = f"{prefix}b+"
+            elif variant == 1:
+                model = f"{prefix}b, b*"
+            else:
+                model = f"{prefix}b, (b, b*)?"
+            decls[f"a^{tag}"] = model
+    decls["v"] = ", ".join(f"a^{t}" for t in tags)
+    decls["a"] = "b*"
+    decls["b"] = "#PCDATA"
+    return sdtd(decls, root="v")
+
+
+def variant_family(n_classes: int = 12) -> list[Regex]:
+    """``3 * n_classes`` regexes falling into ``n_classes`` language classes."""
+    family: list[Regex] = []
+    for k in range(n_classes):
+        prefix = "a, " * (k % 4)
+        depth = k // 4 + 1
+        tail = ("c, " * (depth - 1)) + "c*"
+        family.append(parse_regex(f"{prefix}b+, {tail}"))
+        family.append(parse_regex(f"{prefix}b, b*, {tail}"))
+        family.append(parse_regex(f"{prefix}b, (b, b*)?, {tail}"))
+    return family
+
+
+class TestCollapseAtScale:
+    def test_compute_equivalence_ladder(self, benchmark):
+        s = specialization_ladder()
+        mapping = benchmark(lambda: compute_equivalence(s))
+        classes = {rep for rep in mapping.values()}
+        a_classes = {rep for rep in classes if rep[0] == "a"}
+        # one class per group plus the distinct base `a` (b*)
+        assert len(a_classes) == GROUPS + 1
+        benchmark.extra_info["specializations"] = GROUPS * PER_GROUP
+        benchmark.extra_info["a_classes"] = len(a_classes)
+
+    def test_collapse_equivalent_ladder(self, benchmark):
+        s = specialization_ladder()
+        collapsed, mapping = benchmark(lambda: collapse_equivalent(s))
+        a_keys = [key for key in collapsed.types if key[0] == "a"]
+        assert len(a_keys) == GROUPS + 1
+        # the view type still demands one position per original tag
+        assert len(mapping) == GROUPS * PER_GROUP + 3
+        benchmark.extra_info["collapsed_types"] = len(collapsed.types)
+
+
+class TestEquivalenceMatrix:
+    def test_all_pairs_equivalence(self, benchmark):
+        family = variant_family()
+
+        def matrix() -> int:
+            equivalent_pairs = 0
+            for i, left in enumerate(family):
+                for right in family[i + 1:]:
+                    if is_equivalent(left, right):
+                        equivalent_pairs += 1
+            return equivalent_pairs
+
+        equivalent_pairs = benchmark(matrix)
+        # each class of 3 variants contributes C(3,2) = 3 pairs
+        assert equivalent_pairs == (len(family) // 3) * 3
+        benchmark.extra_info["family_size"] = len(family)
+        benchmark.extra_info["equivalent_pairs"] = equivalent_pairs
+
+    def test_all_pairs_inclusion(self, benchmark):
+        ladder = [
+            parse_regex(("b, " * g) + "b*") for g in range(GROUPS + 1)
+        ]
+
+        def matrix() -> int:
+            inclusions = 0
+            for left in ladder:
+                for right in ladder:
+                    if is_subset(left, right):
+                        inclusions += 1
+            return inclusions
+
+        inclusions = benchmark(matrix)
+        # b^{>=i} is a subset of b^{>=j} exactly when i >= j
+        expected = sum(i + 1 for i in range(len(ladder)))
+        assert inclusions == expected
+        benchmark.extra_info["chain_length"] = len(ladder)

@@ -199,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--root", default=None, help="document type (override)"
         )
 
+    def add_stats_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print language-kernel cache statistics to stderr",
+        )
+
     p = sub.add_parser("infer", help="infer a view DTD")
     add_dtd_options(p)
     p.add_argument("--query", required=True, help="XMAS query file")
@@ -214,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="report",
         help="output format (default: full report)",
     )
+    add_stats_option(p)
     p.set_defaults(func=_cmd_infer)
 
     p = sub.add_parser("classify", help="classify a query against a DTD")
@@ -224,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in InferenceMode],
         default="exact",
     )
+    add_stats_option(p)
     p.set_defaults(func=_cmd_classify)
 
     p = sub.add_parser("evaluate", help="run a query over a document")
@@ -292,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="skip these codes/prefixes (comma-separated, repeatable)",
     )
+    add_stats_option(p)
     p.set_defaults(func=_cmd_lint)
 
     return parser
@@ -301,7 +311,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        if getattr(args, "stats", False):
+            from .regex import render_stats
+
+            print(render_stats(), file=sys.stderr)
+        return code
     except ReproError as error:
         # Runtime failures share the lint rules' code namespace
         # (docs/DIAGNOSTICS.md); print the code so output is greppable.

@@ -19,13 +19,28 @@ Collapsing a specialization into the base key is harmless even for
 counting constraints: a position in a content model is a position
 regardless of its tag, so ``j*, j^1, j*, j^2, j*`` still demands two
 ``j`` children after both tags collapse to the base.
+
+Two partition backends implement the per-round refinement:
+
+``"signature"`` (default)
+    each member's renamed content model is mapped to its canonical
+    minimal-DFA signature (:func:`repro.regex.canonical_signature`)
+    and members are grouped by signature -- one minimization per
+    member per round, O(n) instead of the O(n^2) pairwise products;
+``"pairwise"``
+    the original formulation: scan the round's buckets and compare
+    against each pivot with ``is_equivalent``.  Kept as the
+    differential-testing oracle for the kernel.
 """
 
 from __future__ import annotations
 
 from ..dtd import Pcdata, SpecializedDtd, TaggedName
-from ..regex import Regex, Sym, is_equivalent, rename
+from ..regex import Regex, Sym, canonical_signature, is_equivalent, rename
 from .tighten import NodeTyping, TightenResult
+
+#: Default partition backend; see module docstring.
+DEFAULT_BACKEND = "signature"
 
 
 def _representative(members: list[TaggedName]) -> TaggedName:
@@ -33,68 +48,136 @@ def _representative(members: list[TaggedName]) -> TaggedName:
     return min(members, key=lambda key: key[1])
 
 
-def compute_equivalence(
-    sdtd: SpecializedDtd,
-) -> dict[TaggedName, TaggedName]:
-    """Map each key to its equivalence-class representative."""
-    # Initial partition: by (name, PCDATA-or-regex kind).
-    classes: list[list[TaggedName]] = []
+def _initial_classes(sdtd: SpecializedDtd) -> list[list[TaggedName]]:
+    """Initial partition: by (name, PCDATA-or-regex kind)."""
     by_group: dict[tuple[str, bool], list[TaggedName]] = {}
     for key, content in sdtd.types.items():
         group = (key[0], isinstance(content, Pcdata))
         by_group.setdefault(group, []).append(key)
-    classes = [sorted(members) for members in by_group.values()]
+    return [sorted(members) for members in by_group.values()]
 
-    while True:
-        rep_map: dict[TaggedName, Sym] = {}
-        for members in classes:
-            rep = _representative(members)
-            for key in members:
+
+def _rep_map(classes: list[list[TaggedName]]) -> dict[TaggedName, Sym]:
+    """Renaming to class representatives, identity entries omitted.
+
+    A key that is its own representative renames to itself; leaving it
+    out keeps the map small and lets :func:`repro.regex.rename` return
+    untouched subtrees by pointer instead of walking them.
+    """
+    rep_map: dict[TaggedName, Sym] = {}
+    for members in classes:
+        rep = _representative(members)
+        for key in members:
+            if key != rep:
                 rep_map[key] = Sym(rep[0], rep[1])
+    return rep_map
 
-        def canonical(content) -> object:
-            if isinstance(content, Pcdata):
-                return content
-            return rename(content, rep_map)
 
-        new_classes: list[list[TaggedName]] = []
-        changed = False
-        for members in classes:
-            if len(members) == 1:
-                new_classes.append(members)
-                continue
-            buckets: list[tuple[object, list[TaggedName]]] = []
-            for key in members:
-                content = canonical(sdtd.types[key])
-                placed = False
-                for pivot, bucket in buckets:
-                    if isinstance(content, Pcdata) and isinstance(pivot, Pcdata):
-                        bucket.append(key)
-                        placed = True
-                        break
-                    if (
-                        isinstance(content, Regex)
-                        and isinstance(pivot, Regex)
-                        and is_equivalent(content, pivot)
-                    ):
-                        bucket.append(key)
-                        placed = True
-                        break
-                if not placed:
-                    buckets.append((content, [key]))
-            if len(buckets) > 1:
-                changed = True
-            new_classes.extend(bucket for _, bucket in buckets)
-        classes = new_classes
-        if not changed:
-            break
-
+def _classes_to_result(
+    classes: list[list[TaggedName]],
+) -> dict[TaggedName, TaggedName]:
     result: dict[TaggedName, TaggedName] = {}
     for members in classes:
         rep = _representative(members)
         for key in members:
             result[key] = rep
     return result
+
+
+def _split_by_signature(
+    sdtd: SpecializedDtd,
+    members: list[TaggedName],
+    rep_map: dict[TaggedName, Sym],
+) -> list[list[TaggedName]]:
+    """One refinement step: group members by canonical signature.
+
+    The initial partition already separates PCDATA from regex kinds
+    and refinement only ever splits, so a non-singleton class is
+    homogeneous: either all PCDATA (nothing to split) or all regexes.
+    """
+    first = sdtd.types[members[0]]
+    if isinstance(first, Pcdata):
+        return [members]
+    buckets: dict[object, list[TaggedName]] = {}
+    for key in members:
+        content = rename(sdtd.types[key], rep_map)
+        buckets.setdefault(canonical_signature(content), []).append(key)
+    return list(buckets.values())
+
+
+def _split_pairwise(
+    sdtd: SpecializedDtd,
+    members: list[TaggedName],
+    rep_map: dict[TaggedName, Sym],
+) -> list[list[TaggedName]]:
+    """One refinement step, legacy formulation: compare against pivots."""
+
+    def canonical(content: object) -> object:
+        if isinstance(content, Pcdata):
+            return content
+        return rename(content, rep_map)
+
+    buckets: list[tuple[object, list[TaggedName]]] = []
+    for key in members:
+        content = canonical(sdtd.types[key])
+        placed = False
+        for pivot, bucket in buckets:
+            if isinstance(content, Pcdata) and isinstance(pivot, Pcdata):
+                bucket.append(key)
+                placed = True
+                break
+            if (
+                isinstance(content, Regex)
+                and isinstance(pivot, Regex)
+                and is_equivalent(content, pivot)
+            ):
+                bucket.append(key)
+                placed = True
+                break
+        if not placed:
+            buckets.append((content, [key]))
+    return [bucket for _, bucket in buckets]
+
+
+_SPLITTERS = {
+    "signature": _split_by_signature,
+    "pairwise": _split_pairwise,
+}
+
+
+def compute_equivalence(
+    sdtd: SpecializedDtd,
+    backend: str | None = None,
+) -> dict[TaggedName, TaggedName]:
+    """Map each key to its equivalence-class representative.
+
+    ``backend`` selects the per-round partition strategy (see module
+    docstring); both produce the same partition, which the
+    differential property tests assert on random s-DTDs.
+    """
+    try:
+        split = _SPLITTERS[backend or DEFAULT_BACKEND]
+    except KeyError:
+        raise ValueError(f"unknown collapse backend {backend!r}") from None
+    classes = _initial_classes(sdtd)
+
+    while True:
+        rep_map = _rep_map(classes)
+        new_classes: list[list[TaggedName]] = []
+        changed = False
+        for members in classes:
+            if len(members) == 1:
+                new_classes.append(members)
+                continue
+            split_members = split(sdtd, members, rep_map)
+            if len(split_members) > 1:
+                changed = True
+            new_classes.extend(split_members)
+        classes = new_classes
+        if not changed:
+            break
+
+    return _classes_to_result(classes)
 
 
 def _renumber(
@@ -134,11 +217,14 @@ def _renumber(
 
 def collapse_equivalent(
     sdtd: SpecializedDtd,
+    backend: str | None = None,
 ) -> tuple[SpecializedDtd, dict[TaggedName, TaggedName]]:
     """Collapse equivalent specializations; returns (s-DTD, key map)."""
-    equivalence = compute_equivalence(sdtd)
+    equivalence = compute_equivalence(sdtd, backend=backend)
     final = _renumber(equivalence, sdtd)
-    sym_map = {key: Sym(*target) for key, target in final.items()}
+    sym_map = {
+        key: Sym(*target) for key, target in final.items() if key != target
+    }
 
     new_types: dict[TaggedName, object] = {}
     for key, content in sdtd.types.items():

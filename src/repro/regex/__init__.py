@@ -13,6 +13,8 @@ Public surface:
 * Simplification: :func:`simplify`, :func:`simplify_deep`
 * Counting and sampling: :mod:`repro.regex.counting`,
   :mod:`repro.regex.sampling`
+* Kernel caches and statistics: :mod:`repro.regex.kernel`
+  (:func:`kernel_stats`, :func:`clear_caches`)
 """
 
 from .ast import (
@@ -31,6 +33,7 @@ from .ast import (
     alt,
     concat,
     image,
+    letters,
     names,
     nullable,
     opt,
@@ -42,6 +45,7 @@ from .ast import (
     sym,
     symbols,
 )
+from .kernel import kernel_stats, kernel_summary, register_cache, render_stats
 from .counting import (
     count_words_by_length,
     count_words_up_to,
@@ -49,14 +53,19 @@ from .counting import (
     looseness_factor,
 )
 from .language import (
+    canonical_signature,
+    clear_caches,
     difference_witness,
+    equivalence_backend,
     is_empty,
     is_equivalent,
+    is_equivalent_pairwise,
     is_proper_subset,
     is_subset,
     matches,
     matches_letters,
     minimal_dfa,
+    set_equivalence_backend,
     to_dfa,
 )
 from .parser import parse_regex
@@ -78,22 +87,32 @@ __all__ = [
     "Sym",
     "alphabet",
     "alt",
+    "canonical_signature",
+    "clear_caches",
     "concat",
     "count_words_by_length",
     "count_words_up_to",
     "difference_witness",
+    "equivalence_backend",
     "image",
     "is_empty",
     "is_equivalent",
+    "is_equivalent_pairwise",
     "is_proper_subset",
     "is_subset",
+    "kernel_stats",
+    "kernel_summary",
     "language_density",
+    "letters",
     "looseness_factor",
     "matches",
     "matches_letters",
     "minimal_dfa",
     "names",
     "nullable",
+    "register_cache",
+    "render_stats",
+    "set_equivalence_backend",
     "opt",
     "parse_regex",
     "plus",

@@ -21,12 +21,28 @@ node       XML / paper notation
 ``Opt``    ``r?``
 ========== =====================================
 
-All nodes are immutable and hashable.  Use the smart constructors
-:func:`concat`, :func:`alt`, :func:`star`, :func:`plus` and :func:`opt`
-rather than the dataclass constructors: they apply the *safe local*
-normalizations (flattening, identity and absorption laws for ``Epsilon``
-and ``Empty``) that keep the paper's ``⊕`` / ``∥`` operators trivial, while
-never changing the described language.
+All nodes are immutable, hashable and **hash-consed**: constructing a
+node structurally equal to a live one returns the live one, so
+structurally equal expressions are pointer-equal.  Each node carries
+facts computed once at interning time -- its hash, its letter set
+(``letters``), nullability (``null``), whether it mentions a proper
+specialization (``has_tags``) and its node count (``n_nodes``) -- which
+makes every downstream memoization key O(1) instead of a deep
+structural walk.  The intern tables hold strong references (the node
+universe of a mediator run is small and heavily reused, so a
+process-wide canonical store beats weak tables that would let hot
+nodes die between inference rounds and force re-derivation); they
+survive :func:`repro.regex.clear_caches` on purpose, which keeps
+pointer-equality stable across cache resets.  See
+:mod:`repro.regex.kernel` for the cache registry and interning
+statistics.
+
+Use the smart constructors :func:`concat`, :func:`alt`, :func:`star`,
+:func:`plus` and :func:`opt` rather than the dataclass constructors:
+they apply the *safe local* normalizations (flattening, identity and
+absorption laws for ``Epsilon`` and ``Empty``) that keep the paper's
+``⊕`` / ``∥`` operators trivial, while never changing the described
+language.
 
 ``Plus`` and ``Opt`` are first-class (not desugared) so that inferred
 types print the way the paper writes them; the automata layer desugars
@@ -35,14 +51,145 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 from functools import lru_cache
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
+
+from . import kernel
+
+#: An automaton letter: a (element name, specialization tag) pair.
+Letter = tuple[str, int]
 
 
-@dataclass(frozen=True)
-class Regex:
-    """Base class for regular-expression nodes."""
+def _rebuild(cls: type, args: tuple) -> "Regex":
+    """Pickle/copy support: reconstruct through the interning constructor."""
+    return cls(*args)
+
+
+class _InternMeta(type):
+    """Metaclass that hash-conses every node construction.
+
+    ``Cls(*args)`` looks the argument tuple up in the class's intern
+    table first; on a hit the live node is returned **without running
+    ``__init__`` at all**, so re-constructing an existing node costs
+    one dict probe.  On a miss the node is built normally (running the
+    dataclass field assignment, validation and fact derivation once)
+    and then published.  Tables hold strong references: the canonical
+    store is process-wide and survives :func:`clear_caches`, which is
+    what keeps pointer-equality stable across cache resets.
+    """
+
+    def __init__(cls, name: str, bases: tuple, namespace: dict, **kwargs: Any) -> None:
+        super().__init__(name, bases, namespace, **kwargs)
+        table: dict[tuple, "Regex"] = {}
+        cls._intern_table = table
+        kernel.register_intern_table(name, lambda t=table: len(t))
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> "Regex":
+        if kwargs or len(args) != cls._n_fields():
+            args = cls._intern_key(args, kwargs)
+        table = cls._intern_table
+        node = table.get(args)
+        if node is not None:
+            kernel.INTERN_HITS[cls.__name__] += 1
+            return node
+        kernel.INTERN_MISSES[cls.__name__] += 1
+        node = super().__call__(*args)
+        table[args] = node
+        return node
+
+    def _n_fields(cls) -> int:
+        spec = cls.__dict__.get("_intern_spec")
+        if spec is None:
+            spec = cls._build_intern_spec()
+        return len(spec[0])
+
+    def _build_intern_spec(cls) -> tuple:
+        from dataclasses import MISSING
+
+        fields = dataclass_fields(cls)
+        spec = (
+            tuple(f.name for f in fields),
+            tuple(f.default for f in fields),
+            MISSING,
+        )
+        cls._intern_spec = spec
+        return spec
+
+    def interned(cls) -> int:
+        """Number of live nodes in this class's intern table."""
+        return len(cls._intern_table)
+
+    def _intern_key(cls, args: tuple, kwargs: dict) -> tuple:
+        """Normalize a mixed/partial call to the full positional tuple."""
+        names, defaults, missing = cls.__dict__.get(
+            "_intern_spec"
+        ) or cls._build_intern_spec()
+        full = list(args)
+        for name, default in zip(names[len(args):], defaults[len(args):]):
+            if name in kwargs:
+                full.append(kwargs[name])
+            elif default is not missing:
+                full.append(default)
+            else:
+                raise TypeError(
+                    f"{cls.__name__}() missing required argument {name!r}"
+                )
+        return tuple(full)
+
+
+@dataclass(frozen=True, eq=False)
+class Regex(metaclass=_InternMeta):
+    """Base class for hash-consed regular-expression nodes.
+
+    Derived facts, set once when a node is first interned:
+
+    ``letters``
+        the frozenset of ``(name, tag)`` letters occurring in the node;
+    ``null``
+        whether the empty sequence belongs to the node's language;
+    ``has_tags``
+        whether any letter is a proper specialization (tag != 0);
+    ``n_nodes``
+        the AST node count.
+    """
+
+    def __post_init__(self) -> None:
+        letters, null, has_tags, n_nodes = self._derive()
+        put = object.__setattr__
+        put(self, "letters", letters)
+        put(self, "null", null)
+        put(self, "has_tags", has_tags)
+        put(self, "n_nodes", n_nodes)
+        put(self, "_hash", hash((type(self).__name__, self._fields())))
+
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        raise TypeError(f"cannot instantiate abstract node {type(self).__name__}")
+
+    def _fields(self) -> tuple:
+        return ()
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        # Interning makes structurally equal live nodes identical; the
+        # structural fallback only matters for nodes resurrected through
+        # pickling boundaries or constructed with unusual call shapes.
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._fields() == other._fields()  # type: ignore[union-attr]
+
+    def __copy__(self) -> "Regex":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Regex":
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (_rebuild, (type(self), self._fields()))
 
     def __str__(self) -> str:  # pragma: no cover - thin delegation
         from .printer import to_string
@@ -50,7 +197,7 @@ class Regex:
         return to_string(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Sym(Regex):
     """A (possibly tagged) element name.
 
@@ -66,6 +213,13 @@ class Sym(Regex):
             raise ValueError("element name must be non-empty")
         if self.tag < 0:
             raise ValueError("specialization tag must be non-negative")
+        super().__post_init__()
+
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return frozenset(((self.name, self.tag),)), False, self.tag != 0, 1
+
+    def _fields(self) -> tuple:
+        return (self.name, self.tag)
 
     @property
     def is_tagged(self) -> bool:
@@ -76,54 +230,105 @@ class Sym(Regex):
         """The untagged symbol, per Definition 3.9."""
         return self if self.tag == 0 else Sym(self.name, 0)
 
-    def key(self) -> tuple[str, int]:
+    def key(self) -> Letter:
         """Hashable (name, tag) pair used as an automaton alphabet letter."""
         return (self.name, self.tag)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Epsilon(Regex):
     """The language containing only the empty sequence."""
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return frozenset(), True, False, 1
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class Empty(Regex):
     """The empty language -- the paper's ``fail`` value."""
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return frozenset(), False, False, 1
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class Concat(Regex):
     """Sequence ``r1, r2, ..., rk`` (k >= 2 after normalization)."""
 
     items: tuple[Regex, ...]
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return (
+            frozenset().union(*(i.letters for i in self.items)),
+            all(i.null for i in self.items),
+            any(i.has_tags for i in self.items),
+            1 + sum(i.n_nodes for i in self.items),
+        )
 
-@dataclass(frozen=True)
+    def _fields(self) -> tuple:
+        return (self.items,)
+
+
+@dataclass(frozen=True, eq=False)
 class Alt(Regex):
     """Alternation ``r1 | r2 | ... | rk`` (k >= 2 after normalization)."""
 
     items: tuple[Regex, ...]
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return (
+            frozenset().union(*(i.letters for i in self.items)),
+            any(i.null for i in self.items),
+            any(i.has_tags for i in self.items),
+            1 + sum(i.n_nodes for i in self.items),
+        )
 
-@dataclass(frozen=True)
+    def _fields(self) -> tuple:
+        return (self.items,)
+
+
+@dataclass(frozen=True, eq=False)
 class Star(Regex):
     """Kleene closure ``r*``."""
 
     item: Regex
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return self.item.letters, True, self.item.has_tags, 1 + self.item.n_nodes
 
-@dataclass(frozen=True)
+    def _fields(self) -> tuple:
+        return (self.item,)
+
+
+@dataclass(frozen=True, eq=False)
 class Plus(Regex):
     """One-or-more ``r+`` (equivalent to ``r, r*``)."""
 
     item: Regex
 
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return (
+            self.item.letters,
+            self.item.null,
+            self.item.has_tags,
+            1 + self.item.n_nodes,
+        )
 
-@dataclass(frozen=True)
+    def _fields(self) -> tuple:
+        return (self.item,)
+
+
+@dataclass(frozen=True, eq=False)
 class Opt(Regex):
     """Zero-or-one ``r?`` (equivalent to ``r | epsilon``)."""
 
     item: Regex
+
+    def _derive(self) -> tuple[frozenset[Letter], bool, bool, int]:
+        return self.item.letters, True, self.item.has_tags, 1 + self.item.n_nodes
+
+    def _fields(self) -> tuple:
+        return (self.item,)
 
 
 #: Singletons for the two constant languages.
@@ -238,22 +443,30 @@ def symbols(r: Regex) -> Iterator[Sym]:
     yield from out
 
 
+def letters(r: Regex) -> frozenset[Letter]:
+    """The set of distinct (name, tag) letters of ``r`` (precomputed)."""
+    return r.letters
+
+
 def alphabet(r: Regex) -> frozenset[Sym]:
     """The set of distinct symbols appearing in ``r``."""
-    return frozenset(symbols(r))
+    return frozenset(Sym(name, tag) for name, tag in r.letters)
 
 
 def names(r: Regex) -> frozenset[str]:
     """The set of distinct element names (tags ignored) appearing in ``r``."""
-    return frozenset(s.name for s in symbols(r))
+    return frozenset(name for name, _ in r.letters)
 
 
+@lru_cache(maxsize=None)
 def image(r: Regex) -> Regex:
     """Project specialization tags away, per Definition 3.9.
 
     The image of a tagged regular expression replaces every ``n^i``
     with ``n``.
     """
+    if not r.has_tags:
+        return r
     if isinstance(r, Sym):
         return r.image()
     if isinstance(r, Concat):
@@ -269,77 +482,83 @@ def image(r: Regex) -> Regex:
     return r
 
 
-def rename(r: Regex, mapping: dict[tuple[str, int], Sym]) -> Regex:
+kernel.register_lru("ast.image", image)
+
+
+def rename(r: Regex, mapping: Mapping[Letter, Sym]) -> Regex:
     """Replace symbols of ``r`` according to ``mapping`` (key -> new symbol).
 
     Symbols whose key is not in the mapping are kept unchanged.
+    Subtrees whose letter set is disjoint from the mapping's keys are
+    returned as-is (pointer-shared), not rebuilt.
     """
-    if isinstance(r, Sym):
-        return mapping.get(r.key(), r)
-    if isinstance(r, Concat):
-        return concat(*(rename(i, mapping) for i in r.items))
-    if isinstance(r, Alt):
-        return alt(*(rename(i, mapping) for i in r.items))
-    if isinstance(r, Star):
-        return star(rename(r.item, mapping))
-    if isinstance(r, Plus):
-        return plus(rename(r.item, mapping))
-    if isinstance(r, Opt):
-        return opt(rename(r.item, mapping))
-    return r
+    if not mapping:
+        return r
+    keys = set(mapping.keys())
+
+    def walk(node: Regex) -> Regex:
+        if node.letters.isdisjoint(keys):
+            return node
+        if isinstance(node, Sym):
+            return mapping.get(node.key(), node)
+        if isinstance(node, Concat):
+            return concat(*(walk(i) for i in node.items))
+        if isinstance(node, Alt):
+            return alt(*(walk(i) for i in node.items))
+        if isinstance(node, Star):
+            return star(walk(node.item))
+        if isinstance(node, Plus):
+            return plus(walk(node.item))
+        if isinstance(node, Opt):
+            return opt(walk(node.item))
+        return node
+
+    return walk(r)
 
 
-def substitute(r: Regex, replacements: dict[tuple[str, int], Regex]) -> Regex:
+def substitute(r: Regex, replacements: Mapping[Letter, Regex]) -> Regex:
     """Replace symbols of ``r`` by whole expressions.
 
     This implements the *one-level extension* substitution of
     Definition 4.3: replacing a name by its (parenthesized) type.
     """
-    if isinstance(r, Sym):
-        return replacements.get(r.key(), r)
-    if isinstance(r, Concat):
-        return concat(*(substitute(i, replacements) for i in r.items))
-    if isinstance(r, Alt):
-        return alt(*(substitute(i, replacements) for i in r.items))
-    if isinstance(r, Star):
-        return star(substitute(r.item, replacements))
-    if isinstance(r, Plus):
-        return plus(substitute(r.item, replacements))
-    if isinstance(r, Opt):
-        return opt(substitute(r.item, replacements))
-    return r
+    if not replacements:
+        return r
+    keys = set(replacements.keys())
+
+    def walk(node: Regex) -> Regex:
+        if node.letters.isdisjoint(keys):
+            return node
+        if isinstance(node, Sym):
+            return replacements.get(node.key(), node)
+        if isinstance(node, Concat):
+            return concat(*(walk(i) for i in node.items))
+        if isinstance(node, Alt):
+            return alt(*(walk(i) for i in node.items))
+        if isinstance(node, Star):
+            return star(walk(node.item))
+        if isinstance(node, Plus):
+            return plus(walk(node.item))
+        if isinstance(node, Opt):
+            return opt(walk(node.item))
+        return node
+
+    return walk(r)
 
 
-@lru_cache(maxsize=65536)
 def nullable(r: Regex) -> bool:
-    """True when the empty sequence belongs to ``L(r)``."""
-    if isinstance(r, (Epsilon, Star, Opt)):
-        return True
-    if isinstance(r, (Empty, Sym)):
-        return False
-    if isinstance(r, Concat):
-        return all(nullable(i) for i in r.items)
-    if isinstance(r, Alt):
-        return any(nullable(i) for i in r.items)
-    if isinstance(r, Plus):
-        return nullable(r.item)
-    raise TypeError(f"unknown regex node {r!r}")
+    """True when the empty sequence belongs to ``L(r)`` (precomputed)."""
+    return r.null
 
 
 def size(r: Regex) -> int:
     """Number of AST nodes; a convenient complexity measure for benches."""
-    if isinstance(r, (Sym, Epsilon, Empty)):
-        return 1
-    if isinstance(r, (Concat, Alt)):
-        return 1 + sum(size(i) for i in r.items)
-    if isinstance(r, (Star, Plus, Opt)):
-        return 1 + size(r.item)
-    raise TypeError(f"unknown regex node {r!r}")
+    return r.n_nodes
 
 
 def is_tagged(r: Regex) -> bool:
     """True when ``r`` mentions at least one proper specialization."""
-    return any(s.is_tagged for s in symbols(r))
+    return r.has_tags
 
 
 def from_word(word: Iterable[Sym]) -> Regex:

@@ -228,6 +228,60 @@ def with_alphabet(dfa: Dfa, letters: frozenset[Letter]) -> Dfa:
     )
 
 
+#: Fingerprint of the empty language (no live states to enumerate).
+EMPTY_SIGNATURE: tuple = ("empty",)
+
+#: A canonical fingerprint of a regular language; see :func:`dfa_signature`.
+Signature = tuple
+
+
+def dfa_signature(dfa: Dfa) -> Signature:
+    """Canonical fingerprint of ``L(dfa)``; requires a *minimal* input DFA.
+
+    The fingerprint is the trimmed automaton (dead states and the
+    transitions into them dropped) with states renumbered by BFS from
+    the start state following letter-sorted transitions.  The minimal
+    DFA of a language is unique up to isomorphism and BFS renumbering
+    picks a canonical representative of the isomorphism class, so two
+    minimal DFAs have equal signatures iff their languages are equal.
+    Trimming makes the fingerprint independent of the declared
+    alphabet: letters that occur in no accepted word leave no trace,
+    so e.g. ``(a, b*)`` restricted to words without ``b`` and plain
+    ``a`` fingerprint identically.
+    """
+    # States that can reach an accepting state (the live ones, since a
+    # minimized DFA is already restricted to reachable states).
+    reverse: dict[int, set[int]] = {}
+    for state, table in enumerate(dfa.transitions):
+        for target in table.values():
+            reverse.setdefault(target, set()).add(state)
+    alive = set(dfa.accepting)
+    frontier = list(alive)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in reverse.get(state, ()):
+            if predecessor not in alive:
+                alive.add(predecessor)
+                frontier.append(predecessor)
+    if dfa.start not in alive:
+        return EMPTY_SIGNATURE
+    order: dict[int, int] = {dfa.start: 0}
+    bfs = [dfa.start]
+    rows: list[tuple[bool, tuple[tuple[Letter, int], ...]]] = []
+    for state in bfs:  # grows during iteration: BFS
+        row: list[tuple[Letter, int]] = []
+        for letter in sorted(dfa.transitions[state]):
+            target = dfa.transitions[state][letter]
+            if target not in alive:
+                continue
+            if target not in order:
+                order[target] = len(order)
+                bfs.append(target)
+            row.append((letter, order[target]))
+        rows.append((state in dfa.accepting, tuple(row)))
+    return (len(rows), tuple(rows))
+
+
 def minimize(dfa: Dfa) -> Dfa:
     """Hopcroft minimization (on the reachable part of the DFA)."""
     # Restrict to reachable states first.

@@ -42,6 +42,33 @@ def regex_strategy(names=NAMES, tags=(0,), max_leaves: int = 8):
     return st.recursive(leaves, extend, max_leaves=max_leaves)
 
 
+def sdtd_strategy(names=("a", "b"), tags=(0, 1, 2), max_leaves: int = 6):
+    """Random specialized DTDs, always consistent by construction.
+
+    Every ``(name, tag)`` combination over the given alphabet is
+    declared (so content models drawn over the same alphabet can never
+    reference an undeclared key), each with either ``#PCDATA`` or a
+    random tagged content model; a root ``v`` holds one more random
+    model.  Tag collisions are frequent on purpose: the collapse
+    differential tests want partitions with real merge opportunities.
+    """
+    from repro.dtd import PCDATA, SpecializedDtd
+
+    keys = [(name, tag) for name in names for tag in tags]
+    contents = st.one_of(
+        st.just(PCDATA),
+        regex_strategy(names, tags, max_leaves),
+    )
+
+    @st.composite
+    def _sdtds(draw):
+        types = {key: draw(contents) for key in keys}
+        types[("v", 0)] = draw(regex_strategy(names, tags, max_leaves))
+        return SpecializedDtd(types, ("v", 0))
+
+    return _sdtds()
+
+
 def words_strategy(names=NAMES, max_size: int = 6):
     """Random words over the alphabet (as Sym lists)."""
     return st.lists(
