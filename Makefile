@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json examples lint verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,10 +12,12 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Fast benchmark sanity pass (seconds, not minutes): a single round of
-# the two suites that sweep the full pipeline, GC off so one-round
-# timings are not noise-dominated.  Part of `make check`.
+# the suites that sweep the full pipeline and the evaluator hot path,
+# GC off so one-round timings are not noise-dominated.  Part of
+# `make check`.
 bench-smoke:
-	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py -q \
+	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
+		benchmarks/bench_evaluator.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -31,6 +33,26 @@ bench-json:
 		--current .bench_current.json \
 		--output BENCH_PR2.json \
 		--require-speedup 3 --require-count 2
+
+# The PR3 evaluator gate: run the evaluator benches under the legacy
+# backend (re-capturing the committed pre-engine baseline) and under
+# the compiled backend, then compare -- median speedups plus
+# reproduction-fact equality, at least 3 benches >= 3x.  Writes the
+# BENCH_PR3.json trajectory file.  See docs/PERFORMANCE.md.
+bench-engine-json:
+	REPRO_EVAL_BACKEND=legacy pytest benchmarks/bench_evaluator.py -q \
+		--benchmark-only --benchmark-disable-gc \
+		--benchmark-json=.bench_engine_legacy.json
+	python benchmarks/compare_bench.py merge .bench_engine_legacy.json \
+		--output benchmarks/baseline_preengine.json
+	REPRO_EVAL_BACKEND=compiled pytest benchmarks/bench_evaluator.py -q \
+		--benchmark-only --benchmark-disable-gc \
+		--benchmark-json=.bench_engine_compiled.json
+	python benchmarks/compare_bench.py compare \
+		--baseline benchmarks/baseline_preengine.json \
+		--current .bench_engine_compiled.json \
+		--output BENCH_PR3.json \
+		--require-speedup 3 --require-count 3
 
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`

@@ -4,7 +4,10 @@ Commands:
 
 * ``infer``     -- infer the view DTD of an XMAS query over a DTD
 * ``classify``  -- valid / satisfiable / unsatisfiable verdict
-* ``evaluate``  -- run a query over an XML document
+* ``evaluate``  -- run a query over an XML document (alias: ``eval``;
+  ``--backend legacy|compiled`` selects the evaluation engine)
+* ``ask``       -- answer a query through a mediated view (register the
+  view over a source, pre-flight, simplify, then evaluate)
 * ``validate``  -- validate a document against a DTD
 * ``structure`` -- display the browsable structure of a DTD
 * ``lint``      -- static diagnostics for DTDs and queries
@@ -63,11 +66,51 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0 if result.classification.is_satisfiable else 1
 
 
+def _set_backend(args: argparse.Namespace) -> None:
+    backend = getattr(args, "backend", None)
+    if backend:
+        from .xmas import set_eval_backend
+
+        set_eval_backend(backend)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _set_backend(args)
     query = _load_query(args.query)
     document = parse_document(Path(args.document).read_text())
     answer = evaluate(query, document)
     print(serialize_document(answer), end="")
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    """Answer a client query through a mediated view (the Figure 1 path)."""
+    from .mediator import Mediator, Source
+
+    _set_backend(args)
+    dtd = _load_dtd(args.dtd, args.root)
+    view_query = _load_query(args.view)
+    client_query = _load_query(args.query)
+    documents = [
+        parse_document(Path(path).read_text()) for path in args.documents
+    ]
+    mediator = Mediator("cli")
+    source = Source("source", dtd, documents, validate=not args.no_validate)
+    mediator.add_source(source)
+    source.warm_indexes()
+    registration = mediator.register_view(view_query)
+    answer = mediator.query_view(
+        client_query,
+        registration.name,
+        use_simplifier=not args.no_simplifier,
+        strategy=args.strategy,
+    )
+    print(serialize_document(answer), end="")
+    if args.explain:
+        print(
+            mediator.explain(client_query, registration.name).describe(),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -235,10 +278,64 @@ def build_parser() -> argparse.ArgumentParser:
     add_stats_option(p)
     p.set_defaults(func=_cmd_classify)
 
-    p = sub.add_parser("evaluate", help="run a query over a document")
+    def add_backend_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=["legacy", "compiled"],
+            default=None,
+            help=(
+                "query evaluation backend (default: REPRO_EVAL_BACKEND"
+                " or compiled)"
+            ),
+        )
+
+    p = sub.add_parser(
+        "evaluate", aliases=["eval"], help="run a query over a document"
+    )
     p.add_argument("--query", required=True)
     p.add_argument("document", help="XML document file")
+    add_backend_option(p)
+    add_stats_option(p)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "ask",
+        help="answer a query through a mediated view",
+        description=(
+            "Register a view over a source (DTD + documents), then answer"
+            " a client query against it through the mediator: DTD-based"
+            " pre-flight, simplification, composition or materialization,"
+            " and the selected evaluation backend."
+        ),
+    )
+    add_dtd_options(p)
+    p.add_argument("--view", required=True, help="view definition (XMAS file)")
+    p.add_argument("--query", required=True, help="client query (XMAS file)")
+    p.add_argument("documents", nargs="+", help="source XML document files")
+    p.add_argument(
+        "--strategy",
+        choices=["auto", "compose", "materialize"],
+        default="auto",
+        help="execution strategy (default: auto)",
+    )
+    p.add_argument(
+        "--no-simplifier",
+        action="store_true",
+        help="skip the DTD-based pre-flight and simplifier",
+    )
+    p.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip source-document validation on load",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the mediator's query plan to stderr",
+    )
+    add_backend_option(p)
+    add_stats_option(p)
+    p.set_defaults(func=_cmd_ask)
 
     p = sub.add_parser("validate", help="validate a document against a DTD")
     add_dtd_options(p)

@@ -24,7 +24,7 @@ from ..inference import (
     InferenceResult,
     infer_view_dtd,
 )
-from ..xmas import Query, evaluate_many
+from ..xmas import CompiledPlan, Query, compile_query, evaluate_many
 from ..xmlmodel import Document
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
@@ -32,11 +32,14 @@ from .source import Source
 
 @dataclass
 class ViewRegistration:
-    """A mediated view: its definition, source, and inferred DTDs."""
+    """A mediated view: its definition, source, inferred DTDs, and the
+    compiled execution plan (built once at registration, reused for
+    every materialization -- the serving hot path never recompiles)."""
 
     query: Query
     source_name: str
     inference: InferenceResult
+    plan: CompiledPlan | None = None
 
     @property
     def name(self) -> str:
@@ -156,7 +159,9 @@ class Mediator:
             )
         source = self.sources[target]
         inference = infer_view_dtd(source.dtd, query, self.mode)
-        registration = ViewRegistration(query, target, inference)
+        registration = ViewRegistration(
+            query, target, inference, plan=compile_query(query)
+        )
         self.views[query.view_name] = registration
         return registration
 
@@ -352,6 +357,7 @@ class Mediator:
                 UnionBranch(self.sources[query.source].dtd, query)
             )
             source_names.append(query.source)
+            compile_query(query)  # warm the plan cache for serving
         inference = infer_union_view_dtd(branches, view_name, self.mode)
         registration = UnionViewRegistration(
             view_name, branches, source_names, inference

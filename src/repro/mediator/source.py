@@ -57,6 +57,19 @@ class Source:
         self.queries_served += 1
         return evaluate_many(query, self.documents)
 
+    def warm_indexes(self) -> int:
+        """Pre-build the document indexes the compiled engine uses.
+
+        Serving latency work moved to load time; returns the number of
+        documents indexed.  A no-op for the legacy backend (indexes are
+        simply never consulted).
+        """
+        from ..xmlmodel import document_index
+
+        for document in self.documents:
+            document_index(document)
+        return len(self.documents)
+
     def size(self) -> int:
         """Total number of elements across all documents."""
         return sum(document.size() for document in self.documents)

@@ -32,29 +32,53 @@ from .construct import (
     evaluate_construct_many,
     parse_construct_query,
 )
-from .evaluator import bindings, evaluate, evaluate_many, picked_elements
+from .engine import (
+    CompiledPlan,
+    PlanNode,
+    compile_query,
+    compiled_picked_elements,
+    evaluate_compiled,
+    evaluate_many_compiled,
+)
+from .evaluator import (
+    bindings,
+    eval_backend,
+    evaluate,
+    evaluate_many,
+    legacy_picked_elements,
+    picked_elements,
+    set_eval_backend,
+)
 from .parser import parse_query
 
 __all__ = [
     "WILDCARD",
+    "CompiledPlan",
     "Condition",
     "ConstructQuery",
     "NameTest",
     "PickPath",
+    "PlanNode",
     "Query",
     "Slot",
     "Template",
     "Text",
     "bindings",
     "check_inference_applicable",
+    "compile_query",
+    "compiled_picked_elements",
     "cond",
     "condition_size",
+    "eval_backend",
     "evaluate",
+    "evaluate_compiled",
     "evaluate_construct",
     "evaluate_construct_many",
     "evaluate_many",
+    "evaluate_many_compiled",
     "expand_wildcards",
     "has_recursive_steps",
+    "legacy_picked_elements",
     "name_test",
     "parse_construct_query",
     "parse_query",
@@ -62,4 +86,5 @@ __all__ = [
     "picked_elements",
     "query",
     "resolve_against_dtd",
+    "set_eval_backend",
 ]

@@ -13,16 +13,51 @@ Semantics (Section 2.1):
 * The answer is a new document whose root is named after the view and
   whose content is the elements bound to the pick variable, in document
   order (depth-first left-to-right), each element contributed once.
+
+Two execution backends implement these semantics (selected by
+``REPRO_EVAL_BACKEND`` or :func:`set_eval_backend`, mirroring the
+language kernel's ``REPRO_EQUIV_BACKEND``):
+
+* ``"compiled"`` (the default) -- :mod:`repro.xmas.engine`: compile the
+  query once into a plan and evaluate by pick-projection over a
+  document index;
+* ``"legacy"`` -- this module's backtracking tree matcher, kept as the
+  differential-testing oracle.
+
+Both backends return picks in document order, so results are
+deterministic and identical across backends.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterator
 
 from ..xmlmodel import Document, Element, fresh_id
 from .ast import Condition, Query
 
 Binding = dict[str, Element]
+
+# ---------------------------------------------------------------------------
+# backend selection
+# ---------------------------------------------------------------------------
+
+_BACKENDS = ("compiled", "legacy")
+_backend = os.environ.get("REPRO_EVAL_BACKEND", "compiled")
+
+
+def set_eval_backend(name: str) -> str:
+    """Set the process-wide evaluation backend; returns the old one."""
+    global _backend
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown evaluation backend {name!r}")
+    old, _backend = _backend, name
+    return old
+
+
+def eval_backend() -> str:
+    """The current process-wide evaluation backend."""
+    return _backend
 
 
 def _check_inequalities(env: Binding, query: Query) -> bool:
@@ -92,26 +127,48 @@ class _Matcher:
     # -- full search producing variable environments --------------------
 
     def search(
-        self, node: Condition, element: Element, env: Binding
+        self,
+        node: Condition,
+        element: Element,
+        env: Binding,
+        picked: set[str] | None = None,
     ) -> Iterator[Binding]:
         """All environments extending ``env`` that match ``node`` at
-        ``element`` (including chain descents for recursive steps)."""
+        ``element`` (including chain descents for recursive steps).
+
+        ``picked`` enables the pick-id short-circuit used by
+        :func:`legacy_picked_elements`: a branch that binds the pick
+        variable to an already-collected element is cut immediately --
+        its completions could only re-derive a known pick.  The cut is
+        sound unconditionally because it only affects which *pick*
+        elements are reported, never whether one is.
+        """
         if not self.may_match(node, element):
             return
         if node.test.accepts(element.name):
-            yield from self._search_here(node, element, env)
+            yield from self._search_here(node, element, env, picked)
         if node.recursive and node.test.accepts(element.name):
             for child in element.children:
-                yield from self.search(node, child, env)
+                yield from self.search(node, child, env, picked)
 
     def _search_here(
-        self, node: Condition, element: Element, env: Binding
+        self,
+        node: Condition,
+        element: Element,
+        env: Binding,
+        picked: set[str] | None,
     ) -> Iterator[Binding]:
         if not self._may_match_here(node, element):
             return
         if node.variable is not None:
             existing = env.get(node.variable)
             if existing is not None and existing.id != element.id:
+                return
+            if (
+                picked is not None
+                and node.variable == self.query.pick_variable
+                and element.id in picked
+            ):
                 return
             env = dict(env)
             env[node.variable] = element
@@ -121,7 +178,7 @@ class _Matcher:
             yield env
             return
         yield from self._assign_children(
-            node.children, element.children, 0, frozenset(), env
+            node.children, element.children, 0, frozenset(), env, picked
         )
 
     def _assign_children(
@@ -131,6 +188,7 @@ class _Matcher:
         index: int,
         used: frozenset[int],
         env: Binding,
+        picked: set[str] | None,
     ) -> Iterator[Binding]:
         if index == len(conditions):
             yield env
@@ -139,22 +197,38 @@ class _Matcher:
         for position, child in enumerate(children):
             if position in used:
                 continue
-            for extended in self.search(condition, child, env):
+            for extended in self.search(condition, child, env, picked):
                 yield from self._assign_children(
-                    conditions, children, index + 1, used | {position}, extended
+                    conditions,
+                    children,
+                    index + 1,
+                    used | {position},
+                    extended,
+                    picked,
                 )
 
 
 def bindings(query: Query, document: Document) -> Iterator[Binding]:
-    """All complete variable environments matching the query."""
+    """All complete variable environments matching the query.
+
+    Always the full enumeration (no pick short-circuit): construct
+    queries and the reference tests consume every environment.
+    """
     matcher = _Matcher(query)
     yield from matcher.search(query.root, document.root, {})
 
 
-def picked_elements(query: Query, document: Document) -> list[Element]:
-    """Elements bound to the pick variable, document order, no repeats."""
+def legacy_picked_elements(query: Query, document: Document) -> list[Element]:
+    """The legacy backend's pick set, document order, no repeats.
+
+    Enumerates binding environments, short-circuiting every branch
+    whose pick binding is already collected: once the pick variable's
+    element is determined and known, the remaining sibling assignments
+    cannot add a new pick id, so they are never enumerated.
+    """
     picked_ids: set[str] = set()
-    for env in bindings(query, document):
+    matcher = _Matcher(query)
+    for env in matcher.search(query.root, document.root, {}, picked_ids):
         element = env.get(query.pick_variable)
         if element is not None:
             picked_ids.add(element.id)
@@ -163,33 +237,46 @@ def picked_elements(query: Query, document: Document) -> list[Element]:
     ]
 
 
+def picked_elements(query: Query, document: Document) -> list[Element]:
+    """Elements bound to the pick variable, document order, no repeats."""
+    if _backend == "compiled":
+        from .engine import compiled_picked_elements
+
+        return compiled_picked_elements(query, document)
+    return legacy_picked_elements(query, document)
+
+
+def _view_document(query: Query, picks: list[Element]) -> Document:
+    root = Element(
+        query.view_name,
+        [element.deep_copy(fresh_ids=True) for element in picks],
+        fresh_id(),
+    )
+    return Document(root)
+
+
 def evaluate(query: Query, document: Document) -> Document:
     """Run the query: the view document with the picked elements.
 
     The picked elements are deep-copied with fresh IDs so the result
     is itself a well-formed document (unique IDs).
     """
-    picks = picked_elements(query, document)
-    root = Element(
-        query.view_name,
-        [element.deep_copy(fresh_ids=True) for element in picks],
-        fresh_id(),
-    )
-    return Document(root)
+    return _view_document(query, picked_elements(query, document))
 
 
 def evaluate_many(query: Query, documents: list[Document]) -> Document:
     """Run the query over several documents of the same source.
 
     Pick-element queries apply to one source; a source may hold many
-    documents, whose picks are concatenated in document order.
+    documents, whose picks are concatenated in document order.  Under
+    the compiled backend the query is compiled once and the plan reused
+    across every document.
     """
+    if _backend == "compiled":
+        from .engine import evaluate_many_compiled
+
+        return evaluate_many_compiled(query, documents)
     picks: list[Element] = []
     for document in documents:
-        picks.extend(picked_elements(query, document))
-    root = Element(
-        query.view_name,
-        [element.deep_copy(fresh_ids=True) for element in picks],
-        fresh_id(),
-    )
-    return Document(root)
+        picks.extend(legacy_picked_elements(query, document))
+    return _view_document(query, picks)

@@ -7,12 +7,15 @@ a DTD fully types.
 """
 
 from .element import Document, Element, elem, fresh_id, text_elem
+from .index import DocumentIndex, document_index
 from .parser import parse_document, parse_element
 from .serializer import serialize_document, serialize_element
 
 __all__ = [
     "Document",
+    "DocumentIndex",
     "Element",
+    "document_index",
     "elem",
     "fresh_id",
     "parse_document",

@@ -74,10 +74,16 @@ class Element:
         """Depth-first, left-to-right traversal including self.
 
         This is the document order used by the paper for view results.
+        Iterative (explicit stack): recursive-chain documents nested
+        deeper than the interpreter's recursion limit traverse fine.
         """
-        yield self
-        for child in self.children:
-            yield from child.iter()
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            content = element.content
+            if not isinstance(content, str):
+                stack.extend(reversed(content))
 
     def find_all(self, predicate: Callable[["Element"], bool]) -> list["Element"]:
         """All descendants-or-self satisfying ``predicate``, document order."""
@@ -94,30 +100,57 @@ class Element:
         additionally allow string renaming; see
         :func:`repro.dtd.tightness.same_structural_class`.
         """
-        if self.name != other.name:
-            return False
-        if self.attributes != other.attributes:
-            return False
-        if self.is_pcdata != other.is_pcdata:
-            return False
-        if self.is_pcdata:
-            return self.content == other.content
-        mine, theirs = self.children, other.children
-        if len(mine) != len(theirs):
-            return False
-        return all(a.structurally_equal(b) for a, b in zip(mine, theirs))
+        stack = [(self, other)]
+        while stack:
+            mine, theirs = stack.pop()
+            if mine.name != theirs.name:
+                return False
+            if mine.attributes != theirs.attributes:
+                return False
+            if mine.is_pcdata != theirs.is_pcdata:
+                return False
+            if mine.is_pcdata:
+                if mine.content != theirs.content:
+                    return False
+                continue
+            if len(mine.children) != len(theirs.children):
+                return False
+            stack.extend(zip(mine.children, theirs.children))
+        return True
 
     def deep_copy(self, fresh_ids: bool = False) -> "Element":
-        """A structural copy; ``fresh_ids`` re-IDs every element."""
-        new_id = fresh_id() if fresh_ids else self.id
-        if isinstance(self.content, str):
-            return Element(self.name, self.content, new_id, dict(self.attributes))
-        return Element(
-            self.name,
-            [child.deep_copy(fresh_ids=fresh_ids) for child in self.children],
-            new_id,
-            dict(self.attributes),
-        )
+        """A structural copy; ``fresh_ids`` re-IDs every element.
+
+        Built iteratively: a preorder pass collects the nodes (so fresh
+        IDs are assigned in document order, as the recursive version
+        did), then copies are constructed children-first.
+        """
+        nodes: list[Element] = []
+        child_lists: list[list[int]] = []
+        stack: list[tuple[Element, int]] = [(self, -1)]
+        while stack:
+            node, parent_index = stack.pop()
+            index = len(nodes)
+            nodes.append(node)
+            child_lists.append([])
+            if parent_index >= 0:
+                child_lists[parent_index].append(index)
+            if not isinstance(node.content, str):
+                for child in reversed(node.content):
+                    stack.append((child, index))
+        new_ids = [fresh_id() if fresh_ids else node.id for node in nodes]
+        copies: list[Element | None] = [None] * len(nodes)
+        for index in range(len(nodes) - 1, -1, -1):
+            node = nodes[index]
+            content: Union[list[Element], str]
+            if isinstance(node.content, str):
+                content = node.content
+            else:
+                content = [copies[c] for c in child_lists[index]]  # type: ignore[misc]
+            copies[index] = Element(
+                node.name, content, new_ids[index], dict(node.attributes)
+            )
+        return copies[0]  # type: ignore[return-value]
 
     def size(self) -> int:
         """Number of elements in the subtree (a benchmark measure)."""
@@ -125,9 +158,15 @@ class Element:
 
     def depth(self) -> int:
         """Height of the subtree (a single element has depth 1)."""
-        if self.is_pcdata or not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        best = 1
+        stack: list[tuple[Element, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
 
     def __repr__(self) -> str:
         if self.is_pcdata:

@@ -1,0 +1,178 @@
+"""Document-side index for the compiled query engine.
+
+A :class:`DocumentIndex` is a one-pass, preorder flattening of a
+document into parallel arrays: element order, parent pointers, depths,
+descendant intervals, per-label position lists, and child-position
+lists.  It turns the two expensive primitives of tree matching into
+array operations:
+
+* *label lookup* -- "all elements named ``n`` in document order" is a
+  precomputed list instead of a full traversal, and
+* *recursive steps* -- "descendants of ``e`` named ``n``" is a binary
+  search over that list against ``e``'s descendant interval
+  ``[pos, end)`` instead of a re-descent.
+
+The build is iterative (explicit stack), so documents nested
+arbitrarily deep -- the Example 3.5 recursive-chain shape -- index
+without ``RecursionError``.
+
+Indexes are cached per document object (weakly, so dropping a document
+drops its index) and the cache registers with the
+:mod:`repro.regex.kernel` registry: ``clear_caches()`` empties it and
+``kernel_stats()`` reports its hit/miss/size counters.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+
+from ..regex import kernel
+from .element import Document, Element
+
+
+class DocumentIndex:
+    """Preorder arrays over one document.
+
+    ``order[i]`` is the ``i``-th element in document order;
+    ``parent[i]`` its parent's position (``-1`` for the root);
+    ``end[i]`` the exclusive end of its descendant interval (the
+    subtree of ``order[i]`` is exactly ``order[i:end[i]]``);
+    ``depth[i]`` its depth (root ``0``); ``children[i]`` the positions
+    of its child elements in order; and ``by_label[name]`` the
+    document-order positions of all elements named ``name``.
+
+    The index reflects the document at build time; documents served by
+    a :class:`~repro.mediator.source.Source` are immutable in practice,
+    which is what makes caching sound.
+    """
+
+    __slots__ = (
+        "order",
+        "parent",
+        "end",
+        "depth",
+        "children",
+        "by_label",
+        "_label_sets",
+    )
+
+    def __init__(self, document: Document) -> None:
+        order: list[Element] = []
+        parent: list[int] = []
+        depth: list[int] = []
+        children: list[list[int]] = []
+        by_label: dict[str, list[int]] = {}
+        stack: list[tuple[Element, int, int]] = [(document.root, -1, 0)]
+        while stack:
+            element, parent_pos, level = stack.pop()
+            pos = len(order)
+            order.append(element)
+            parent.append(parent_pos)
+            depth.append(level)
+            children.append([])
+            by_label.setdefault(element.name, []).append(pos)
+            if parent_pos >= 0:
+                children[parent_pos].append(pos)
+            kids = element.children
+            for child in reversed(kids):
+                stack.append((child, pos, level + 1))
+        end = [0] * len(order)
+        for pos in range(len(order) - 1, -1, -1):
+            kids = children[pos]
+            end[pos] = end[kids[-1]] if kids else pos + 1
+        self.order = order
+        self.parent = parent
+        self.end = end
+        self.depth = depth
+        self.children = children
+        self.by_label = by_label
+        self._label_sets: dict[str, frozenset[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def position_of(self, element: Element) -> int | None:
+        """The preorder position of an element (identity), or None."""
+        positions = self.by_label.get(element.name)
+        if positions is None:
+            return None
+        for pos in positions:
+            if self.order[pos] is element:
+                return pos
+        return None
+
+    def labelled(self, name: str) -> list[int]:
+        """Positions of all elements named ``name``, document order."""
+        return self.by_label.get(name, [])
+
+    def labelled_set(self, name: str) -> frozenset[int]:
+        """``labelled`` as a frozenset, built lazily and kept.
+
+        The engine's satisfaction sets for leaf conditions are exactly
+        these; sharing them across runs (the index is cached per
+        document) turns a per-evaluation set build into a dict probe.
+        """
+        cached = self._label_sets.get(name)
+        if cached is None:
+            cached = frozenset(self.by_label.get(name, ()))
+            self._label_sets[name] = cached
+        return cached
+
+    def labelled_within(self, name: str, pos: int) -> list[int]:
+        """Positions named ``name`` inside the subtree of ``pos``.
+
+        This is the interval scan that replaces a recursive re-descent:
+        two binary searches over the label's position list against the
+        descendant interval ``[pos, end[pos])``.
+        """
+        positions = self.by_label.get(name, [])
+        lo = bisect_left(positions, pos)
+        hi = bisect_left(positions, self.end[pos], lo)
+        return positions[lo:hi]
+
+    def is_ancestor_or_self(self, ancestor: int, descendant: int) -> bool:
+        """Interval containment test on preorder positions."""
+        return ancestor <= descendant < self.end[ancestor]
+
+
+_INDEX_CACHE: "weakref.WeakKeyDictionary[Document, DocumentIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+_index_hits = 0
+_index_misses = 0
+
+
+def _clear_index_cache() -> None:
+    global _index_hits, _index_misses
+    _INDEX_CACHE.clear()
+    _index_hits = 0
+    _index_misses = 0
+
+
+kernel.register_cache(
+    "engine.doc_index",
+    _clear_index_cache,
+    lambda: {
+        "hits": _index_hits,
+        "misses": _index_misses,
+        "size": len(_INDEX_CACHE),
+    },
+)
+
+
+def document_index(document: Document) -> DocumentIndex:
+    """The (cached) index of a document.
+
+    Keyed weakly on the document object: re-indexing the same held
+    document is a dict probe, and dropped documents free their index.
+    """
+    global _index_hits, _index_misses
+    index = _INDEX_CACHE.get(document)
+    if index is not None:
+        _index_hits += 1
+        return index
+    _index_misses += 1
+    index = DocumentIndex(document)
+    _INDEX_CACHE[document] = index
+    return index

@@ -53,6 +53,22 @@ class TestMediator:
         assert registration.dtd.root == "withJournals"
         assert ("withJournals", 0) in registration.sdtd.types
 
+    def test_register_compiles_plan(self, mediator):
+        from repro.xmas import compile_query
+
+        registration = mediator.register_view(q2(), "dept")
+        assert registration.plan is not None
+        assert registration.plan.projectable
+        # the cached plan is the one the serving path will fetch
+        assert compile_query(q2()) is registration.plan
+
+    def test_source_warm_indexes(self, dept_source):
+        from repro.xmlmodel import document_index
+
+        assert dept_source.warm_indexes() == len(dept_source.documents)
+        for document in dept_source.documents:
+            assert document_index(document) is document_index(document)
+
     def test_duplicate_view_rejected(self, mediator):
         mediator.register_view(q2(), "dept")
         with pytest.raises(MediatorError):

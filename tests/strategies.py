@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.regex import EPSILON, alt, concat, opt, plus, star, sym
 from repro.xmas import cond
 from repro.xmas import query as make_query
+from repro.xmlmodel import Document, Element
 
 #: small alphabet used by the random regex strategies
 NAMES = ("a", "b", "c")
@@ -98,6 +99,120 @@ def condition_strategy(children_map, name, max_depth: int = 3, max_children: int
         return cond(node_name, children=tuple(children))
 
     return _tree(name, 0)
+
+
+def document_strategy(
+    names=NAMES,
+    texts=("", "x", "y"),
+    max_leaves: int = 16,
+):
+    """Random documents over a small name alphabet.
+
+    Element IDs come from the model's ``fresh_id`` counter, so the
+    documents are well-formed (unique IDs) -- the standing assumption
+    of both evaluation backends.
+    """
+    leaves = st.one_of(
+        st.builds(
+            lambda name, text: Element(name, text),
+            st.sampled_from(names),
+            st.sampled_from(texts),
+        ),
+        st.builds(lambda name: Element(name, []), st.sampled_from(names)),
+    )
+
+    def extend(children):
+        return st.builds(
+            lambda name, kids: Element(name, list(kids)),
+            st.sampled_from(names),
+            st.lists(children, min_size=1, max_size=3),
+        )
+
+    return st.builds(
+        Document, st.recursive(leaves, extend, max_leaves=max_leaves)
+    )
+
+
+def eval_query_strategy(
+    names=NAMES,
+    texts=("", "x", "y"),
+    max_depth: int = 3,
+    view_name: str = "v",
+    pick_variable: str = "P",
+):
+    """Random pick-element queries for evaluator differential tests.
+
+    Covers the full evaluable language: name disjunctions and
+    wildcards, PCDATA equality, recursive steps, extra variables, and
+    ID inequalities (drawn over arbitrary variable pairs, so some
+    queries exercise the compiled engine's enumeration fallback and
+    others its pick-projection path).
+    """
+
+    test_names = st.one_of(
+        st.just(None),  # wildcard
+        st.lists(
+            st.sampled_from(names), min_size=1, max_size=2, unique=True
+        ),
+    )
+
+    @st.composite
+    def _conditions(draw, depth):
+        chosen = draw(test_names)
+        recursive = chosen is not None and draw(st.integers(0, 3)) == 0
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            return cond(
+                *(chosen or ()),
+                pcdata=draw(st.sampled_from(texts)),
+                recursive=recursive,
+            )
+        n_children = 0
+        if depth < max_depth and kind == 3:
+            n_children = draw(st.integers(1, 2))
+        children = tuple(
+            draw(_conditions(depth + 1)) for _ in range(n_children)
+        )
+        return cond(*(chosen or ()), children=children, recursive=recursive)
+
+    @st.composite
+    def _queries(draw):
+        root = draw(_conditions(0))
+        nodes = list(root.iter_nodes())
+        pick_index = draw(st.integers(0, len(nodes) - 1))
+        extra_vars = draw(
+            st.sets(st.sampled_from(("A", "B", "C")), max_size=2)
+        )
+        variables: list[str | None] = [None] * len(nodes)
+        variables[pick_index] = pick_variable
+        for extra in sorted(extra_vars):
+            slot = draw(st.integers(0, len(nodes) - 1))
+            if variables[slot] is None:
+                variables[slot] = extra
+        counter = [-1]
+
+        def rebuild(node):
+            counter[0] += 1
+            variable = variables[counter[0]]
+            return replace(
+                node,
+                variable=variable,
+                children=tuple(rebuild(child) for child in node.children),
+            )
+
+        rebuilt = rebuild(root)
+        bound = sorted(v for v in variables if v is not None)
+        inequalities = []
+        if len(bound) >= 2 and draw(st.booleans()):
+            pair = draw(
+                st.lists(
+                    st.sampled_from(bound), min_size=2, max_size=2, unique=True
+                )
+            )
+            inequalities.append(tuple(pair))
+        return make_query(view_name, pick_variable, rebuilt, inequalities)
+
+    return _queries()
 
 
 def pick_query_strategy(

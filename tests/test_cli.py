@@ -129,6 +129,45 @@ class TestEvaluateValidate:
         assert "<answer>" in out
         assert "<journal>J</journal>" in out
 
+    def test_evaluate_alias_and_backends(self, files, capsys):
+        outputs = []
+        for backend in ("legacy", "compiled"):
+            assert (
+                main(
+                    [
+                        "eval",
+                        "--query",
+                        files["query"],
+                        "--backend",
+                        backend,
+                        files["doc"],
+                    ]
+                )
+                == 0
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "<journal>J</journal>" in outputs[0]
+
+    def test_evaluate_stats_reports_engine_caches(self, files, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--query",
+                    files["query"],
+                    "--backend",
+                    "compiled",
+                    "--stats",
+                    files["doc"],
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "engine.plans" in err
+        assert "engine.doc_index" in err
+
     def test_validate_ok(self, files, capsys):
         assert main(["validate", "--dtd", files["dtd"], files["doc"]]) == 0
         assert capsys.readouterr().out.strip() == "valid"
@@ -137,6 +176,51 @@ class TestEvaluateValidate:
         bad = tmp_path / "bad.xml"
         bad.write_text("<professor><journal>J</journal></professor>")
         assert main(["validate", "--dtd", files["dtd"], str(bad)]) == 1
+
+
+class TestAsk:
+    CLIENT = "picks = SELECT N WHERE <answer> <professor> N:<name/> </> </>"
+
+    def _ask(self, files, tmp_path, *extra):
+        client_file = tmp_path / "client.xmas"
+        client_file.write_text(self.CLIENT)
+        return main(
+            [
+                "ask",
+                "--dtd",
+                files["dtd"],
+                "--view",
+                files["query"],
+                "--query",
+                str(client_file),
+                *extra,
+                files["doc"],
+            ]
+        )
+
+    def test_ask_answers_through_view(self, files, tmp_path, capsys):
+        assert self._ask(files, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "<picks>" in out
+        assert "<name>Y</name>" in out
+
+    def test_ask_backends_agree(self, files, tmp_path, capsys):
+        outputs = []
+        for backend in ("legacy", "compiled"):
+            assert (
+                self._ask(
+                    files, tmp_path, "--backend", backend, "--strategy",
+                    "materialize",
+                )
+                == 0
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_ask_explain(self, files, tmp_path, capsys):
+        assert self._ask(files, tmp_path, "--explain") == 0
+        err = capsys.readouterr().err
+        assert "strategy:" in err
 
 
 class TestStructure:

@@ -1,0 +1,74 @@
+"""Differential tests: compiled engine vs. the legacy evaluator.
+
+The legacy backtracking evaluator is the oracle: on random documents
+and random pick-element queries (wildcards, disjunctions, PCDATA
+conditions, recursive steps, extra variables, ID inequalities) both
+backends must produce *identical* view documents -- same pick
+elements, same document order, same copied structure.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.xmas import (
+    compile_query,
+    compiled_picked_elements,
+    evaluate,
+    evaluate_compiled,
+    legacy_picked_elements,
+    set_eval_backend,
+)
+from tests.strategies import document_strategy, eval_query_strategy
+
+
+@settings(max_examples=200, deadline=None)
+@given(document=document_strategy(), query=eval_query_strategy())
+def test_picked_elements_agree(document, query):
+    """Same pick ids, same order -- the strongest agreement check."""
+    legacy = legacy_picked_elements(query, document)
+    compiled = compiled_picked_elements(query, document)
+    assert [e.id for e in compiled] == [e.id for e in legacy]
+
+
+@settings(max_examples=100, deadline=None)
+@given(document=document_strategy(), query=eval_query_strategy())
+def test_view_documents_agree(document, query):
+    """The constructed views agree in structure and order (fresh IDs
+    legitimately differ)."""
+    old = set_eval_backend("legacy")
+    try:
+        legacy_view = evaluate(query, document)
+    finally:
+        set_eval_backend(old)
+    compiled_view = evaluate_compiled(query, document)
+    assert compiled_view.root.structurally_equal(legacy_view.root)
+
+
+@settings(max_examples=100, deadline=None)
+@given(query=eval_query_strategy())
+def test_plan_compilation_idempotent(query):
+    """Compiling twice returns the cached plan; recompiling from a
+    cleared cache yields an equal plan (compilation is deterministic)."""
+    from repro.regex import clear_caches
+
+    first = compile_query(query)
+    assert compile_query(query) is first
+    clear_caches()
+    again = compile_query(query)
+    assert again == first
+
+
+@settings(max_examples=60, deadline=None)
+@given(document=document_strategy(), query=eval_query_strategy())
+def test_dispatch_respects_backend(document, query):
+    """The public entry point yields identical answers under both
+    ``REPRO_EVAL_BACKEND`` values."""
+    old = set_eval_backend("legacy")
+    try:
+        via_legacy = evaluate(query, document)
+        set_eval_backend("compiled")
+        via_compiled = evaluate(query, document)
+    finally:
+        set_eval_backend(old)
+    assert via_compiled.root.structurally_equal(via_legacy.root)
