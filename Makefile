@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint check-docs verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,12 +12,13 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Fast benchmark sanity pass (seconds, not minutes): a single round of
-# the suites that sweep the full pipeline and the evaluator hot path,
-# GC off so one-round timings are not noise-dominated.  Part of
-# `make check`.
+# the suites that sweep the full pipeline, the evaluator hot path, and
+# the fault-tolerant transport (happy-path overhead gate + resilience
+# ladder), GC off so one-round timings are not noise-dominated.  Part
+# of `make check`.
 bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
-		benchmarks/bench_evaluator.py -q \
+		benchmarks/bench_evaluator.py benchmarks/bench_faults.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -83,8 +84,14 @@ examples:
 	done
 	@echo "all examples ran"
 
-# Default local gate: unit tests, static+workload lint, benchmark smoke.
-check: test lint bench-smoke
+# Verify every relative link and repo-path code reference in the
+# markdown corpus (README/DESIGN/EXPERIMENTS/CHANGES + docs/) resolves.
+check-docs:
+	python scripts/check_docs_links.py
+
+# Default local gate: unit tests, static+workload lint, docs links,
+# benchmark smoke.
+check: test lint check-docs bench-smoke
 
 verify: test bench examples
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Docs link checker: keep the prose honest.
+
+Walks the repo's markdown (README.md, DESIGN.md, EXPERIMENTS.md,
+CHANGES.md, docs/*.md) and verifies that
+
+1. every **relative markdown link** ``[text](target)`` points at a file
+   that exists (``http(s)://``, ``mailto:`` and pure ``#anchor`` links
+   are skipped; a trailing ``#anchor`` is stripped before checking);
+2. every **backtick code reference** that looks like a repo path --
+   a token starting with ``src/``, ``docs/``, ``tests/``,
+   ``benchmarks/``, ``examples/`` or ``scripts/``, or a root-level
+   ``*.md`` -- resolves, and when it carries a ``:LINE`` suffix the
+   file actually has that many lines.  ``::`` pytest selectors are
+   checked by their file part; glob-ish tokens (``*`` or ``{``) and
+   dotted module paths are ignored.
+
+Exit status: 0 when everything resolves, 1 otherwise (one line per
+broken reference).  Wired into ``make check-docs`` / ``make check``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    p
+    for p in [
+        REPO / "README.md",
+        REPO / "DESIGN.md",
+        REPO / "EXPERIMENTS.md",
+        REPO / "CHANGES.md",
+        *(REPO / "docs").glob("*.md"),
+    ]
+    if p.exists()
+)
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`]+)`")
+# Repo-path-shaped tokens only: a recognized directory prefix or a
+# root-level markdown file.  Everything else in backticks (CLI flags,
+# module dotted paths, content models) is out of scope by design.
+PATH_TOKEN = re.compile(
+    r"^(?:(?:src|docs|tests|benchmarks|examples|scripts)/[\w./\-]+"
+    r"|[\w\-]+\.md)"
+    r"(?::(\d+))?$"
+)
+
+
+def iter_md_links(text: str):
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield match, target
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(REPO)
+
+    def lineno(pos: int) -> int:
+        return text.count("\n", 0, pos) + 1
+
+    for match, target in iter_md_links(text):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{rel}:{lineno(match.start())}: broken link ({target})"
+            )
+
+    for match in CODE_SPAN.finditer(text):
+        token = match.group(1).split("::", 1)[0].strip()
+        if "*" in token or "{" in token or " " in token:
+            continue
+        path_match = PATH_TOKEN.match(token)
+        if not path_match:
+            continue
+        file_part, _, line_part = token.partition(":")
+        resolved = REPO / file_part
+        if file_part.endswith("/"):
+            if not resolved.is_dir():
+                problems.append(
+                    f"{rel}:{lineno(match.start())}: "
+                    f"code ref to missing directory ({token})"
+                )
+            continue
+        if not resolved.is_file():
+            problems.append(
+                f"{rel}:{lineno(match.start())}: "
+                f"code ref to missing file ({token})"
+            )
+        elif line_part:
+            n_lines = resolved.read_text(encoding="utf-8").count("\n") + 1
+            if int(line_part) > n_lines:
+                problems.append(
+                    f"{rel}:{lineno(match.start())}: code ref past end of "
+                    f"file ({token}; {file_part} has {n_lines} lines)"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for doc in DOC_FILES:
+        problems.extend(check_file(doc))
+    for problem in problems:
+        print(problem)
+    checked = ", ".join(str(p.relative_to(REPO)) for p in DOC_FILES)
+    if problems:
+        print(f"\n{len(problems)} broken reference(s) across: {checked}")
+        return 1
+    print(f"docs links OK ({len(DOC_FILES)} files: {checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,7 +85,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_ask(args: argparse.Namespace) -> int:
     """Answer a client query through a mediated view (the Figure 1 path)."""
-    from .mediator import Mediator, Source
+    from .mediator import (
+        Mediator,
+        RetryPolicy,
+        Source,
+        TransportPolicy,
+        render_health,
+    )
 
     _set_backend(args)
     dtd = _load_dtd(args.dtd, args.root)
@@ -94,7 +100,11 @@ def _cmd_ask(args: argparse.Namespace) -> int:
     documents = [
         parse_document(Path(path).read_text()) for path in args.documents
     ]
-    mediator = Mediator("cli")
+    policy = TransportPolicy(
+        timeout=args.timeout,
+        retry=RetryPolicy(attempts=max(1, args.retries + 1)),
+    )
+    mediator = Mediator("cli", policy=policy)
     source = Source("source", dtd, documents, validate=not args.no_validate)
     mediator.add_source(source)
     source.warm_indexes()
@@ -104,13 +114,18 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         registration.name,
         use_simplifier=not args.no_simplifier,
         strategy=args.strategy,
+        degrade=not args.no_degrade,
     )
     print(serialize_document(answer), end="")
+    if mediator.last_degradation is not None:
+        print(mediator.last_degradation.describe(), file=sys.stderr)
     if args.explain:
         print(
             mediator.explain(client_query, registration.name).describe(),
             file=sys.stderr,
         )
+    if getattr(args, "stats", False):
+        print(render_health(mediator.health()), file=sys.stderr)
     return 0
 
 
@@ -246,7 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--stats",
             action="store_true",
-            help="print language-kernel cache statistics to stderr",
+            help=(
+                "print language-kernel cache statistics (and, for ask,"
+                " the source transport health table) to stderr"
+            ),
         )
 
     p = sub.add_parser("infer", help="infer a view DTD")
@@ -332,6 +350,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the mediator's query plan to stderr",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-source-call timeout (default: none)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries after a failed source call (default: 2)",
+    )
+    p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help=(
+            "raise on permanent source failure instead of returning an"
+            " annotated partial answer"
+        ),
     )
     add_backend_option(p)
     add_stats_option(p)

@@ -127,3 +127,63 @@ class MediatorError(ReproError):
     """A mediator operation failed (unknown view, unknown source, ...)."""
 
     code = register_diagnostic_code("MED001", "mediator operation failed")
+
+
+class SourceTimeout(MediatorError):
+    """A source call exceeded its timeout or the fan-out deadline.
+
+    The transport layer (:mod:`repro.mediator.transport`) detects
+    overruns cooperatively: it charges each call's elapsed time (on
+    the injectable clock) against the per-call timeout and the shared
+    deadline budget, and converts overruns into this exception.
+    """
+
+    code = register_diagnostic_code(
+        "MED002", "source call exceeded its timeout or deadline budget"
+    )
+
+
+class SourceUnavailable(MediatorError):
+    """A source could not answer: retries exhausted or breaker open.
+
+    Carries the terminal condition of the retry/breaker policy; the
+    last underlying failure, when there is one, is attached as
+    ``__cause__``.
+    """
+
+    code = register_diagnostic_code(
+        "MED003", "source unavailable (retries exhausted or breaker open)"
+    )
+
+
+class DegradedAnswer(MediatorError):
+    """A partial answer exists but cannot be returned soundly.
+
+    Raised by the mediator's degradation mode when skipping the failed
+    sources would yield an answer that violates the inferred view DTD
+    (degradation never trades soundness for availability).  The
+    partial document and the degradation report are attached as
+    ``.document`` and ``.report`` so callers can still inspect them.
+    """
+
+    code = register_diagnostic_code(
+        "MED004", "degraded answer refused: partial answer violates view DTD"
+    )
+
+    def __init__(self, message: str, document=None, report=None) -> None:
+        super().__init__(message)
+        self.document = document
+        self.report = report
+
+
+class FaultInjected(MediatorError):
+    """A deterministic injected wrapper fault (testing/benchmarks only).
+
+    Raised by :class:`repro.mediator.faults.FaultySource` on scheduled
+    error outcomes; the transport layer treats it like any transient
+    wrapper failure.
+    """
+
+    code = register_diagnostic_code(
+        "MED005", "injected source fault (fault-injection harness)"
+    )

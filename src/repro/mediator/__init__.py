@@ -2,11 +2,21 @@
 
 Sources export XML + DTDs; the mediator registers XMAS views, infers
 their view DTDs, serves them to clients and stacked mediators, and
-answers queries through the DTD-based simplifier.
+answers queries through the DTD-based simplifier.  Source calls go
+through a fault-tolerant transport (timeouts, retries, circuit
+breakers, deadline budgets, degraded answers — see
+docs/RELIABILITY.md), testable deterministically with the
+fault-injection harness in :mod:`repro.mediator.faults`.
 """
 
 from .composition import compose_query
-from .interface import QueryBuilder, StructureNode, structure_tree
+from .faults import ERROR, OK, FaultPlan, FaultSpec, FaultySource, slow
+from .interface import (
+    QueryBuilder,
+    StructureNode,
+    render_health,
+    structure_tree,
+)
 from .mediator import (
     Mediator,
     QueryPlan,
@@ -16,18 +26,51 @@ from .mediator import (
 )
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
+from .transport import (
+    BreakerPolicy,
+    BreakerState,
+    CallStats,
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    DegradationReport,
+    FakeClock,
+    RetryPolicy,
+    SourceTransport,
+    SystemClock,
+    TransportPolicy,
+)
 
 __all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CallStats",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "DegradationReport",
+    "ERROR",
+    "FakeClock",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultySource",
     "Mediator",
+    "OK",
     "QueryBuilder",
     "QueryPlan",
     "QueryStats",
+    "RetryPolicy",
     "SimplifierDecision",
     "Source",
+    "SourceTransport",
     "StructureNode",
+    "SystemClock",
+    "TransportPolicy",
     "UnionViewRegistration",
     "ViewRegistration",
     "compose_query",
+    "render_health",
     "simplify_query",
+    "slow",
     "structure_tree",
 ]

@@ -23,6 +23,13 @@ Composability conditions (checked; :func:`compose_query` returns
 Correctness (tested on random documents):
 ``evaluate(composed, source) == evaluate(client, evaluate(view, source))``
 up to element identity (the materialized path re-IDs copies).
+
+Execution note: a composed query is still *one source call*, so the
+mediator sends it through the same fault-tolerant transport
+(:mod:`repro.mediator.transport`) as any other fan-out leg — timeout,
+retries, and the source's circuit breaker all apply, and a permanent
+failure degrades exactly like the materialized path would
+(docs/RELIABILITY.md).
 """
 
 from __future__ import annotations

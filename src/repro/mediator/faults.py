@@ -1,0 +1,146 @@
+"""Deterministic fault injection for sources.
+
+Every transport policy in :mod:`repro.mediator.transport` is testable
+without wall-clock sleeps because faults and time are both injected:
+
+* a :class:`FaultPlan` decides, per call, whether a source errors and
+  how long it "takes" — either from an explicit scripted ``schedule``
+  or from a seeded error-rate/latency model (same seed, same
+  outcomes);
+* a :class:`FaultySource` is a :class:`Source` that consults its plan
+  before answering, sleeping its injected latency on the *injectable
+  clock* (so a :class:`FakeClock` makes latency exact and free) and
+  raising :class:`FaultInjected` on scheduled errors.
+
+The cookbook in ``docs/RELIABILITY.md`` shows the standard recipes
+(flaky source, dead source, slow source, burst outage).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dtd import Dtd
+from ..errors import FaultInjected
+from ..xmas import Query
+from ..xmlmodel import Document
+from .source import Source
+from .transport import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The scripted outcome of one call: added latency, then error?"""
+
+    error: bool = False
+    latency: float = 0.0
+
+
+#: shorthands for writing schedules by hand
+OK = FaultSpec()
+ERROR = FaultSpec(error=True)
+
+
+def slow(latency: float) -> FaultSpec:
+    """A call that succeeds after ``latency`` injected seconds."""
+    return FaultSpec(latency=latency)
+
+
+@dataclass
+class FaultPlan:
+    """A per-call outcome schedule — explicit, stochastic, or both.
+
+    Outcomes are drawn in call order:
+
+    1. while ``fail_first`` calls remain, the call errors (burst
+       outage at startup — exercises retries and breaker tripping);
+    2. otherwise, while the explicit ``schedule`` has entries left,
+       the next entry is used verbatim;
+    3. otherwise the seeded stochastic model applies: with
+       probability ``error_rate`` the call errors; latency is
+       ``latency`` plus a uniform draw in ``[0, latency_jitter]``.
+
+    ``dead=True`` overrides everything: the source never answers (a
+    permanently broken wrapper).  Same seed ⇒ same outcome sequence,
+    so every test and benchmark is reproducible.
+    """
+
+    error_rate: float = 0.0
+    latency: float = 0.0
+    latency_jitter: float = 0.0
+    dead: bool = False
+    fail_first: int = 0
+    schedule: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._cursor = 0
+        self._fail_remaining = self.fail_first
+
+    def next_outcome(self) -> FaultSpec:
+        """The outcome of the next call (advances the plan)."""
+        if self.dead:
+            return ERROR
+        if self._fail_remaining > 0:
+            self._fail_remaining -= 1
+            return ERROR
+        if self._cursor < len(self.schedule):
+            spec = self.schedule[self._cursor]
+            self._cursor += 1
+            return spec
+        latency = self.latency
+        if self.latency_jitter:
+            latency += self._rng.uniform(0.0, self.latency_jitter)
+        error = (
+            self.error_rate > 0.0
+            and self._rng.random() < self.error_rate
+        )
+        return FaultSpec(error=error, latency=latency)
+
+    def reset(self) -> None:
+        """Rewind to call zero (same seed ⇒ identical replay)."""
+        self._rng = random.Random(self.seed)
+        self._cursor = 0
+        self._fail_remaining = self.fail_first
+
+
+class FaultySource(Source):
+    """A :class:`Source` whose wrapper misbehaves on schedule.
+
+    Injected latency is slept on the injectable clock *before* the
+    underlying evaluation, so a transport measuring the same clock
+    sees exactly the scheduled delay; injected errors raise
+    :class:`FaultInjected` (diagnostic ``MED005``).  Counters record
+    what was injected for assertions and reports.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtd: Dtd,
+        documents: list[Document] | None = None,
+        *,
+        plan: FaultPlan | None = None,
+        clock: Clock | None = None,
+        validate: bool = True,
+    ) -> None:
+        super().__init__(name, dtd, documents or [], validate=validate)
+        self.plan = plan or FaultPlan()
+        self.clock: Clock = clock or SystemClock()
+        self.injected_errors = 0
+        self.injected_latency = 0.0
+
+    def query(self, query: Query) -> Document:
+        spec = self.plan.next_outcome()
+        if spec.latency > 0:
+            self.injected_latency += spec.latency
+            self.clock.sleep(spec.latency)
+        if spec.error:
+            self.injected_errors += 1
+            raise FaultInjected(
+                f"injected fault in source {self.name!r} "
+                f"(call {self.injected_errors + self.queries_served})"
+            )
+        return super().query(query)

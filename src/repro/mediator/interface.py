@@ -9,7 +9,10 @@ elements."  This module is the model behind such an interface:
   browse (names, content descriptions, cardinalities, recursion cuts);
 * :class:`QueryBuilder` turns point-and-click style choices (descend
   here, require that, fill in this value, pick these elements) into a
-  well-formed pick-element XMAS query.
+  well-formed pick-element XMAS query;
+* :func:`render_health` is the operations side of the same console:
+  the per-source transport health (breaker states, retries, timeouts)
+  a mediator operator would watch (docs/RELIABILITY.md).
 """
 
 from __future__ import annotations
@@ -161,3 +164,39 @@ class QueryBuilder:
             node,
             self._inequalities,
         )
+
+
+def render_health(health: dict[str, dict]) -> str:
+    """Render ``Mediator.health()`` as a fixed-width operator table.
+
+    One row per source: breaker state, call/attempt/retry counters,
+    failure and timeout counts — the at-a-glance dashboard for a
+    federation under fault (``repro ask --stats`` prints this).
+    """
+    if not health:
+        return "no sources registered"
+    headers = (
+        "source", "breaker", "calls", "attempts", "retries",
+        "ok", "fail", "timeout", "rejected",
+    )
+    rows = [
+        (
+            snap["source"],
+            snap["breaker"],
+            str(snap["calls"]),
+            str(snap["attempts"]),
+            str(snap["retries"]),
+            str(snap["successes"]),
+            str(snap["failures"]),
+            str(snap["timeouts"]),
+            str(snap["breaker_rejections"]),
+        )
+        for snap in health.values()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    def line(cells: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    return "\n".join([line(headers)] + [line(row) for row in rows])

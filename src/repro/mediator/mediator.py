@@ -14,10 +14,15 @@ valid sub-conditions are pruned before evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..dtd import Dtd, SpecializedDtd
-from ..errors import MediatorError
+from ..dtd import Dtd, SpecializedDtd, validate_document
+from ..errors import (
+    DegradedAnswer,
+    MediatorError,
+    SourceTimeout,
+    SourceUnavailable,
+)
 from ..inference import (
     Classification,
     InferenceMode,
@@ -28,6 +33,14 @@ from ..xmas import CompiledPlan, Query, compile_query, evaluate_many
 from ..xmlmodel import Document
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
+from .transport import (
+    Clock,
+    Deadline,
+    DegradationReport,
+    SourceTransport,
+    SystemClock,
+    TransportPolicy,
+)
 
 
 @dataclass
@@ -67,6 +80,8 @@ class QueryPlan:
     strategy: str
     composed_query: Query | None
     effective_query: Query
+    #: per-source transport snapshots (breaker state, retries, ...)
+    source_health: list[dict] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [
@@ -79,6 +94,14 @@ class QueryPlan:
             lines.append("  composed source query:")
             lines.append(
                 "    " + str(self.composed_query).replace("\n", "\n    ")
+            )
+        for health in self.source_health:
+            lines.append(
+                f"  source {health['source']!r}: breaker "
+                f"{health['breaker']} (opened {health['times_opened']}x), "
+                f"{health['calls']} calls, {health['retries']} retries, "
+                f"{health['failures']} failures, "
+                f"{health['timeouts']} timeouts"
             )
         return "\n".join(lines)
 
@@ -113,29 +136,69 @@ class QueryStats:
     preflight_rejections: int = 0
     #: source fan-outs that never happened thanks to the pre-flight
     fanouts_skipped: int = 0
+    #: answers returned partial because sources failed permanently
+    degraded_answers: int = 0
 
 
 class Mediator:
     """An on-demand XML mediator with DTD support."""
 
-    def __init__(self, name: str = "mediator", mode: InferenceMode = InferenceMode.EXACT) -> None:
+    def __init__(
+        self,
+        name: str = "mediator",
+        mode: InferenceMode = InferenceMode.EXACT,
+        policy: TransportPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
         self.name = name
         self.mode = mode
+        #: the source-call policy (timeout/retry/breaker) applied to
+        #: every registered source; see docs/RELIABILITY.md
+        self.policy = policy or TransportPolicy()
+        self.clock: Clock = clock or SystemClock()
         self.sources: dict[str, Source] = {}
+        self.transports: dict[str, SourceTransport] = {}
         self.views: dict[str, ViewRegistration] = {}
         self.union_views: dict[str, "UnionViewRegistration"] = {}
         self.stats = QueryStats()
         #: the diagnostics of the most recent pre-flight (inspection aid)
         self.last_preflight = None
+        #: what the most recent answer left out (None = complete)
+        self.last_degradation: DegradationReport | None = None
         self._preflight_cache: dict = {}
 
     # -- administration --------------------------------------------------
 
     def add_source(self, source: Source) -> None:
-        """Register a wrapped source."""
+        """Register a wrapped source (behind the transport policy)."""
         if source.name in self.sources:
             raise MediatorError(f"source {source.name!r} already registered")
         self.sources[source.name] = source
+        self.transports[source.name] = SourceTransport(
+            source, self.policy, self.clock
+        )
+
+    def deadline(self, budget: float) -> Deadline:
+        """A fan-out deadline ``budget`` seconds from now (this clock)."""
+        return Deadline.after(self.clock, budget)
+
+    def health(self) -> dict[str, dict]:
+        """Per-source transport health: breaker states, retries, ...
+
+        The operational counterpart of ``stats``: one snapshot per
+        source (see :meth:`SourceTransport.health`), renderable with
+        :func:`repro.mediator.interface.render_health`.
+        """
+        return {
+            name: transport.health()
+            for name, transport in sorted(self.transports.items())
+        }
+
+    def _call_source(
+        self, name: str, query: Query, deadline: Deadline | None = None
+    ) -> Document:
+        """One fan-out leg: the source's transport applies the policy."""
+        return self.transports[name].call(query, deadline)
 
     def register_view(self, query: Query, source_name: str | None = None) -> ViewRegistration:
         """Register a view definition; infers its view DTD immediately.
@@ -177,11 +240,14 @@ class Mediator:
 
     # -- query answering ---------------------------------------------------
 
-    def materialize(self, view_name: str) -> Document:
-        """Evaluate a view against its source."""
+    def materialize(
+        self, view_name: str, deadline: Deadline | None = None
+    ) -> Document:
+        """Evaluate a view against its source (through the transport)."""
         registration = self._view(view_name)
-        source = self.sources[registration.source_name]
-        return source.query(registration.query)
+        return self._call_source(
+            registration.source_name, registration.query, deadline
+        )
 
     def preflight(self, query: Query, view_name: str):
         """Static pre-flight: lint a query against the view DTD.
@@ -212,6 +278,8 @@ class Mediator:
         use_simplifier: bool = True,
         strategy: str = "auto",
         preflight: bool | None = None,
+        deadline: Deadline | None = None,
+        degrade: bool = True,
     ) -> Document:
         """Answer a query posed against a mediated view.
 
@@ -230,11 +298,20 @@ class Mediator:
           TSIMMIS rewriting step of Section 1), otherwise materialize;
         * ``"compose"`` -- composition only; raises when not composable;
         * ``"materialize"`` -- always evaluate over the materialized view.
+
+        Source calls go through the fault-tolerant transport under
+        ``deadline`` (a shared budget; see :meth:`deadline`).  When
+        the source fails permanently and ``degrade`` is true, the
+        empty answer is returned instead and ``last_degradation``
+        records the skipped source; ``degrade=False`` propagates the
+        :class:`SourceTimeout` / :class:`SourceUnavailable` instead
+        (docs/RELIABILITY.md).
         """
         if strategy not in ("auto", "compose", "materialize"):
             raise MediatorError(f"unknown strategy {strategy!r}")
         registration = self._view(view_name)
         self.stats.queries += 1
+        self.last_degradation = None
         effective = query
         run_preflight = use_simplifier if preflight is None else preflight
         tightening = None
@@ -263,22 +340,52 @@ class Mediator:
                 )
             self.stats.conditions_pruned += decision.pruned_nodes
             effective = decision.query
-        if strategy in ("auto", "compose"):
-            from .composition import compose_query
+        try:
+            if strategy in ("auto", "compose"):
+                from .composition import compose_query
 
-            source = self.sources[registration.source_name]
-            composed = compose_query(
-                registration.query, effective, source.dtd
-            )
-            if composed is not None:
-                self.stats.composed += 1
-                return source.query(composed)
-            if strategy == "compose":
-                raise MediatorError(
-                    "query is not composable with the view definition"
+                source = self.sources[registration.source_name]
+                composed = compose_query(
+                    registration.query, effective, source.dtd
                 )
-        materialized = self.materialize(view_name)
-        return evaluate_many(effective, [materialized])
+                if composed is not None:
+                    self.stats.composed += 1
+                    return self._call_source(
+                        registration.source_name, composed, deadline
+                    )
+                if strategy == "compose":
+                    raise MediatorError(
+                        "query is not composable with the view definition"
+                    )
+            materialized = self.materialize(view_name, deadline)
+            return evaluate_many(effective, [materialized])
+        except (SourceTimeout, SourceUnavailable) as error:
+            if not degrade:
+                raise
+            return self._degraded_empty_answer(
+                query.view_name, registration.source_name, error
+            )
+
+    def _degraded_empty_answer(
+        self, answer_name: str, source_name: str, error: MediatorError
+    ) -> Document:
+        """The degraded answer when a view's only source is down.
+
+        A single-source view has nothing partial to offer, so the
+        degraded answer is empty; the annotation (which source was
+        skipped and why) is the point.  Ad-hoc client answers carry no
+        published DTD, so there is nothing to validate here — view
+        materializations go through the validating union path instead.
+        """
+        from ..xmlmodel import Element, fresh_id
+
+        report = DegradationReport(
+            view_name=answer_name,
+            skipped={source_name: f"{error.code}: {error}"},
+        )
+        self.stats.degraded_answers += 1
+        self.last_degradation = report
+        return Document(Element(answer_name, [], fresh_id()))
 
     def as_source(self, view_name: str) -> Source:
         """Export a view as a source for a higher-level mediator.
@@ -319,6 +426,7 @@ class Mediator:
             strategy = "compose"
         else:
             strategy = "materialize"
+        transport = self.transports.get(registration.source_name)
         return QueryPlan(
             view_name=view_name,
             classification=decision.classification,
@@ -326,6 +434,7 @@ class Mediator:
             strategy=strategy,
             composed_query=composed,
             effective_query=decision.query,
+            source_health=[transport.health()] if transport else [],
         )
 
     # -- union views -------------------------------------------------------
@@ -365,18 +474,64 @@ class Mediator:
         self.union_views[view_name] = registration
         return registration
 
-    def materialize_union(self, view_name: str) -> Document:
-        """Evaluate a union view across its sources."""
-        from ..inference.union import evaluate_union
+    def materialize_union(
+        self,
+        view_name: str,
+        deadline: Deadline | None = None,
+        degrade: bool = True,
+    ) -> Document:
+        """Evaluate a union view across its sources (fault-tolerant).
+
+        Each branch is one fan-out leg through its source's transport;
+        all legs share ``deadline``.  When a leg fails permanently and
+        ``degrade`` is true, its branch is skipped and the *partial*
+        answer — the surviving branches' picks, in branch order — is
+        returned, annotated in ``last_degradation``.  The partial
+        answer is validated against the inferred union view DTD first:
+        if dropping the branch would make the answer violate the view
+        DTD the mediator raises :class:`DegradedAnswer` rather than
+        return an unsound document (the soundness argument is spelled
+        out in docs/RELIABILITY.md).
+        """
+        from ..xmlmodel import Element, fresh_id
 
         registration = self._union_view(view_name)
-        documents = [
-            self.sources[name].documents
-            for name in registration.source_names
-        ]
-        return evaluate_union(
-            registration.branches, documents, view_name
-        )
+        self.last_degradation = None
+        report = DegradationReport(view_name=view_name)
+        picks: list = []
+        first_error: MediatorError | None = None
+        for branch, source_name in zip(
+            registration.branches, registration.source_names
+        ):
+            try:
+                answer = self._call_source(
+                    source_name, branch.query, deadline
+                )
+            except (SourceTimeout, SourceUnavailable) as error:
+                if not degrade:
+                    raise
+                if first_error is None:
+                    first_error = error
+                report.skipped[source_name] = f"{error.code}: {error}"
+                continue
+            report.answered.append(source_name)
+            picks.extend(answer.root.children)
+        document = Document(Element(view_name, picks, fresh_id()))
+        if report.degraded:
+            report.answer_valid = validate_document(
+                document, registration.dtd
+            ).ok
+            if not report.answer_valid:
+                raise DegradedAnswer(
+                    f"view {view_name!r}: skipping "
+                    f"{sorted(report.skipped)} leaves an answer that "
+                    "violates the inferred view DTD; refusing to degrade",
+                    document=document,
+                    report=report,
+                ) from first_error
+            self.stats.degraded_answers += 1
+            self.last_degradation = report
+        return document
 
     def _union_view(self, view_name: str) -> "UnionViewRegistration":
         try:

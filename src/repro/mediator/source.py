@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dtd import Dtd, validate_document
-from ..errors import MediatorError, ValidationError
+from ..errors import ValidationError
 from ..xmas import Query, evaluate_many
 from ..xmlmodel import Document
 
@@ -51,9 +51,15 @@ class Source:
         self.documents.append(document)
 
     def query(self, query: Query) -> Document:
-        """Answer a pick-element query over all documents."""
-        if not self.documents:
-            raise MediatorError(f"source {self.name!r} holds no documents")
+        """Answer a pick-element query over all documents.
+
+        An empty source is a degenerate *healthy* source, not an
+        error: the answer is the empty-but-valid view document (no
+        picks), exactly what evaluating over zero documents yields.
+        Failing here used to conflate "nothing to say" with "cannot
+        answer", which the fault-tolerant transport layer must keep
+        apart (docs/RELIABILITY.md).
+        """
         self.queries_served += 1
         return evaluate_many(query, self.documents)
 

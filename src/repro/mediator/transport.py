@@ -1,0 +1,463 @@
+"""Fault-tolerant source calls: timeouts, retries, circuit breakers.
+
+The paper's Figure 1 stacks mediators over wrappers that always
+answer; a real federation cannot assume that.  This module wraps every
+:meth:`Source.query <repro.mediator.source.Source.query>` in a
+*transport policy*:
+
+* a **per-call timeout** and a **deadline budget** shared by every
+  call of one fan-out (a slow source cannot starve its siblings);
+* **bounded retries** with exponential backoff and seeded jitter;
+* a per-source **circuit breaker** (closed / open / half-open, with a
+  failure-rate threshold over a sliding window) so a broken source
+  fails fast instead of burning the deadline of every query.
+
+Time is injectable: every component takes a :class:`Clock`, and
+:class:`FakeClock` advances only when something sleeps on it, so the
+whole policy — backoff schedules, breaker recovery, deadline
+exhaustion — is testable deterministically without wall-clock sleeps
+(see :mod:`repro.mediator.faults` for the matching fault-injection
+harness).
+
+Timeouts are detected *cooperatively*: the transport cannot preempt a
+synchronous wrapper, so it measures each call's elapsed time on the
+clock, discards answers that arrive after the effective timeout, and
+charges the elapsed time against the deadline budget.  With
+:class:`FakeClock` + latency schedules this is exact; with the system
+clock it is an accounting discipline, not preemption.
+
+Semantics, the state machine, and the soundness argument for degraded
+answers are documented in ``docs/RELIABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Protocol
+
+from ..errors import ReproError, SourceTimeout, SourceUnavailable
+from ..xmas import Query
+from ..xmlmodel import Document
+from .source import Source
+
+# ---------------------------------------------------------------------------
+# clocks
+# ---------------------------------------------------------------------------
+
+
+class Clock(Protocol):
+    """The time interface every transport component is written against."""
+
+    def now(self) -> float:
+        """Monotonic seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (advance time)."""
+        ...
+
+
+class SystemClock:
+    """Wall-clock time (``time.monotonic`` / ``time.sleep``)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock:
+    """A manual clock: time advances only via :meth:`sleep`/:meth:`advance`.
+
+    Deterministic by construction — the test suite never sleeps for
+    real.  ``sleeps`` records every sleep request so backoff schedules
+    can be asserted exactly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self._now += max(0.0, seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += max(0.0, seconds)
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Deadline:
+    """A budget shared across one fan-out's source calls.
+
+    Every call charges its elapsed time (including backoff sleeps)
+    against the same budget, so the deadline of a federated query is a
+    property of the *query*, not of each source call.
+    """
+
+    clock: Clock
+    expires_at: float
+
+    @classmethod
+    def after(cls, clock: Clock, budget: float) -> "Deadline":
+        """A deadline ``budget`` seconds from now on ``clock``."""
+        return cls(clock, clock.now() + budget)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - self.clock.now())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now() >= self.expires_at
+
+    def require(self, what: str) -> None:
+        """Raise :class:`SourceTimeout` when the budget is spent."""
+        if self.expired:
+            raise SourceTimeout(f"deadline budget exhausted before {what}")
+
+
+# ---------------------------------------------------------------------------
+# policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``attempts`` counts total tries (1 = fail-fast).  The delay before
+    retry ``k`` (1-based) is ``base_delay * multiplier**(k-1)`` capped
+    at ``max_delay``, then jittered by a uniform factor in
+    ``[1-jitter, 1+jitter]`` drawn from the transport's seeded RNG —
+    deterministic for a fixed seed, decorrelated across sources.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def backoff(self, retry_number: int, rng: random.Random) -> float:
+        """Delay before the ``retry_number``-th retry (1-based)."""
+        delay = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (retry_number - 1),
+        )
+        if self.jitter:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a source trips open and how it recovers.
+
+    The breaker trips when, among the last ``window`` calls (and at
+    least ``min_calls`` of them), the failure rate reaches
+    ``failure_rate``.  After ``reset_timeout`` seconds open it admits
+    ``half_open_probes`` trial calls; that many consecutive successes
+    close it, any failure reopens it.
+    """
+
+    window: int = 8
+    min_calls: int = 4
+    failure_rate: float = 0.5
+    reset_timeout: float = 30.0
+    half_open_probes: int = 1
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """The full per-source call policy: timeout + retries + breaker.
+
+    ``timeout`` is the per-call limit in seconds (``None`` = no
+    limit).  ``seed`` makes the jitter RNG deterministic; each
+    transport derives its own stream from it and the source name.
+    """
+
+    timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    seed: int = 0
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """A per-source breaker: closed → open → half-open → closed.
+
+    * **closed** — calls flow; outcomes feed a sliding window; when
+      the windowed failure rate reaches the threshold, trip open.
+    * **open** — calls are rejected without touching the source until
+      ``reset_timeout`` elapses, then the next call probes half-open.
+    * **half-open** — up to ``half_open_probes`` calls are admitted;
+      that many consecutive successes close the breaker (window
+      cleared), any failure reopens it and restarts the timer.
+    """
+
+    def __init__(self, policy: BreakerPolicy, clock: Clock) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._state = BreakerState.CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=policy.window)
+        self._opened_at = 0.0
+        self._half_open_successes = 0
+        self._half_open_inflight = 0
+        #: times the breaker tripped open (including reopens)
+        self.times_opened = 0
+        #: calls rejected while open
+        self.rejections = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, applying the open → half-open timeout."""
+        if (
+            self._state is BreakerState.OPEN
+            and self.clock.now() - self._opened_at
+            >= self.policy.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._half_open_successes = 0
+            self._half_open_inflight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Counts rejections.)"""
+        state = self.state
+        if state is BreakerState.OPEN:
+            self.rejections += 1
+            return False
+        if state is BreakerState.HALF_OPEN:
+            if self._half_open_inflight >= self.policy.half_open_probes:
+                self.rejections += 1
+                return False
+            self._half_open_inflight += 1
+        return True
+
+    def record_success(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.policy.half_open_probes:
+                self._state = BreakerState.CLOSED
+                self._outcomes.clear()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._outcomes.append(False)
+        if len(self._outcomes) >= self.policy.min_calls:
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.policy.failure_rate:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self.clock.now()
+        self.times_opened += 1
+        self._outcomes.clear()
+
+
+# ---------------------------------------------------------------------------
+# the transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallStats:
+    """Per-source transport accounting (surfaced by ``Mediator.health``)."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    successes: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    breaker_rejections: int = 0
+
+
+class SourceTransport:
+    """A :class:`Source` behind a :class:`TransportPolicy`.
+
+    ``call`` is the only entry point the mediator uses for source
+    fan-outs; it applies, in order: breaker admission, deadline check,
+    the (cooperatively timed) source call, failure classification, and
+    the backoff/retry loop.  All failures surface as
+    :class:`SourceTimeout` or :class:`SourceUnavailable` with the last
+    underlying error attached as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        policy: TransportPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.source = source
+        self.policy = policy or TransportPolicy()
+        self.clock = clock or SystemClock()
+        self.breaker = CircuitBreaker(self.policy.breaker, self.clock)
+        # Stable per-source jitter stream: deterministic for a fixed
+        # policy seed, decorrelated between sources of one mediator.
+        self._rng = random.Random(f"{self.policy.seed}:{source.name}")
+        self.stats = CallStats()
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    def call(self, query: Query, deadline: Deadline | None = None) -> Document:
+        """Answer ``query`` under the policy; raise on terminal failure."""
+        self.stats.calls += 1
+        if not self.breaker.allow():
+            self.stats.breaker_rejections += 1
+            raise SourceUnavailable(
+                f"source {self.name!r} unavailable: circuit breaker open"
+            )
+        retry = self.policy.retry
+        last_error: Exception | None = None
+        timed_out = False
+        for attempt in range(1, max(1, retry.attempts) + 1):
+            if deadline is not None and deadline.expired:
+                self.stats.timeouts += 1
+                # The budget died between attempts: the *fan-out* is out
+                # of time, which is a deadline condition, not a verdict
+                # on this source.  The breaker is not charged.
+                raise SourceTimeout(
+                    f"deadline budget exhausted before calling source "
+                    f"{self.name!r} (attempt {attempt})"
+                ) from last_error
+            self.stats.attempts += 1
+            effective_timeout = self._effective_timeout(deadline)
+            started = self.clock.now()
+            try:
+                answer = self.source.query(query)
+            except ReproError as error:
+                last_error = error
+                timed_out = False
+                self.stats.failures += 1
+                self.breaker.record_failure()
+            else:
+                elapsed = self.clock.now() - started
+                if (
+                    effective_timeout is not None
+                    and elapsed > effective_timeout
+                ):
+                    # The answer arrived after its budget: discard it.
+                    last_error = SourceTimeout(
+                        f"source {self.name!r} answered in {elapsed:.3f}s, "
+                        f"over its {effective_timeout:.3f}s budget"
+                    )
+                    timed_out = True
+                    self.stats.timeouts += 1
+                    self.breaker.record_failure()
+                else:
+                    self.stats.successes += 1
+                    self.breaker.record_success()
+                    return answer
+            if self.breaker.state is not BreakerState.CLOSED:
+                break  # tripped mid-loop (or half-open probe failed)
+            if attempt >= max(1, retry.attempts):
+                break
+            delay = retry.backoff(attempt, self._rng)
+            if deadline is not None and delay >= deadline.remaining():
+                break  # backing off would outlive the budget
+            self.stats.retries += 1
+            self.clock.sleep(delay)
+        if timed_out and isinstance(last_error, SourceTimeout):
+            raise last_error
+        raise SourceUnavailable(
+            f"source {self.name!r} unavailable after "
+            f"{attempt} attempt(s): {last_error}"
+        ) from last_error
+
+    def _effective_timeout(self, deadline: Deadline | None) -> float | None:
+        timeout = self.policy.timeout
+        if deadline is None:
+            return timeout
+        remaining = deadline.remaining()
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    def health(self) -> dict:
+        """A flat snapshot for ``Mediator.health()`` / the CLI."""
+        return {
+            "source": self.name,
+            "breaker": self.breaker.state.value,
+            "times_opened": self.breaker.times_opened,
+            "calls": self.stats.calls,
+            "attempts": self.stats.attempts,
+            "retries": self.stats.retries,
+            "successes": self.stats.successes,
+            "failures": self.stats.failures,
+            "timeouts": self.stats.timeouts,
+            "breaker_rejections": self.stats.breaker_rejections,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """What a degraded (partial) answer left out, and why.
+
+    Attached to ``Mediator.last_degradation`` whenever a fan-out
+    skipped sources; ``skipped`` maps each skipped source to the
+    diagnostic code + message of its terminal failure.  ``answer_valid``
+    records that the partial answer was checked against the inferred
+    view DTD (degradation refuses to return an invalid partial answer —
+    see docs/RELIABILITY.md for the soundness argument).
+    """
+
+    view_name: str
+    skipped: dict[str, str] = field(default_factory=dict)
+    answered: list[str] = field(default_factory=list)
+    answer_valid: bool = True
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.skipped)
+
+    def describe(self) -> str:
+        lines = [f"answer for view {self.view_name!r}:"]
+        if not self.degraded:
+            lines.append("  complete (no sources skipped)")
+            return "\n".join(lines)
+        lines.append(
+            f"  DEGRADED: {len(self.skipped)} source(s) skipped, "
+            f"{len(self.answered)} answered"
+        )
+        for name, reason in sorted(self.skipped.items()):
+            lines.append(f"    - {name}: {reason}")
+        lines.append(
+            "  partial answer validates against the inferred view DTD: "
+            f"{self.answer_valid}"
+        )
+        return "\n".join(lines)

@@ -1,6 +1,6 @@
-"""Workloads: the paper's examples and synthetic generators."""
+"""Workloads: the paper's examples, synthetic generators, fault drills."""
 
-from . import bibdb, paper
+from . import bibdb, flaky, paper
 from .synthetic import (
     ScalingPoint,
     dtd_size_sweep,
@@ -14,6 +14,7 @@ __all__ = [
     "ScalingPoint",
     "bibdb",
     "dtd_size_sweep",
+    "flaky",
     "layered_dtd",
     "paper",
     "path_query",

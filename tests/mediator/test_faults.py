@@ -1,0 +1,96 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document
+from repro.errors import FaultInjected
+from repro.mediator import FakeClock, FaultPlan, FaultySource, slow
+from repro.mediator.faults import ERROR, OK, FaultSpec
+from repro.workloads.paper import d1, q3
+
+
+@pytest.fixture
+def documents():
+    rng = random.Random(17)
+    return [generate_document(d1(), rng, star_mean=1.6)]
+
+
+class TestFaultPlan:
+    def test_default_plan_is_healthy(self):
+        plan = FaultPlan()
+        assert [plan.next_outcome() for _ in range(5)] == [OK] * 5
+
+    def test_dead_overrides_everything(self):
+        plan = FaultPlan(dead=True, schedule=[OK, OK])
+        assert all(plan.next_outcome().error for _ in range(10))
+
+    def test_fail_first_burst_then_recovers(self):
+        plan = FaultPlan(fail_first=3)
+        outcomes = [plan.next_outcome() for _ in range(5)]
+        assert outcomes == [ERROR, ERROR, ERROR, OK, OK]
+
+    def test_explicit_schedule_consumed_in_order(self):
+        plan = FaultPlan(schedule=[OK, ERROR, slow(1.5)])
+        assert plan.next_outcome() == OK
+        assert plan.next_outcome() == ERROR
+        assert plan.next_outcome() == FaultSpec(latency=1.5)
+        # exhausted schedule falls back to the (healthy) stochastic model
+        assert plan.next_outcome() == OK
+
+    def test_stochastic_model_is_seeded(self):
+        a = FaultPlan(error_rate=0.3, latency_jitter=0.2, seed=99)
+        b = FaultPlan(error_rate=0.3, latency_jitter=0.2, seed=99)
+        seq_a = [a.next_outcome() for _ in range(50)]
+        seq_b = [b.next_outcome() for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(spec.error for spec in seq_a)
+        assert any(not spec.error for spec in seq_a)
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(error_rate=0.5, fail_first=1, seed=7)
+        first = [plan.next_outcome() for _ in range(20)]
+        plan.reset()
+        assert [plan.next_outcome() for _ in range(20)] == first
+
+    def test_error_rate_roughly_respected(self):
+        plan = FaultPlan(error_rate=0.3, seed=1)
+        outcomes = [plan.next_outcome() for _ in range(1000)]
+        rate = sum(1 for spec in outcomes if spec.error) / len(outcomes)
+        assert 0.2 < rate < 0.4
+
+
+class TestFaultySource:
+    def test_injected_error_raises_and_counts(self, documents):
+        clock = FakeClock()
+        source = FaultySource(
+            "s", d1(), documents, plan=FaultPlan(fail_first=1), clock=clock
+        )
+        with pytest.raises(FaultInjected):
+            source.query(q3())
+        assert source.injected_errors == 1
+        assert source.queries_served == 0  # never reached evaluation
+        answer = source.query(q3())
+        assert answer.root.name == "publist"
+        assert source.queries_served == 1
+
+    def test_injected_latency_sleeps_on_the_clock(self, documents):
+        clock = FakeClock()
+        source = FaultySource(
+            "s",
+            d1(),
+            documents,
+            plan=FaultPlan(schedule=[slow(2.5)]),
+            clock=clock,
+        )
+        source.query(q3())
+        assert clock.now() == pytest.approx(2.5)
+        assert source.injected_latency == pytest.approx(2.5)
+
+    def test_faulty_source_is_a_source(self, documents):
+        """Drop-in substitutability: validation, size, warm_indexes."""
+        clock = FakeClock()
+        source = FaultySource("s", d1(), documents, clock=clock)
+        assert source.size() == documents[0].size()
+        assert source.warm_indexes() == 1

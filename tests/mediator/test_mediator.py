@@ -37,9 +37,20 @@ class TestSource:
         )
         assert len(source.documents) == 1
 
-    def test_query_without_documents(self):
-        with pytest.raises(MediatorError):
-            Source("empty", d1()).query(q2())
+    def test_query_without_documents_is_empty_valid_answer(self):
+        """An empty source is a degenerate healthy source, not an error:
+        it answers with the empty-but-valid view document."""
+        from repro.dtd import validate_document
+
+        source = Source("empty", d1())
+        answer = source.query(q2())
+        assert answer.root.name == q2().view_name
+        assert answer.root.children == []
+        assert source.queries_served == 1
+        from repro import infer_view_dtd
+
+        view_dtd = infer_view_dtd(d1(), q2()).dtd
+        assert validate_document(answer, view_dtd).ok
 
     def test_size(self, dept_source):
         assert dept_source.size() == sum(

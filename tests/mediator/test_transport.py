@@ -1,0 +1,315 @@
+"""Tests for the fault-tolerant transport: clocks, retries, timeouts,
+deadline budgets, and circuit-breaker state transitions.
+
+Everything runs on :class:`FakeClock` — the suite never sleeps for
+real; backoff schedules and breaker recovery are asserted in virtual
+time.
+"""
+
+import random
+
+import pytest
+
+from repro.dtd import generate_document
+from repro.errors import FaultInjected, SourceTimeout, SourceUnavailable
+from repro.mediator import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    FakeClock,
+    FaultPlan,
+    FaultySource,
+    RetryPolicy,
+    Source,
+    SourceTransport,
+    TransportPolicy,
+    slow,
+)
+from repro.mediator.faults import ERROR, OK
+from repro.workloads.paper import d1, q3
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def documents():
+    rng = random.Random(17)
+    return [generate_document(d1(), rng, star_mean=1.6) for _ in range(2)]
+
+
+def make_transport(clock, documents, plan=None, **policy_kwargs):
+    policy_kwargs.setdefault("retry", RetryPolicy(attempts=3))
+    source = FaultySource(
+        "dept",
+        d1(),
+        documents,
+        plan=plan or FaultPlan(),
+        clock=clock,
+        validate=False,
+    )
+    return SourceTransport(source, TransportPolicy(**policy_kwargs), clock)
+
+
+class TestClocks:
+    def test_fake_clock_advances_only_on_sleep(self, clock):
+        assert clock.now() == 0.0
+        clock.sleep(1.5)
+        assert clock.now() == 1.5
+        assert clock.sleeps == [1.5]
+        clock.advance(2.0)
+        assert clock.now() == 3.5
+        assert clock.sleeps == [1.5]  # advance is not a sleep
+
+
+class TestDeadline:
+    def test_budget_and_expiry(self, clock):
+        deadline = Deadline.after(clock, 2.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(SourceTimeout):
+            deadline.require("test fan-out")
+
+
+class TestRetries:
+    def test_happy_path_single_attempt(self, clock, documents):
+        transport = make_transport(clock, documents)
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.stats.attempts == 1
+        assert transport.stats.retries == 0
+        assert clock.sleeps == []
+
+    def test_retries_until_success(self, clock, documents):
+        transport = make_transport(
+            clock, documents, plan=FaultPlan(fail_first=2)
+        )
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.stats.attempts == 3
+        assert transport.stats.retries == 2
+        assert transport.stats.failures == 2
+
+    def test_backoff_is_exponential_and_seeded(self, clock, documents):
+        transport = make_transport(
+            clock, documents, plan=FaultPlan(fail_first=2)
+        )
+        transport.call(q3())
+        first, second = clock.sleeps
+        policy = transport.policy.retry
+        # exponential shape within jitter bounds, deterministic for the seed
+        assert first == pytest.approx(policy.base_delay, rel=policy.jitter)
+        assert second == pytest.approx(
+            policy.base_delay * policy.multiplier, rel=policy.jitter
+        )
+        replay = FakeClock()
+        make_transport(
+            replay, documents, plan=FaultPlan(fail_first=2)
+        ).call(q3())
+        assert replay.sleeps == clock.sleeps
+
+    def test_retries_exhausted_raise_unavailable(self, clock, documents):
+        transport = make_transport(clock, documents, plan=FaultPlan(dead=True))
+        with pytest.raises(SourceUnavailable) as excinfo:
+            transport.call(q3())
+        assert isinstance(excinfo.value.__cause__, FaultInjected)
+        assert transport.stats.attempts == 3
+        assert transport.stats.successes == 0
+
+    def test_backoff_never_outlives_deadline(self, clock, documents):
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(dead=True),
+            retry=RetryPolicy(attempts=5, base_delay=10.0, jitter=0.0),
+        )
+        deadline = Deadline.after(clock, 1.0)
+        with pytest.raises(SourceUnavailable):
+            transport.call(q3(), deadline)
+        # one attempt, then the 10s backoff would outlive the 1s budget
+        assert transport.stats.attempts == 1
+        assert clock.sleeps == []
+
+
+class TestTimeouts:
+    def test_slow_answer_is_discarded(self, clock, documents):
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(schedule=[slow(2.0), OK]),
+            timeout=1.0,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+        )
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.stats.timeouts == 1
+        assert transport.stats.retries == 1
+
+    def test_all_attempts_slow_raises_timeout(self, clock, documents):
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(latency=2.0),
+            timeout=1.0,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+        )
+        with pytest.raises(SourceTimeout):
+            transport.call(q3())
+        assert transport.stats.timeouts == 2
+
+    def test_deadline_tighter_than_timeout_wins(self, clock, documents):
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(latency=0.6),
+            timeout=5.0,
+            retry=RetryPolicy(attempts=1),
+        )
+        deadline = Deadline.after(clock, 0.5)
+        with pytest.raises(SourceTimeout):
+            transport.call(q3(), deadline)
+
+    def test_expired_deadline_rejects_before_calling(self, clock, documents):
+        transport = make_transport(clock, documents)
+        deadline = Deadline.after(clock, 1.0)
+        clock.advance(2.0)
+        with pytest.raises(SourceTimeout):
+            transport.call(q3(), deadline)
+        assert transport.stats.attempts == 0
+        assert transport.source.queries_served == 0
+
+
+class TestBreakerUnit:
+    """The state machine in isolation, driven by hand."""
+
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("window", 4)
+        kwargs.setdefault("min_calls", 2)
+        kwargs.setdefault("failure_rate", 0.5)
+        kwargs.setdefault("reset_timeout", 10.0)
+        return CircuitBreaker(BreakerPolicy(**kwargs), clock)
+
+    def test_closed_to_open_on_failure_rate(self, clock):
+        breaker = self.make(clock)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # below min_calls
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_successes_keep_rate_below_threshold(self, clock):
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_success()
+        breaker.record_failure()  # 1/4 < 0.5
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_window_slides(self, clock):
+        breaker = self.make(clock, window=4)
+        breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        # the failure fell out of the window
+        breaker.record_failure()  # 1/4 < 0.5
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_rejects_then_half_opens(self, clock):
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_success_closes(self, clock):
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self, clock):
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+
+    def test_half_open_probe_budget(self, clock):
+        breaker = self.make(clock, half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        # the single probe slot is taken; concurrent calls are rejected
+        assert not breaker.allow()
+
+
+class TestBreakerThroughTransport:
+    """closed → open → half-open → closed, via real source calls."""
+
+    def test_full_cycle(self, clock, documents):
+        plan = FaultPlan(schedule=[ERROR] * 4 + [OK, OK])
+        transport = make_transport(
+            clock,
+            documents,
+            plan=plan,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+            breaker=BreakerPolicy(
+                window=4, min_calls=4, failure_rate=0.5, reset_timeout=5.0
+            ),
+        )
+        # two calls x two attempts = four failures -> trips open
+        for _ in range(2):
+            with pytest.raises(SourceUnavailable):
+                transport.call(q3())
+        assert transport.breaker.state is BreakerState.OPEN
+        # while open: rejected without touching the source
+        served = transport.source.queries_served
+        with pytest.raises(SourceUnavailable):
+            transport.call(q3())
+        assert transport.source.queries_served == served
+        assert transport.stats.breaker_rejections == 1
+        # after the reset timeout the next call probes half-open and,
+        # the fault schedule now exhausted, succeeds and closes it
+        clock.advance(5.0)
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.breaker.state is BreakerState.CLOSED
+        health = transport.health()
+        assert health["breaker"] == "closed"
+        assert health["times_opened"] == 1
+
+    def test_trip_stops_retry_loop_early(self, clock, documents):
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(dead=True),
+            retry=RetryPolicy(attempts=10, base_delay=0.01, jitter=0.0),
+            breaker=BreakerPolicy(
+                window=4, min_calls=2, failure_rate=0.5, reset_timeout=5.0
+            ),
+        )
+        with pytest.raises(SourceUnavailable):
+            transport.call(q3())
+        # tripping open aborts the remaining 8 attempts
+        assert transport.stats.attempts == 2
+        assert transport.breaker.state is BreakerState.OPEN

@@ -222,6 +222,22 @@ class TestAsk:
         err = capsys.readouterr().err
         assert "strategy:" in err
 
+    def test_ask_transport_flags_accepted(self, files, tmp_path, capsys):
+        assert (
+            self._ask(
+                files, tmp_path, "--timeout", "5.0", "--retries", "0",
+                "--no-degrade",
+            )
+            == 0
+        )
+        assert "<picks>" in capsys.readouterr().out
+
+    def test_ask_stats_reports_breaker_health(self, files, tmp_path, capsys):
+        assert self._ask(files, tmp_path, "--stats") == 0
+        err = capsys.readouterr().err
+        assert "breaker" in err
+        assert "closed" in err
+
 
 class TestStructure:
     def test_structure(self, files, capsys):

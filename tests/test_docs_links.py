@@ -1,0 +1,54 @@
+"""The docs link checker (scripts/check_docs_links.py) — both that it
+catches breakage and that the repo's actual markdown corpus is clean."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_docs_links.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs_links", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestChecker:
+    def test_broken_references_are_caught(self, tmp_path, monkeypatch):
+        checker = load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "REAL.md").write_text("# real\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](docs/REAL.md) and [broken](docs/GONE.md)\n"
+            "`docs/REAL.md` is fine, `docs/REAL.md:999` is past the end,\n"
+            "`src/nowhere.py` is missing, `--some-flag` is not a path.\n"
+        )
+        problems = checker.check_file(doc)
+        assert len(problems) == 3
+        assert any("GONE.md" in p for p in problems)
+        assert any("past end" in p for p in problems)
+        assert any("src/nowhere.py" in p for p in problems)
+
+    def test_anchors_and_urls_are_skipped(self, tmp_path, monkeypatch):
+        checker = load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[web](https://example.com) [anchor](#section)\n"
+            "`tests/foo.py::test_bar` selectors check only the file part\n"
+        )
+        problems = checker.check_file(doc)
+        # the pytest selector's file is genuinely missing here
+        assert len(problems) == 1 and "tests/foo.py" in problems[0]
+
+    def test_repo_markdown_corpus_is_clean(self):
+        """README + docs must not drift from the tree (make check-docs)."""
+        checker = load_checker()
+        problems = []
+        for doc in checker.DOC_FILES:
+            problems.extend(checker.check_file(doc))
+        assert problems == []
