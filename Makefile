@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint check-docs verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint check-docs trace-smoke verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,7 +18,8 @@ bench:
 # of `make check`.
 bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
-		benchmarks/bench_evaluator.py benchmarks/bench_faults.py -q \
+		benchmarks/bench_evaluator.py benchmarks/bench_faults.py \
+		benchmarks/bench_obs.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -89,9 +90,14 @@ examples:
 check-docs:
 	python scripts/check_docs_links.py
 
+# Drive `repro ask --trace` and `repro trace` end to end and validate
+# the Chrome trace JSON they write (span coverage + event shape).
+trace-smoke:
+	python scripts/trace_smoke.py
+
 # Default local gate: unit tests, static+workload lint, docs links,
-# benchmark smoke.
-check: test lint check-docs bench-smoke
+# benchmark smoke, trace smoke.
+check: test lint check-docs bench-smoke trace-smoke
 
 verify: test bench examples
 

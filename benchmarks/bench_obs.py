@@ -1,0 +1,112 @@
+"""The observability overhead gate: tracing must be free while off.
+
+Every instrumented hot path (transport, engine, inference) now calls
+``obs.span(...)`` unconditionally; with no tracer installed that is
+one module-global read returning the shared no-op span.  The gate
+here makes the claim checkable: the *measured* per-span disabled cost,
+multiplied by the number of spans a federated query actually opens,
+must stay under 3% of the query's own time.
+
+A second (untimed-gate) case records what tracing costs when it is
+*on*, as ``extra_info`` — useful for trend-watching, not gated.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.mediator import FakeClock, Source, SourceTransport, SystemClock, TransportPolicy
+from repro.workloads import flaky
+from repro.xmas import Query
+
+OVERHEAD_BUDGET = 0.03  # disabled tracing may cost at most 3% of a query
+
+
+def build_serving_path(n_docs: int = 6) -> tuple[SourceTransport, Query]:
+    name, schema, documents, query = flaky.federation_branches(
+        n_sources=1, n_docs=n_docs, seed=11, star_mean=2.5
+    )[0]
+    source = Source(name, schema, documents, validate=False)
+    source.warm_indexes()
+    transport = SourceTransport(source, TransportPolicy(), SystemClock())
+    return transport, query
+
+
+def best_of(fn, repeat: int, rounds: int = 5) -> float:
+    """Best mean-per-iteration over several rounds (noise floor)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn()
+        best = min(best, (time.perf_counter() - start) / repeat)
+    return best
+
+
+def disabled_span_cost() -> float:
+    """Per-span cost of the no-op path, measured generously: the
+    with-block plus two attributes and an event, i.e. more work than
+    most instrumented sites do per span."""
+    assert not obs.enabled()
+
+    def one_span():
+        with obs.span("bench.noop") as span:
+            span.set_attribute("a", 1)
+            span.set_attribute("b", "x")
+            span.add_event("tick", n=1)
+
+    return best_of(one_span, repeat=2000)
+
+
+def spans_per_query(transport: SourceTransport, query: Query) -> int:
+    with obs.traced(clock=FakeClock()) as tracer:
+        transport.call(query)
+    return tracer.span_count
+
+
+class TestDisabledOverhead:
+    def test_disabled_tracing_under_3_percent(self, benchmark):
+        """span_count x per-span no-op cost must be < 3% of query time."""
+        transport, query = build_serving_path()
+        transport.call(query)  # warm plan cache + indexes
+
+        query_time = best_of(lambda: transport.call(query), repeat=40)
+        per_span = disabled_span_cost()
+        n_spans = spans_per_query(transport, query)
+
+        answer = benchmark(lambda: transport.call(query))
+        assert answer.root.name == "journals"
+
+        overhead = (n_spans * per_span) / query_time
+        benchmark.extra_info["query_us"] = round(query_time * 1e6, 2)
+        benchmark.extra_info["per_span_ns"] = round(per_span * 1e9, 1)
+        benchmark.extra_info["spans_per_query"] = n_spans
+        benchmark.extra_info["overhead_pct"] = round(overhead * 100, 3)
+        assert overhead < OVERHEAD_BUDGET, (
+            f"disabled tracing costs {overhead:.2%} of a query "
+            f"({n_spans} spans x {per_span * 1e9:.0f}ns "
+            f"on a {query_time * 1e6:.0f}us query)"
+        )
+
+
+class TestEnabledCost:
+    def test_enabled_tracing_cost_recorded(self, benchmark):
+        """Not a gate: record what a live tracer costs end to end."""
+        transport, query = build_serving_path()
+        transport.call(query)  # warm
+
+        baseline = best_of(lambda: transport.call(query), repeat=40)
+
+        def traced_call():
+            with obs.traced():
+                return transport.call(query)
+
+        answer = benchmark(traced_call)
+        assert answer.root.name == "journals"
+        traced = best_of(traced_call, repeat=40)
+        benchmark.extra_info["baseline_us"] = round(baseline * 1e6, 2)
+        benchmark.extra_info["traced_us"] = round(traced * 1e6, 2)
+        benchmark.extra_info["enabled_overhead_pct"] = round(
+            (traced / baseline - 1.0) * 100, 2
+        )

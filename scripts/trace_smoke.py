@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Trace smoke: the CLI tracing surface produces well-formed traces.
+
+Drives the two user-facing entry points end to end and validates the
+Chrome ``trace_event`` JSON they write:
+
+1. ``repro ask --trace`` on the paper's running example (D1 + Q3 as a
+   registered view) — the trace must cover inference, the compiled
+   engine, and the mediator fan-out.
+2. ``repro trace --workload flaky`` — the flaky-federation replay must
+   additionally show per-source retry ``attempt`` instants.
+
+Exit status: 0 when both traces pass the shape checks, 1 otherwise.
+Wired into ``make trace-smoke`` / ``make check``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import main  # noqa: E402
+from repro.dtd import serialize_dtd  # noqa: E402
+from repro.workloads import paper  # noqa: E402
+
+VIEW_QUERY = """
+publist =
+  SELECT P
+  WHERE <department>
+          <name>CS</name>
+          <professor | gradStudent>
+            P:<publication><journal/></publication>
+          </>
+        </>
+"""
+
+CLIENT_QUERY = """
+journals = SELECT P
+WHERE <publist>
+        P:<publication><journal/></publication>
+      </>
+"""
+
+failures: list[str] = []
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"{'ok' if ok else 'FAIL'}  {label}")
+    if not ok:
+        failures.append(label)
+
+
+def load_trace(path: Path) -> tuple[set[str], set[str]]:
+    """Return (complete-span names, instant-event names) after shape checks."""
+    data = json.loads(path.read_text())
+    check(f"{path.name}: displayTimeUnit ms", data.get("displayTimeUnit") == "ms")
+    events = data.get("traceEvents", [])
+    check(f"{path.name}: has events", bool(events))
+    for event in events:
+        if not all(k in event for k in ("name", "ph", "ts", "pid", "tid")):
+            check(f"{path.name}: event fields complete", False)
+            break
+    else:
+        check(f"{path.name}: event fields complete", True)
+    spans = {e["name"] for e in events if e["ph"] == "X"}
+    instants = {e["name"] for e in events if e["ph"] == "i"}
+    return spans, instants
+
+
+def smoke_ask_trace(tmp: Path) -> None:
+    dtd_file = tmp / "d1.dtd"
+    dtd_file.write_text(serialize_dtd(paper.d1()))
+    view_file = tmp / "q3.xmas"
+    view_file.write_text(VIEW_QUERY)
+    client_file = tmp / "client.xmas"
+    client_file.write_text(CLIENT_QUERY)
+    doc_file = tmp / "doc.xml"
+    import random
+
+    from repro.dtd import generate_document
+    from repro.xmlmodel import serialize_document
+
+    doc_file.write_text(
+        serialize_document(generate_document(paper.d1(), random.Random(7)))
+    )
+    trace_file = tmp / "ask.json"
+
+    status = main(
+        [
+            "ask",
+            "--dtd", str(dtd_file),
+            "--view", str(view_file),
+            "--query", str(client_file),
+            "--trace", str(trace_file),
+            str(doc_file),
+        ]
+    )
+    check("ask --trace exit 0", status == 0)
+    spans, _ = load_trace(trace_file)
+    for name in (
+        "mediator.register_view",
+        "inference.infer_view_dtd",
+        "inference.tighten",
+        "mediator.query_view",
+        "engine.evaluate",
+        "transport.call",
+    ):
+        check(f"ask trace has {name}", name in spans)
+
+
+def smoke_trace_command(tmp: Path) -> None:
+    out_file = tmp / "flaky.json"
+    status = main(["trace", "--workload", "flaky", "--out", str(out_file)])
+    check("trace --workload flaky exit 0", status == 0)
+    spans, instants = load_trace(out_file)
+    for name in ("mediator.materialize_union", "transport.call", "engine.evaluate"):
+        check(f"flaky trace has {name}", name in spans)
+    check(
+        "flaky trace has attempt instants",
+        any(name.endswith("/attempt") for name in instants),
+    )
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        smoke_ask_trace(tmp)
+        smoke_trace_command(tmp)
+    if failures:
+        print(f"\n{len(failures)} trace smoke failure(s)")
+        return 1
+    print("\ntrace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -11,6 +11,12 @@ Commands:
 * ``validate``  -- validate a document against a DTD
 * ``structure`` -- display the browsable structure of a DTD
 * ``lint``      -- static diagnostics for DTDs and queries
+* ``trace``     -- run a built-in workload under the tracer and export
+  a Chrome ``trace_event`` JSON file (see docs/OBSERVABILITY.md)
+
+``infer``, ``evaluate``, and ``ask`` additionally accept
+``--trace FILE``: the whole command runs under an installed tracer and
+the trace is written to ``FILE`` on exit.
 
 DTD files may use standard ``<!ELEMENT>`` declarations (optionally
 DOCTYPE-wrapped) or the paper's ``{<name : model> ...}`` notation;
@@ -165,6 +171,67 @@ def _split_codes(raw: list[str] | None) -> list[str] | None:
     return codes or None
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace a built-in workload end to end (deterministic clocks)."""
+    from . import obs
+
+    if args.workload == "flaky":
+        from .mediator import FakeClock, RetryPolicy, TransportPolicy
+        from .workloads.flaky import build_flaky_federation
+
+        clock = FakeClock()
+        tracer = obs.install_tracer(obs.Tracer(clock=clock))
+        try:
+            policy = TransportPolicy(
+                timeout=args.timeout,
+                retry=RetryPolicy(attempts=max(1, args.retries + 1)),
+            )
+            mediator = build_flaky_federation(
+                clock, policy=policy, n_sources=args.sources
+            )
+            deadline = mediator.deadline(args.budget)
+            mediator.materialize_union("journals", deadline)
+        finally:
+            obs.uninstall_tracer()
+        if mediator.last_degradation is not None:
+            print(mediator.last_degradation.describe(), file=sys.stderr)
+    else:  # paper
+        import random
+
+        from .dtd import generate_document
+        from .mediator import Mediator, Source
+        from .workloads import paper as paper_workload
+
+        tracer = obs.install_tracer()
+        try:
+            dtd_obj = paper_workload.d1()
+            rng = random.Random(7)
+            documents = [
+                generate_document(dtd_obj, rng) for _ in range(args.sources)
+            ]
+            mediator = Mediator("trace")
+            mediator.add_source(
+                Source("paper", dtd_obj, documents, validate=False)
+            )
+            registration = mediator.register_view(paper_workload.q3())
+            client = parse_query(
+                """
+                journals = SELECT P
+                WHERE <publist>
+                        P:<publication><journal/></publication>
+                      </>
+                """
+            )
+            mediator.query_view(client, registration.name)
+        finally:
+            obs.uninstall_tracer()
+    print(tracer.render())
+    if args.out:
+        tracer.dump_json(args.out)
+        print(f"trace written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .inference import InferenceMode
     from .lint import DiagnosticReport, run_lint
@@ -267,6 +334,17 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_trace_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help=(
+                "run under the repro.obs tracer and write a Chrome"
+                " trace_event JSON file"
+            ),
+        )
+
     p = sub.add_parser("infer", help="infer a view DTD")
     add_dtd_options(p)
     p.add_argument("--query", required=True, help="XMAS query file")
@@ -283,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: full report)",
     )
     add_stats_option(p)
+    add_trace_option(p)
     p.set_defaults(func=_cmd_infer)
 
     p = sub.add_parser("classify", help="classify a query against a DTD")
@@ -314,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("document", help="XML document file")
     add_backend_option(p)
     add_stats_option(p)
+    add_trace_option(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser(
@@ -375,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_option(p)
     add_stats_option(p)
+    add_trace_option(p)
     p.set_defaults(func=_cmd_ask)
 
     p = sub.add_parser("validate", help="validate a document against a DTD")
@@ -441,12 +522,71 @@ def build_parser() -> argparse.ArgumentParser:
     add_stats_option(p)
     p.set_defaults(func=_cmd_lint)
 
+    p = sub.add_parser(
+        "trace",
+        help="trace a built-in workload and export Chrome trace JSON",
+        description=(
+            "Run a built-in workload end to end under the repro.obs"
+            " tracer (the flaky federation runs on a deterministic fake"
+            " clock), print the span tree, and optionally write a"
+            " chrome://tracing-compatible JSON file."
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        choices=["flaky", "paper"],
+        default="flaky",
+        help="which workload to trace (default: flaky)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the Chrome trace_event JSON here",
+    )
+    p.add_argument(
+        "--sources",
+        type=int,
+        default=3,
+        metavar="N",
+        help="federation size / paper document count (default: 3)",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="fan-out deadline budget on the fake clock (default: 10)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-source-call timeout (default: 2)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries after a failed source call (default: 2)",
+    )
+    add_stats_option(p)
+    p.set_defaults(func=_cmd_trace)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    if trace_path:
+        from . import obs
+
+        tracer = obs.install_tracer()
     try:
         code = args.func(args)
         if getattr(args, "stats", False):
@@ -462,6 +602,13 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            from . import obs
+
+            obs.uninstall_tracer()
+            tracer.dump_json(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ Two partition backends implement the per-round refinement:
 
 from __future__ import annotations
 
+from .. import obs
 from ..dtd import Pcdata, SpecializedDtd, TaggedName
 from ..regex import Regex, Sym, canonical_signature, is_equivalent, rename
 from .tighten import NodeTyping, TightenResult
@@ -243,7 +244,10 @@ def collapse_equivalent(
 
 def collapse_result(result: TightenResult) -> TightenResult:
     """Apply collapsing to a :class:`TightenResult`, remapping typings."""
-    collapsed, final = collapse_equivalent(result.sdtd)
+    with obs.span("inference.collapse") as sp:
+        sp.set_attribute("types_before", len(result.sdtd.types))
+        collapsed, final = collapse_equivalent(result.sdtd)
+        sp.set_attribute("types_after", len(collapsed.types))
     new_typings: dict[int, NodeTyping] = {}
     for node_id, typing in result.typings.items():
         new_typings[node_id] = NodeTyping(

@@ -28,6 +28,7 @@ Two modes (DESIGN.md §3):
 
 from __future__ import annotations
 
+from .. import obs
 from ..dtd import Dtd, Pcdata
 from ..regex import (
     EPSILON,
@@ -160,6 +161,18 @@ def infer_list_type(
     :func:`repro.regex.image` for the plain-DTD rendering).  Returns
     ``ε`` (empty content) when the condition is unsatisfiable.
     """
+    with obs.span("inference.infer_list_type") as sp:
+        ltype = _infer_list_type(dtd, query, result, mode)
+        sp.set_attribute("empty", ltype is EPSILON)
+    return ltype
+
+
+def _infer_list_type(
+    dtd: Dtd,
+    query: Query,
+    result: TightenResult,
+    mode: InferenceMode | None = None,
+) -> Regex:
     if mode is None:
         mode = result.mode
     # Use the resolved query whose nodes key the typings (wildcard

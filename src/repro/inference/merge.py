@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..dtd import Dtd, Pcdata, SpecializedDtd
 from ..errors import DtdConsistencyError
 from ..regex import Regex, alt, image, is_equivalent, simplify_deep
@@ -41,31 +42,35 @@ def merge_sdtd(sdtd: SpecializedDtd, simplify: bool = True) -> MergeResult:
     element-content specializations (impossible for s-DTDs produced by
     the tightening algorithm, which specializes a single base type).
     """
-    grouped: dict[str, list] = {}
-    for (name, _tag), content in sorted(sdtd.types.items()):
-        grouped.setdefault(name, []).append(content)
+    with obs.span("inference.merge") as sp:
+        grouped: dict[str, list] = {}
+        for (name, _tag), content in sorted(sdtd.types.items()):
+            grouped.setdefault(name, []).append(content)
 
-    types: dict[str, object] = {}
-    merged_names: list[str] = []
-    lossy_names: list[str] = []
-    for name, contents in grouped.items():
-        kinds = {isinstance(content, Pcdata) for content in contents}
-        if kinds == {True, False}:
-            raise DtdConsistencyError(
-                f"{name!r} mixes PCDATA and element-content specializations"
-            )
-        if kinds == {True}:
-            types[name] = contents[0]
-            continue
-        images: list[Regex] = [image(content) for content in contents]
-        union = alt(*images)
-        if len(contents) > 1:
-            merged_names.append(name)
-            if any(not is_equivalent(images[0], img) for img in images[1:]):
-                lossy_names.append(name)
-        types[name] = simplify_deep(union) if simplify else union
+        types: dict[str, object] = {}
+        merged_names: list[str] = []
+        lossy_names: list[str] = []
+        for name, contents in grouped.items():
+            kinds = {isinstance(content, Pcdata) for content in contents}
+            if kinds == {True, False}:
+                raise DtdConsistencyError(
+                    f"{name!r} mixes PCDATA and element-content specializations"
+                )
+            if kinds == {True}:
+                types[name] = contents[0]
+                continue
+            images: list[Regex] = [image(content) for content in contents]
+            union = alt(*images)
+            if len(contents) > 1:
+                merged_names.append(name)
+                if any(not is_equivalent(images[0], img) for img in images[1:]):
+                    lossy_names.append(name)
+            types[name] = simplify_deep(union) if simplify else union
 
-    root = sdtd.root[0] if sdtd.root is not None else None
-    dtd = Dtd(types, root)
-    dtd.check_consistency()
+        root = sdtd.root[0] if sdtd.root is not None else None
+        dtd = Dtd(types, root)
+        dtd.check_consistency()
+        sp.set_attribute("names", len(grouped))
+        sp.set_attribute("merged", len(merged_names))
+        sp.set_attribute("lossy", len(lossy_names))
     return MergeResult(dtd, merged_names, lossy_names)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..dtd import (
     Dtd,
     Pcdata,
@@ -124,41 +125,45 @@ def infer_view_dtd(
             f"view name {query.view_name!r} collides with a source "
             "element name"
         )
-    tightening = tighten(source_dtd, query, mode)
-    list_type = infer_list_type(source_dtd, query, tightening, mode)
+    with obs.span("inference.infer_view_dtd") as sp:
+        sp.set_attribute("view", query.view_name)
+        sp.set_attribute("mode", mode.value)
+        tightening = tighten(source_dtd, query, mode)
+        list_type = infer_list_type(source_dtd, query, tightening, mode)
 
-    from .simplifytype import simplify_type
+        from .simplifytype import simplify_type
 
-    view_key = (query.view_name, 0)
-    types: dict = {view_key: list_type}
-    for key, content in tightening.sdtd.types.items():
-        types[key] = (
-            content
-            if isinstance(content, Pcdata)
-            else simplify_type(content)
+        view_key = (query.view_name, 0)
+        types: dict = {view_key: list_type}
+        for key, content in tightening.sdtd.types.items():
+            types[key] = (
+                content
+                if isinstance(content, Pcdata)
+                else simplify_type(content)
+            )
+        sdtd = SpecializedDtd(types, view_key)
+        sdtd = prune_unreachable_sdtd(sdtd)
+        sdtd.check_consistency()
+
+        merge = merge_sdtd(sdtd)
+        if source_dtd.attributes:
+            # Appendix A layer: attributes never affect content models, so
+            # the view inherits the source ATTLISTs of surviving names.
+            from ..dtd.attributes import carry_over_attributes
+
+            merge.dtd = carry_over_attributes(source_dtd, merge.dtd)
+        classification = _overall_classification(tightening, list_type)
+        sp.set_attribute("classification", classification.value)
+        return InferenceResult(
+            query=query,
+            sdtd=sdtd,
+            dtd=merge.dtd,
+            list_type=list_type,
+            classification=classification,
+            merge=merge,
+            tightening=tightening,
+            mode=mode,
         )
-    sdtd = SpecializedDtd(types, view_key)
-    sdtd = prune_unreachable_sdtd(sdtd)
-    sdtd.check_consistency()
-
-    merge = merge_sdtd(sdtd)
-    if source_dtd.attributes:
-        # Appendix A layer: attributes never affect content models, so
-        # the view inherits the source ATTLISTs of surviving names.
-        from ..dtd.attributes import carry_over_attributes
-
-        merge.dtd = carry_over_attributes(source_dtd, merge.dtd)
-    classification = _overall_classification(tightening, list_type)
-    return InferenceResult(
-        query=query,
-        sdtd=sdtd,
-        dtd=merge.dtd,
-        list_type=list_type,
-        classification=classification,
-        merge=merge,
-        tightening=tightening,
-        mode=mode,
-    )
 
 
 def _overall_classification(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..regex import (
     EMPTY,
     Alt,
@@ -70,7 +71,12 @@ def refine(r: Regex, target: Sym, trace: RefineTrace | None = None) -> Regex:
     """
     if trace is None:
         trace = RefineTrace()
-    return _refine(r, target, trace)
+    with obs.span("inference.refine") as sp:
+        sp.set_attribute("target", str(target))
+        result = _refine(r, target, trace)
+        sp.set_attribute("narrowed", trace.narrowed)
+        sp.set_attribute("failed", isinstance(result, Empty))
+    return result
 
 
 def _refine(r: Regex, target: Sym, trace: RefineTrace) -> Regex:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..dtd import Dtd, PCDATA, Pcdata, SpecializedDtd, TaggedName
 from ..regex import (
     Empty,
@@ -264,15 +265,20 @@ def tighten(
     unsatisfiable instead of raising -- the query-simplifier setting).
     """
     check_inference_applicable(query)
-    resolved = resolve_against_dtd(query, dtd, strict=strict)
-    tightener = _Tightener(dtd, mode)
-    root_typing = tightener.visit(resolved.root)
-    sdtd = tightener.build_sdtd()
-    result = TightenResult(
-        sdtd, tightener.typings, root_typing, mode, resolved
-    )
-    if collapse:
-        from .collapse import collapse_result
+    with obs.span("inference.tighten") as sp:
+        sp.set_attribute("view", query.view_name)
+        resolved = resolve_against_dtd(query, dtd, strict=strict)
+        tightener = _Tightener(dtd, mode)
+        root_typing = tightener.visit(resolved.root)
+        sdtd = tightener.build_sdtd()
+        result = TightenResult(
+            sdtd, tightener.typings, root_typing, mode, resolved
+        )
+        if collapse:
+            from .collapse import collapse_result
 
-        result = collapse_result(result)
+            result = collapse_result(result)
+        # The Section 4.2 side effect is the span's headline fact.
+        sp.set_attribute("classification", result.classification.value)
+        sp.set_attribute("specialized_types", len(result.sdtd.types))
     return result

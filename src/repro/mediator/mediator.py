@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..dtd import Dtd, SpecializedDtd, validate_document
 from ..errors import (
     DegradedAnswer,
@@ -82,6 +83,9 @@ class QueryPlan:
     effective_query: Query
     #: per-source transport snapshots (breaker state, retries, ...)
     source_health: list[dict] = field(default_factory=list)
+    #: the rendered planning trace (``repro.obs`` span tree; empty when
+    #: tracing was disabled and ``explain`` could not install a tracer)
+    trace_lines: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [
@@ -103,6 +107,9 @@ class QueryPlan:
                 f"{health['failures']} failures, "
                 f"{health['timeouts']} timeouts"
             )
+        if self.trace_lines:
+            lines.append("  planning trace:")
+            lines.extend(f"    {line}" for line in self.trace_lines)
         return "\n".join(lines)
 
 
@@ -221,10 +228,13 @@ class Mediator:
                 f"view {query.view_name!r} already registered"
             )
         source = self.sources[target]
-        inference = infer_view_dtd(source.dtd, query, self.mode)
-        registration = ViewRegistration(
-            query, target, inference, plan=compile_query(query)
-        )
+        with obs.span("mediator.register_view") as sp:
+            sp.set_attribute("view", query.view_name)
+            sp.set_attribute("source", target)
+            inference = infer_view_dtd(source.dtd, query, self.mode)
+            registration = ViewRegistration(
+                query, target, inference, plan=compile_query(query)
+            )
         self.views[query.view_name] = registration
         return registration
 
@@ -315,56 +325,68 @@ class Mediator:
         effective = query
         run_preflight = use_simplifier if preflight is None else preflight
         tightening = None
-        if run_preflight:
-            report = self.preflight(query, view_name)
-            tightening = self._preflight_cache.get("tighten")
-            if report.has_errors:
-                self.stats.preflight_rejections += 1
-                self.stats.fanouts_skipped += 1
-                self.stats.answered_without_source += 1
-                from ..xmlmodel import Element, fresh_id
+        with obs.span("mediator.query_view") as sp:
+            sp.set_attribute("view", view_name)
+            if run_preflight:
+                report = self.preflight(query, view_name)
+                tightening = self._preflight_cache.get("tighten")
+                if report.has_errors:
+                    self.stats.preflight_rejections += 1
+                    self.stats.fanouts_skipped += 1
+                    self.stats.answered_without_source += 1
+                    sp.set_attribute("outcome", "preflight_rejected")
+                    from ..xmlmodel import Element, fresh_id
 
-                return Document(
-                    Element(query.view_name, [], fresh_id())
-                )
-        if use_simplifier:
-            decision: SimplifierDecision = simplify_query(
-                query, registration.dtd, self.mode, tightening=tightening
-            )
-            if decision.answer_is_empty:
-                self.stats.answered_without_source += 1
-                from ..xmlmodel import Element, fresh_id
-
-                return Document(
-                    Element(query.view_name, [], fresh_id())
-                )
-            self.stats.conditions_pruned += decision.pruned_nodes
-            effective = decision.query
-        try:
-            if strategy in ("auto", "compose"):
-                from .composition import compose_query
-
-                source = self.sources[registration.source_name]
-                composed = compose_query(
-                    registration.query, effective, source.dtd
-                )
-                if composed is not None:
-                    self.stats.composed += 1
-                    return self._call_source(
-                        registration.source_name, composed, deadline
+                    return Document(
+                        Element(query.view_name, [], fresh_id())
                     )
-                if strategy == "compose":
-                    raise MediatorError(
-                        "query is not composable with the view definition"
+            if use_simplifier:
+                decision: SimplifierDecision = simplify_query(
+                    query, registration.dtd, self.mode, tightening=tightening
+                )
+                if decision.answer_is_empty:
+                    self.stats.answered_without_source += 1
+                    sp.set_attribute("outcome", "simplified_empty")
+                    from ..xmlmodel import Element, fresh_id
+
+                    return Document(
+                        Element(query.view_name, [], fresh_id())
                     )
-            materialized = self.materialize(view_name, deadline)
-            return evaluate_many(effective, [materialized])
-        except (SourceTimeout, SourceUnavailable) as error:
-            if not degrade:
-                raise
-            return self._degraded_empty_answer(
-                query.view_name, registration.source_name, error
-            )
+                self.stats.conditions_pruned += decision.pruned_nodes
+                effective = decision.query
+            try:
+                if strategy in ("auto", "compose"):
+                    from .composition import compose_query
+
+                    source = self.sources[registration.source_name]
+                    composed = compose_query(
+                        registration.query, effective, source.dtd
+                    )
+                    if composed is not None:
+                        self.stats.composed += 1
+                        sp.set_attribute("outcome", "composed")
+                        return self._call_source(
+                            registration.source_name, composed, deadline
+                        )
+                    if strategy == "compose":
+                        raise MediatorError(
+                            "query is not composable with the view definition"
+                        )
+                sp.set_attribute("outcome", "materialized")
+                materialized = self.materialize(view_name, deadline)
+                return evaluate_many(effective, [materialized])
+            except (SourceTimeout, SourceUnavailable) as error:
+                if not degrade:
+                    raise
+                sp.set_attribute("outcome", "degraded")
+                sp.add_event(
+                    "degraded",
+                    source=registration.source_name,
+                    code=error.code,
+                )
+                return self._degraded_empty_answer(
+                    query.view_name, registration.source_name, error
+                )
 
     def _degraded_empty_answer(
         self, answer_name: str, source_name: str, error: MediatorError
@@ -408,8 +430,28 @@ class Mediator:
 
         Runs the simplifier and the composability check without
         touching any source -- the "query processor derives more
-        efficient plans" story of Section 1, made inspectable.
+        efficient plans" story of Section 1, made inspectable.  The
+        planning work runs under a ``repro.obs`` span (a scoped tracer
+        is installed when none is active), and the rendered span tree
+        is attached as :attr:`QueryPlan.trace_lines` -- ``describe()``
+        shows where the plan's time and decisions went.
         """
+        scope = None
+        if not obs.enabled():
+            scope = obs.traced(clock=self.clock)
+            scope.__enter__()
+        try:
+            with obs.span("mediator.explain") as sp:
+                sp.set_attribute("view", view_name)
+                plan = self._explain_plan(query, view_name)
+                sp.set_attribute("strategy", plan.strategy)
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+        plan.trace_lines = sp.render().splitlines()
+        return plan
+
+    def _explain_plan(self, query: Query, view_name: str) -> "QueryPlan":
         registration = self._view(view_name)
         decision = simplify_query(query, registration.dtd, self.mode)
         composed = None
@@ -500,37 +542,47 @@ class Mediator:
         report = DegradationReport(view_name=view_name)
         picks: list = []
         first_error: MediatorError | None = None
-        for branch, source_name in zip(
-            registration.branches, registration.source_names
-        ):
-            try:
-                answer = self._call_source(
-                    source_name, branch.query, deadline
-                )
-            except (SourceTimeout, SourceUnavailable) as error:
-                if not degrade:
-                    raise
-                if first_error is None:
-                    first_error = error
-                report.skipped[source_name] = f"{error.code}: {error}"
-                continue
-            report.answered.append(source_name)
-            picks.extend(answer.root.children)
-        document = Document(Element(view_name, picks, fresh_id()))
-        if report.degraded:
-            report.answer_valid = validate_document(
-                document, registration.dtd
-            ).ok
-            if not report.answer_valid:
-                raise DegradedAnswer(
-                    f"view {view_name!r}: skipping "
-                    f"{sorted(report.skipped)} leaves an answer that "
-                    "violates the inferred view DTD; refusing to degrade",
-                    document=document,
-                    report=report,
-                ) from first_error
-            self.stats.degraded_answers += 1
-            self.last_degradation = report
+        with obs.span("mediator.materialize_union") as sp:
+            sp.set_attribute("view", view_name)
+            sp.set_attribute("sources", len(registration.source_names))
+            for branch, source_name in zip(
+                registration.branches, registration.source_names
+            ):
+                try:
+                    answer = self._call_source(
+                        source_name, branch.query, deadline
+                    )
+                except (SourceTimeout, SourceUnavailable) as error:
+                    if not degrade:
+                        raise
+                    if first_error is None:
+                        first_error = error
+                    report.skipped[source_name] = f"{error.code}: {error}"
+                    sp.add_event(
+                        "leg.skipped", source=source_name, code=error.code
+                    )
+                    continue
+                report.answered.append(source_name)
+                picks.extend(answer.root.children)
+            document = Document(Element(view_name, picks, fresh_id()))
+            sp.set_attribute("degraded", report.degraded)
+            sp.set_attribute("answered", len(report.answered))
+            sp.set_attribute("skipped", len(report.skipped))
+            if report.degraded:
+                report.answer_valid = validate_document(
+                    document, registration.dtd
+                ).ok
+                sp.set_attribute("answer_valid", report.answer_valid)
+                if not report.answer_valid:
+                    raise DegradedAnswer(
+                        f"view {view_name!r}: skipping "
+                        f"{sorted(report.skipped)} leaves an answer that "
+                        "violates the inferred view DTD; refusing to degrade",
+                        document=document,
+                        report=report,
+                    ) from first_error
+                self.stats.degraded_answers += 1
+                self.last_degradation = report
         return document
 
     def _union_view(self, view_name: str) -> "UnionViewRegistration":

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Protocol
 
+from .. import obs
 from ..errors import ReproError, SourceTimeout, SourceUnavailable
 from ..xmas import Query
 from ..xmlmodel import Document
@@ -262,15 +263,19 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         if self.state is BreakerState.HALF_OPEN:
+            self._release_slot()
             self._half_open_successes += 1
             if self._half_open_successes >= self.policy.half_open_probes:
                 self._state = BreakerState.CLOSED
                 self._outcomes.clear()
+                self._half_open_successes = 0
+                self._half_open_inflight = 0
             return
         self._outcomes.append(True)
 
     def record_failure(self) -> None:
         if self.state is BreakerState.HALF_OPEN:
+            self._release_slot()
             self._trip()
             return
         self._outcomes.append(False)
@@ -279,11 +284,36 @@ class CircuitBreaker:
             if failures / len(self._outcomes) >= self.policy.failure_rate:
                 self._trip()
 
+    def release_probe(self) -> None:
+        """Give back a half-open probe slot taken by :meth:`allow`.
+
+        Every admission in HALF_OPEN must be balanced by exactly one of
+        ``record_success``, ``record_failure``, or this method.  The
+        transport calls it when a call exits *without a verdict* — the
+        shared deadline expired before the source was tried, or a
+        non-transport exception escaped — otherwise the slot leaks and,
+        with ``half_open_probes`` slots leaked, the breaker rejects
+        every probe forever (HALF_OPEN has no re-arm timer).
+
+        Reads the raw state on purpose: the ``state`` property's
+        OPEN→HALF_OPEN transition must not fire from a cleanup path.
+        """
+        if self._state is BreakerState.HALF_OPEN:
+            self._release_slot()
+
+    def _release_slot(self) -> None:
+        if self._half_open_inflight > 0:
+            self._half_open_inflight -= 1
+
     def _trip(self) -> None:
         self._state = BreakerState.OPEN
         self._opened_at = self.clock.now()
         self.times_opened += 1
         self._outcomes.clear()
+        # A trip ends any half-open episode: stale probe accounting
+        # must not survive into the *next* half-open window.
+        self._half_open_successes = 0
+        self._half_open_inflight = 0
 
 
 # ---------------------------------------------------------------------------
@@ -337,67 +367,115 @@ class SourceTransport:
     def call(self, query: Query, deadline: Deadline | None = None) -> Document:
         """Answer ``query`` under the policy; raise on terminal failure."""
         self.stats.calls += 1
-        if not self.breaker.allow():
-            self.stats.breaker_rejections += 1
-            raise SourceUnavailable(
-                f"source {self.name!r} unavailable: circuit breaker open"
-            )
-        retry = self.policy.retry
-        last_error: Exception | None = None
-        timed_out = False
-        for attempt in range(1, max(1, retry.attempts) + 1):
-            if deadline is not None and deadline.expired:
-                self.stats.timeouts += 1
-                # The budget died between attempts: the *fan-out* is out
-                # of time, which is a deadline condition, not a verdict
-                # on this source.  The breaker is not charged.
-                raise SourceTimeout(
-                    f"deadline budget exhausted before calling source "
-                    f"{self.name!r} (attempt {attempt})"
-                ) from last_error
-            self.stats.attempts += 1
-            effective_timeout = self._effective_timeout(deadline)
-            started = self.clock.now()
+        with obs.span("transport.call") as sp:
+            sp.set_attribute("source", self.name)
+            # Read the state *before* allow(): the property applies the
+            # OPEN -> HALF_OPEN timeout (idempotent at one clock
+            # instant), and a True allow() in HALF_OPEN takes a probe
+            # slot this call is then responsible for giving back.
+            admitted_state = self.breaker.state
+            if not self.breaker.allow():
+                self.stats.breaker_rejections += 1
+                sp.set_attribute("outcome", "breaker_rejected")
+                sp.add_event("breaker.rejected", state=admitted_state.value)
+                raise SourceUnavailable(
+                    f"source {self.name!r} unavailable: circuit breaker open"
+                )
+            sp.set_attribute("breaker", admitted_state.value)
+            probe_pending = admitted_state is BreakerState.HALF_OPEN
+            retry = self.policy.retry
+            last_error: Exception | None = None
+            timed_out = False
+            attempt = 0
             try:
-                answer = self.source.query(query)
-            except ReproError as error:
-                last_error = error
-                timed_out = False
-                self.stats.failures += 1
-                self.breaker.record_failure()
-            else:
-                elapsed = self.clock.now() - started
-                if (
-                    effective_timeout is not None
-                    and elapsed > effective_timeout
-                ):
-                    # The answer arrived after its budget: discard it.
-                    last_error = SourceTimeout(
-                        f"source {self.name!r} answered in {elapsed:.3f}s, "
-                        f"over its {effective_timeout:.3f}s budget"
-                    )
-                    timed_out = True
-                    self.stats.timeouts += 1
-                    self.breaker.record_failure()
-                else:
-                    self.stats.successes += 1
-                    self.breaker.record_success()
-                    return answer
-            if self.breaker.state is not BreakerState.CLOSED:
-                break  # tripped mid-loop (or half-open probe failed)
-            if attempt >= max(1, retry.attempts):
-                break
-            delay = retry.backoff(attempt, self._rng)
-            if deadline is not None and delay >= deadline.remaining():
-                break  # backing off would outlive the budget
-            self.stats.retries += 1
-            self.clock.sleep(delay)
-        if timed_out and isinstance(last_error, SourceTimeout):
-            raise last_error
-        raise SourceUnavailable(
-            f"source {self.name!r} unavailable after "
-            f"{attempt} attempt(s): {last_error}"
-        ) from last_error
+                for attempt in range(1, max(1, retry.attempts) + 1):
+                    if deadline is not None and deadline.expired:
+                        self.stats.timeouts += 1
+                        sp.set_attribute("outcome", "deadline_expired")
+                        sp.add_event("deadline.expired", attempt=attempt)
+                        # The budget died between attempts: the *fan-out*
+                        # is out of time, which is a deadline condition,
+                        # not a verdict on this source.  The breaker is
+                        # not charged (the probe slot, if any, is given
+                        # back in the finally below).
+                        raise SourceTimeout(
+                            f"deadline budget exhausted before calling source "
+                            f"{self.name!r} (attempt {attempt})"
+                        ) from last_error
+                    self.stats.attempts += 1
+                    sp.add_event("attempt", number=attempt)
+                    effective_timeout = self._effective_timeout(deadline)
+                    started = self.clock.now()
+                    try:
+                        answer = self.source.query(query)
+                    except ReproError as error:
+                        last_error = error
+                        timed_out = False
+                        self.stats.failures += 1
+                        probe_pending = False
+                        self.breaker.record_failure()
+                        sp.add_event(
+                            "failure",
+                            attempt=attempt,
+                            error=type(error).__name__,
+                        )
+                    else:
+                        elapsed = self.clock.now() - started
+                        if (
+                            effective_timeout is not None
+                            and elapsed > effective_timeout
+                        ):
+                            # The answer arrived after its budget: discard it.
+                            last_error = SourceTimeout(
+                                f"source {self.name!r} answered in "
+                                f"{elapsed:.3f}s, over its "
+                                f"{effective_timeout:.3f}s budget"
+                            )
+                            timed_out = True
+                            self.stats.timeouts += 1
+                            probe_pending = False
+                            self.breaker.record_failure()
+                            sp.add_event(
+                                "timeout.discarded",
+                                attempt=attempt,
+                                elapsed=round(elapsed, 6),
+                            )
+                        else:
+                            self.stats.successes += 1
+                            probe_pending = False
+                            self.breaker.record_success()
+                            sp.set_attribute("attempts", attempt)
+                            sp.set_attribute("outcome", "success")
+                            return answer
+                    if self.breaker.state is not BreakerState.CLOSED:
+                        # tripped mid-loop (or half-open probe failed)
+                        sp.add_event(
+                            "breaker.state", state=self.breaker.state.value
+                        )
+                        break
+                    if attempt >= max(1, retry.attempts):
+                        break
+                    delay = retry.backoff(attempt, self._rng)
+                    if deadline is not None and delay >= deadline.remaining():
+                        break  # backing off would outlive the budget
+                    self.stats.retries += 1
+                    sp.add_event("backoff", delay=round(delay, 6))
+                    self.clock.sleep(delay)
+            finally:
+                # Balance the half-open admission on every exit path
+                # that recorded no verdict: deadline expiry above, or a
+                # non-transport exception escaping source.query.
+                if probe_pending:
+                    self.breaker.release_probe()
+            sp.set_attribute("attempts", attempt)
+            if timed_out and isinstance(last_error, SourceTimeout):
+                sp.set_attribute("outcome", "timeout")
+                raise last_error
+            sp.set_attribute("outcome", "unavailable")
+            raise SourceUnavailable(
+                f"source {self.name!r} unavailable after "
+                f"{attempt} attempt(s): {last_error}"
+            ) from last_error
 
     def _effective_timeout(self, deadline: Deadline | None) -> float | None:
         timeout = self.policy.timeout

@@ -1,0 +1,69 @@
+"""``repro.obs`` -- zero-dependency tracing and metrics.
+
+The pipeline spans five subsystems (lint -> preflight -> inference ->
+compiled engine -> fault-tolerant fan-out) with per-subsystem
+introspection only; this package ties one query together end to end:
+
+* :mod:`repro.obs.tracing` -- ``Span``/``Tracer`` with nested spans,
+  attributes, events, Chrome ``trace_event`` export, and a no-op fast
+  path when no tracer is installed (the default);
+* :mod:`repro.obs.metrics` -- process-local counters, gauges, and
+  histograms, snapshotted into ``kernel_stats()["obs"]``.
+
+Enable with :func:`install_tracer` (CLI: ``repro ask --trace out.json``
+or ``repro trace``); everything stays deterministic under the
+transport's ``FakeClock``.  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from ..regex import kernel
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from .tracing import (
+    NOOP_SPAN,
+    Span,
+    SpanEvent,
+    Tracer,
+    active_tracer,
+    enabled,
+    event,
+    install_tracer,
+    set_attribute,
+    span,
+    traced,
+    uninstall_tracer,
+)
+
+# clear_caches() resets the metrics registry with the kernel caches
+# (info=None keeps it out of the hit/miss cache table); the full
+# metrics tree appears as its own kernel_stats() section instead.
+kernel.register_cache("obs.metrics", REGISTRY.reset)
+kernel.register_stats_section("obs", REGISTRY.snapshot)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "REGISTRY",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "active_tracer",
+    "enabled",
+    "event",
+    "install_tracer",
+    "set_attribute",
+    "span",
+    "traced",
+    "uninstall_tracer",
+]

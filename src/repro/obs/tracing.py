@@ -1,0 +1,379 @@
+"""Spans and tracers: one query, end to end.
+
+A :class:`Span` is a named, timed interval with attributes, point
+*events*, and child spans; a :class:`Tracer` keeps the stack of open
+spans so instrumented code never threads a context object around --
+``obs.span("name")`` finds the active tracer (or a shared no-op) by
+itself.
+
+Design rules, in order of importance:
+
+1. **Off by default, and free when off.**  No tracer installed means
+   ``span()`` returns the :data:`NOOP_SPAN` singleton: no allocation,
+   no clock read, no dict.  ``benchmarks/bench_obs.py`` gates the
+   disabled overhead below 3% of the mediator/evaluator serving paths.
+2. **Deterministic under test.**  A tracer takes any object with a
+   ``now() -> float`` method -- pass the transport's ``FakeClock`` and
+   every timestamp, duration, and exported ``ts`` is exact and
+   assertable.  The default clock is ``time.perf_counter``.
+3. **Standard export.**  ``to_chrome_trace()`` emits the Chrome
+   ``trace_event`` JSON format (complete ``"X"`` events for spans,
+   instant ``"i"`` events for span events), loadable in
+   ``chrome://tracing`` / Perfetto; ``render()`` gives the terminal
+   tree the CLI prints.
+
+When a span finishes, its duration is observed into the metrics
+registry (``span.<name>`` histogram, ``spans.<name>`` counter) -- the
+metrics side of the subsystem costs nothing extra to populate.
+
+See docs/OBSERVABILITY.md for the span catalogue and format details.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator, Protocol
+
+from .metrics import REGISTRY, MetricsRegistry
+
+
+class ReadableClock(Protocol):
+    """What a tracer needs from a clock (``FakeClock`` satisfies it)."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class _PerfClock:
+    """The default wall clock (monotonic, sub-microsecond)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    __slots__ = ("name", "ts", "attributes")
+
+    def __init__(self, name: str, ts: float, attributes: dict) -> None:
+        self.name = name
+        self.ts = ts
+        self.attributes = attributes
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.name!r} @{self.ts:.6f} {self.attributes})"
+
+
+class Span:
+    """A timed interval in the trace tree.
+
+    Use as a context manager (``with obs.span("x") as sp``); ``end``
+    stays ``None`` until exit.  An exception leaving the block is
+    recorded as the ``error`` attribute -- failed legs are visible in
+    the trace, not silently identical to successes.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "children",
+        "parent",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, start: float) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attributes: dict[str, Any] = {}
+        self.events: list[SpanEvent] = []
+        self.children: list["Span"] = []
+        self.parent: "Span | None" = None
+
+    # -- recording -------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        self.events.append(
+            SpanEvent(name, self.tracer.clock.now(), attributes)
+        )
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.attributes["error"] = f"{exc_type.__name__}: {exc}"
+        self.tracer._finish(self)
+        return False
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0 while still open)."""
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        stack = [self]
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def render(self, indent: str = "") -> str:
+        """An indented text tree (durations in ms, attrs inline)."""
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(self.attributes.items())
+        )
+        line = f"{indent}{self.name}  [{self.duration * 1e3:.3f}ms]"
+        if attrs:
+            line += f"  {attrs}"
+        lines = [line]
+        for event in self.events:
+            inside = " ".join(
+                f"{k}={v}" for k, v in sorted(event.attributes.items())
+            )
+            lines.append(
+                f"{indent}  * {event.name}"
+                + (f"  {inside}" if inside else "")
+            )
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration * 1e3:.3f}ms"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton handed out by :func:`span` when no tracer is active.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects one trace: a forest of spans plus derived metrics."""
+
+    def __init__(
+        self,
+        clock: ReadableClock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.clock: ReadableClock = clock if clock is not None else _PerfClock()
+        self.metrics = REGISTRY if metrics is None else metrics
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        #: spans started (cheap cardinality probe for the overhead gate)
+        self.span_count = 0
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str) -> Span:
+        """Open a span under the current one (use with ``with``)."""
+        opened = Span(self, name, self.clock.now())
+        self.span_count += 1
+        if self._stack:
+            opened.parent = self._stack[-1]
+            opened.parent.children.append(opened)
+        else:
+            self.roots.append(opened)
+        self._stack.append(opened)
+        return opened
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock.now()
+        # Exiting out of order (generators, leaked spans) must not
+        # corrupt the stack: pop through to the finished span.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        self.metrics.histogram(f"span.{span.name}").observe(span.duration)
+        self.metrics.counter(f"spans.{span.name}").inc()
+
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    # -- reading ---------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """Every span with the given name, preorder across roots."""
+        return [span for span in self.walk() if span.name == name]
+
+    def event_count(self) -> int:
+        return sum(len(span.events) for span in self.walk())
+
+    def render(self) -> str:
+        return "\n".join(root.render() for root in self.roots)
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` JSON object for this trace.
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        ``ts``/``dur``; span events become thread-scoped instants
+        (``"ph": "i"``).  Deterministic for a deterministic clock.
+        """
+        events: list[dict] = []
+        for span in self.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(span.attributes),
+                }
+            )
+            for event in span.events:
+                events.append(
+                    {
+                        "name": f"{span.name}/{event.name}",
+                        "cat": span.name.split(".", 1)[0],
+                        "ph": "i",
+                        "ts": round(event.ts * 1e6, 3),
+                        "s": "t",
+                        "pid": 1,
+                        "tid": 1,
+                        "args": dict(event.attributes),
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs"},
+        }
+
+    def dump_json(self, path: str, indent: int | None = 2) -> None:
+        """Write the Chrome trace to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=indent)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# the global switch
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Make ``tracer`` (or a fresh one) the process tracer; returns it."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active (if any)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def active_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Is a tracer installed right now?"""
+    return _ACTIVE is not None
+
+
+def span(name: str):
+    """A span under the active tracer, or the shared no-op.
+
+    The disabled path is one global read and one comparison -- this is
+    the call instrumented hot paths make unconditionally.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Add an event to the innermost open span (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.add_event(name, **attributes)
+
+
+def set_attribute(key: str, value: Any) -> None:
+    """Set an attribute on the innermost open span (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.set_attribute(key, value)
+
+
+class traced:
+    """``with traced() as tracer:`` -- scoped install/uninstall.
+
+    Restores the previously active tracer (if any) on exit, so traced
+    sections nest without clobbering each other.
+    """
+
+    def __init__(
+        self,
+        clock: ReadableClock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = Tracer(clock, metrics)
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.tracer
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False

@@ -38,6 +38,10 @@ _CACHES: Dict[str, tuple[_ClearFn, Optional[_InfoFn]]] = {}
 #: live-size probes for the interning tables, keyed by class name.
 _INTERN_SIZES: Dict[str, Callable[[], int]] = {}
 
+#: extra top-level ``kernel_stats()`` sections (e.g. ``repro.obs``
+#: folds its metrics snapshot in under ``"obs"``).
+_SECTIONS: Dict[str, _InfoFn] = {}
+
 
 def register_cache(name: str, clear: _ClearFn, info: Optional[_InfoFn] = None) -> None:
     """Register a kernel cache by name.
@@ -62,6 +66,16 @@ def register_lru(name: str, fn: Any) -> Any:
 def register_intern_table(class_name: str, size: Callable[[], int]) -> None:
     """Register a live-size probe for one AST class's intern table."""
     _INTERN_SIZES[class_name] = size
+
+
+def register_stats_section(name: str, info: _InfoFn) -> None:
+    """Add a named top-level section to ``kernel_stats()``.
+
+    Clearing is the section owner's concern (pair with
+    :func:`register_cache` when the data should reset with the
+    caches); re-registering a name replaces it.
+    """
+    _SECTIONS[name] = info
 
 
 def registered_caches() -> tuple[str, ...]:
@@ -109,11 +123,14 @@ def kernel_stats() -> Dict[str, Any]:
     for name, (_, info) in sorted(_CACHES.items()):
         if info is not None:
             caches[name] = info()
-    return {
+    stats: Dict[str, Any] = {
         "interning": interning,
         "caches": caches,
         "events": dict(sorted(EVENTS.items())),
     }
+    for name, info in sorted(_SECTIONS.items()):
+        stats[name] = info()
+    return stats
 
 
 def kernel_summary() -> Dict[str, int]:
@@ -153,4 +170,17 @@ def render_stats() -> str:
         lines.append("  events:")
         for name, count in stats["events"].items():
             lines.append(f"    {name:28s} {count:8d}")
+    obs = stats.get("obs")
+    if obs and any(obs.values()):
+        lines.append("  obs metrics:")
+        for name, value in obs.get("counters", {}).items():
+            lines.append(f"    {name:36s} {value:10d}")
+        for name, value in obs.get("gauges", {}).items():
+            lines.append(f"    {name:36s} {value:10g}")
+        for name, row in obs.get("histograms", {}).items():
+            lines.append(
+                f"    {name:36s} n={row['count']}"
+                f" mean={row['mean'] * 1e3:.3f}ms"
+                f" max={row['max'] * 1e3:.3f}ms"
+            )
     return "\n".join(lines)

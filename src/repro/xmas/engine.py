@@ -46,8 +46,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..regex import kernel
 from ..xmlmodel import Document, Element, fresh_id
+from ..xmlmodel import index as _index_module
 from ..xmlmodel.index import DocumentIndex, document_index
 from .ast import Condition, Query
 
@@ -232,7 +234,14 @@ def compile_query(query: Query) -> CompiledPlan:
         _plan_hits += 1
         return plan
     _plan_misses += 1
-    plan = _compile(query)
+    with obs.span("engine.compile") as sp:
+        sp.set_attribute("view", query.view_name)
+        plan = _compile(query)
+        sp.set_attribute("nodes", len(plan.nodes))
+        sp.set_attribute(
+            "strategy",
+            "pick-projection" if plan.projectable else "enumeration",
+        )
     _PLAN_CACHE[query] = plan
     return plan
 
@@ -546,24 +555,34 @@ def compiled_picked_elements(
 
 def evaluate_compiled(query: Query, document: Document) -> Document:
     """Compiled-backend ``evaluate`` (same contract as the legacy one)."""
-    picks = compiled_picked_elements(query, document)
-    root = Element(
-        query.view_name,
-        [element.deep_copy(fresh_ids=True) for element in picks],
-        fresh_id(),
-    )
-    return Document(root)
+    return evaluate_many_compiled(query, [document])
 
 
 def evaluate_many_compiled(query: Query, documents: list[Document]) -> Document:
     """Compiled-backend ``evaluate_many`` (one plan, many documents)."""
-    plan = compile_query(query)
-    picks: list[Element] = []
-    for document in documents:
-        picks.extend(compiled_picked_elements(query, document, plan))
-    root = Element(
-        query.view_name,
-        [element.deep_copy(fresh_ids=True) for element in picks],
-        fresh_id(),
-    )
-    return Document(root)
+    with obs.span("engine.evaluate") as sp:
+        index_hits = _index_module._index_hits
+        index_misses = _index_module._index_misses
+        plan = compile_query(query)
+        picks: list[Element] = []
+        for document in documents:
+            picks.extend(compiled_picked_elements(query, document, plan))
+        sp.set_attribute("view", query.view_name)
+        sp.set_attribute(
+            "strategy",
+            "pick-projection" if plan.projectable else "enumeration",
+        )
+        sp.set_attribute("docs", len(documents))
+        sp.set_attribute("picks", len(picks))
+        sp.set_attribute(
+            "index_hits", _index_module._index_hits - index_hits
+        )
+        sp.set_attribute(
+            "index_misses", _index_module._index_misses - index_misses
+        )
+        root = Element(
+            query.view_name,
+            [element.deep_copy(fresh_ids=True) for element in picks],
+            fresh_id(),
+        )
+        return Document(root)

@@ -6,7 +6,14 @@ content, no entities -- exactly the class of documents whose structure
 a DTD fully types.
 """
 
-from .element import Document, Element, elem, fresh_id, text_elem
+from .element import (
+    Document,
+    Element,
+    elem,
+    fresh_id,
+    mutation_stamp,
+    text_elem,
+)
 from .index import DocumentIndex, document_index
 from .parser import parse_document, parse_element
 from .serializer import serialize_document, serialize_element
@@ -18,6 +25,7 @@ __all__ = [
     "document_index",
     "elem",
     "fresh_id",
+    "mutation_stamp",
     "parse_document",
     "parse_element",
     "serialize_document",

@@ -25,6 +25,25 @@ def fresh_id() -> str:
     return f"e{next(_id_counter)}"
 
 
+# Process-wide mutation clock.  Every mutating API stamps its element
+# (and bumps this global), so caches keyed on object identity -- the
+# document index, chiefly -- can validate a hit in O(1) against the
+# global stamp and only fall back to a scan when *something* mutated
+# since they were built (see repro.xmlmodel.index.document_index).
+_mutations = 0
+
+
+def mutation_stamp() -> int:
+    """The current value of the global mutation clock."""
+    return _mutations
+
+
+def _bump_mutations() -> int:
+    global _mutations
+    _mutations += 1
+    return _mutations
+
+
 @dataclass(eq=False)
 class Element:
     """An XML element per Definition 2.1.
@@ -42,10 +61,66 @@ class Element:
     id: str = field(default_factory=fresh_id)
     #: non-ID attributes (Appendix A layer; empty under the core model)
     attributes: dict[str, str] = field(default_factory=dict)
+    #: value of the global mutation clock at this element's last
+    #: mutation (0 = never mutated); maintained by the mutating APIs
+    mutation_version: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("element name must be non-empty")
+
+    # -- mutation (version-stamped) -------------------------------------
+    #
+    # Documents served by sources are immutable in practice, which is
+    # what makes index caching sound -- but nothing stops a caller from
+    # editing a held tree.  Mutations MUST go through these APIs: they
+    # stamp the element so the cached document index can detect the
+    # edit instead of silently answering against the old tree.
+
+    def _touch(self) -> None:
+        self.mutation_version = _bump_mutations()
+
+    def append_child(self, child: "Element") -> None:
+        """Append a child element (element content only)."""
+        if isinstance(self.content, str):
+            raise ValueError(
+                f"element {self.name!r} has PCDATA content; cannot append"
+            )
+        self.content.append(child)
+        self._touch()
+
+    def insert_child(self, index: int, child: "Element") -> None:
+        """Insert a child element at ``index`` (element content only)."""
+        if isinstance(self.content, str):
+            raise ValueError(
+                f"element {self.name!r} has PCDATA content; cannot insert"
+            )
+        self.content.insert(index, child)
+        self._touch()
+
+    def remove_child(self, child: "Element") -> None:
+        """Remove a child element (by identity, then equality)."""
+        if isinstance(self.content, str):
+            raise ValueError(
+                f"element {self.name!r} has PCDATA content; cannot remove"
+            )
+        self.content.remove(child)
+        self._touch()
+
+    def set_content(self, content: Union[list["Element"], str]) -> None:
+        """Replace the whole content (children list or PCDATA string)."""
+        self.content = content
+        self._touch()
+
+    def set_text(self, value: str) -> None:
+        """Replace the content with a PCDATA string."""
+        self.content = value
+        self._touch()
+
+    def set_attribute(self, name: str, value: str) -> None:
+        """Set a non-ID attribute."""
+        self.attributes[name] = value
+        self._touch()
 
     @property
     def is_pcdata(self) -> bool:
@@ -183,6 +258,14 @@ class Document:
     """
 
     root: Element
+    #: global-mutation-clock value at the last document-level mutation
+    #: (``replace_root``); element edits stamp the elements themselves
+    mutation_version: int = field(default=0, init=False, repr=False)
+
+    def replace_root(self, root: Element) -> None:
+        """Swap the root element (a document-level, version-stamped edit)."""
+        self.root = root
+        self.mutation_version = _bump_mutations()
 
     @property
     def root_type(self) -> str:

@@ -28,7 +28,7 @@ import weakref
 from bisect import bisect_left
 
 from ..regex import kernel
-from .element import Document, Element
+from .element import Document, Element, mutation_stamp
 
 
 class DocumentIndex:
@@ -55,9 +55,11 @@ class DocumentIndex:
         "children",
         "by_label",
         "_label_sets",
+        "stamp",
     )
 
     def __init__(self, document: Document) -> None:
+        self.stamp = mutation_stamp()
         order: list[Element] = []
         parent: list[int] = []
         depth: list[int] = []
@@ -141,13 +143,15 @@ _INDEX_CACHE: "weakref.WeakKeyDictionary[Document, DocumentIndex]" = (
 )
 _index_hits = 0
 _index_misses = 0
+_index_invalidations = 0
 
 
 def _clear_index_cache() -> None:
-    global _index_hits, _index_misses
+    global _index_hits, _index_misses, _index_invalidations
     _INDEX_CACHE.clear()
     _index_hits = 0
     _index_misses = 0
+    _index_invalidations = 0
 
 
 kernel.register_cache(
@@ -156,23 +160,53 @@ kernel.register_cache(
     lambda: {
         "hits": _index_hits,
         "misses": _index_misses,
+        "invalidations": _index_invalidations,
         "size": len(_INDEX_CACHE),
     },
 )
 
 
+def _index_is_fresh(document: Document, index: DocumentIndex) -> bool:
+    """Whether a cached index still reflects its document.
+
+    An index built at mutation stamp ``s`` is stale iff the document
+    (``replace_root``) or any element *it indexed* mutated after ``s``.
+    Elements added after the build necessarily hang off a mutated
+    indexed parent (or a replaced root), so scanning ``index.order``
+    plus the document stamp is complete.
+    """
+    if document.mutation_version > index.stamp:
+        return False
+    return all(el.mutation_version <= index.stamp for el in index.order)
+
+
 def document_index(document: Document) -> DocumentIndex:
-    """The (cached) index of a document.
+    """The (cached, mutation-validated) index of a document.
 
     Keyed weakly on the document object: re-indexing the same held
     document is a dict probe, and dropped documents free their index.
+    A hit is validated against the global mutation clock -- O(1) when
+    nothing in the process mutated since the build (the overwhelmingly
+    common case); one scan re-arms that fast path after unrelated
+    mutations; an actual edit of this document invalidates and
+    rebuilds (counted as ``invalidations`` in the cache stats).
     """
-    global _index_hits, _index_misses
+    global _index_hits, _index_misses, _index_invalidations
     index = _INDEX_CACHE.get(document)
     if index is not None:
-        _index_hits += 1
-        return index
-    _index_misses += 1
+        stamp = mutation_stamp()
+        if stamp == index.stamp:
+            _index_hits += 1
+            return index
+        if _index_is_fresh(document, index):
+            # Mutations elsewhere in the process; this document is
+            # untouched.  Re-arm the O(1) fast path at today's stamp.
+            index.stamp = stamp
+            _index_hits += 1
+            return index
+        _index_invalidations += 1
+    else:
+        _index_misses += 1
     index = DocumentIndex(document)
     _INDEX_CACHE[document] = index
     return index

@@ -313,3 +313,136 @@ class TestBreakerThroughTransport:
         # tripping open aborts the remaining 8 attempts
         assert transport.stats.attempts == 2
         assert transport.breaker.state is BreakerState.OPEN
+
+
+class TestHalfOpenProbeRelease:
+    """Regression: half-open probe slots must be released on every exit.
+
+    ``allow()`` takes a probe slot in HALF_OPEN.  The transport paths
+    that exit *without* recording a breaker verdict — a shared deadline
+    that expired before the source was tried, or a non-transport
+    exception escaping the wrapper — used to leak the slot; with
+    ``half_open_probes`` slots leaked the breaker rejected every probe
+    forever (HALF_OPEN has no re-arm timer).
+    """
+
+    def open_then_half_open(self, clock, documents):
+        """A transport whose breaker sits freshly in HALF_OPEN, with
+        the fault schedule exhausted (further calls succeed)."""
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(schedule=[ERROR] * 4),
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+            breaker=BreakerPolicy(
+                window=4, min_calls=4, failure_rate=0.5, reset_timeout=5.0
+            ),
+        )
+        for _ in range(2):
+            with pytest.raises(SourceUnavailable):
+                transport.call(q3())
+        assert transport.breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert transport.breaker.state is BreakerState.HALF_OPEN
+        return transport
+
+    def test_deadline_expiry_releases_probe_slot(self, clock, documents):
+        transport = self.open_then_half_open(clock, documents)
+        # The fan-out budget is already spent: the call is admitted as
+        # the probe, then dies on the deadline check without a verdict.
+        expired = Deadline.after(clock, 0.0)
+        with pytest.raises(SourceTimeout):
+            transport.call(q3(), expired)
+        assert transport.breaker.state is BreakerState.HALF_OPEN
+        # The breaker was not charged for the fan-out's problem ...
+        assert transport.breaker.times_opened == 1
+        # ... and the probe slot came back: the next call is admitted,
+        # succeeds, and closes the breaker.  (Before the fix it was
+        # rejected here, and on every later call, forever.)
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.breaker.state is BreakerState.CLOSED
+
+    def test_foreign_exception_releases_probe_slot(
+        self, clock, documents, monkeypatch
+    ):
+        transport = self.open_then_half_open(clock, documents)
+        original = transport.source.query
+
+        def explode(query):
+            raise RuntimeError("wrapper bug, not a transport failure")
+
+        monkeypatch.setattr(transport.source, "query", explode)
+        with pytest.raises(RuntimeError):
+            transport.call(q3())
+        assert transport.breaker.state is BreakerState.HALF_OPEN
+        monkeypatch.setattr(transport.source, "query", original)
+        answer = transport.call(q3())
+        assert answer.root.name == "publist"
+        assert transport.breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_still_reopens(self, clock, documents):
+        # The release discipline must not weaken normal accounting: a
+        # probe that fails with a real verdict reopens the breaker.
+        transport = make_transport(
+            clock,
+            documents,
+            plan=FaultPlan(schedule=[ERROR] * 5),
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+            breaker=BreakerPolicy(
+                window=4, min_calls=4, failure_rate=0.5, reset_timeout=5.0
+            ),
+        )
+        for _ in range(2):
+            with pytest.raises(SourceUnavailable):
+                transport.call(q3())
+        clock.advance(5.0)
+        with pytest.raises(SourceUnavailable):
+            transport.call(q3())  # the probe itself fails
+        assert transport.breaker.state is BreakerState.OPEN
+        assert transport.breaker.times_opened == 2
+
+    def test_release_probe_unit(self, clock):
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                window=4, min_calls=2, failure_rate=0.5, reset_timeout=10.0
+            ),
+            clock,
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()  # the single probe slot is taken
+        breaker.release_probe()
+        assert breaker.allow()  # and given back
+        # outside HALF_OPEN release_probe is a no-op
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.release_probe()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trip_resets_probe_accounting(self, clock):
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                window=4,
+                min_calls=2,
+                failure_rate=0.5,
+                reset_timeout=10.0,
+                half_open_probes=2,
+            ),
+            clock,
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe 1 of 2 in flight
+        breaker.record_failure()  # probe verdict: reopen
+        assert breaker.state is BreakerState.OPEN
+        assert breaker._half_open_inflight == 0
+        assert breaker._half_open_successes == 0
+        clock.advance(10.0)
+        # the fresh half-open window offers both slots again
+        assert breaker.allow()
+        assert breaker.allow()

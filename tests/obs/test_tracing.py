@@ -1,0 +1,233 @@
+"""Tests for spans, tracers, the no-op fast path, and Chrome export.
+
+Every timed assertion runs on the transport's ``FakeClock`` -- the
+tracer accepts any object with ``now()``, which is what makes traces
+deterministic and exactly assertable.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.mediator import FakeClock
+from repro.obs import MetricsRegistry, Tracer
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock, metrics=MetricsRegistry())
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    yield
+    assert obs.active_tracer() is None, "a test leaked an installed tracer"
+
+
+class TestSpans:
+    def test_nesting_and_durations(self, clock, tracer):
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+            assert inner.duration == pytest.approx(0.25)
+        (outer,) = tracer.roots
+        assert outer.duration == pytest.approx(1.25)
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.children[0].parent is outer
+
+    def test_attributes_and_events(self, clock, tracer):
+        with tracer.span("call") as span:
+            span.set_attribute("source", "site0")
+            clock.advance(0.5)
+            span.add_event("attempt", number=1)
+        assert span.attributes == {"source": "site0"}
+        (event,) = span.events
+        assert event.name == "attempt"
+        assert event.ts == pytest.approx(0.5)
+        assert event.attributes == {"number": 1}
+
+    def test_exception_recorded_as_error_attribute(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.end is not None  # still finished
+
+    def test_sibling_spans(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        (parent,) = tracer.roots
+        assert [c.name for c in parent.children] == ["first", "second"]
+
+    def test_walk_and_find(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.walk()] == ["a", "b", "b"]
+        assert len(tracer.find("b")) == 2
+
+    def test_render_tree(self, clock, tracer):
+        with tracer.span("outer") as span:
+            span.set_attribute("k", "v")
+            span.add_event("tick")
+            clock.advance(0.002)
+        rendered = tracer.render()
+        assert "outer" in rendered
+        assert "[2.000ms]" in rendered
+        assert "k=v" in rendered
+        assert "* tick" in rendered
+
+
+class TestSpanMetrics:
+    def test_finish_observes_histogram_and_counter(self, clock, tracer):
+        with tracer.span("work"):
+            clock.advance(0.5)
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["counters"]["spans.work"] == 1
+        assert snapshot["histograms"]["span.work"]["mean"] == pytest.approx(
+            0.5
+        )
+
+
+class TestGlobalSwitch:
+    def test_disabled_returns_noop_singleton(self):
+        assert not obs.enabled()
+        assert obs.span("anything") is obs.NOOP_SPAN
+        # the no-op absorbs the full span API
+        with obs.span("anything") as span:
+            span.set_attribute("k", "v")
+            span.add_event("e", n=1)
+        obs.event("ignored")
+        obs.set_attribute("also", "ignored")
+
+    def test_install_uninstall(self, clock):
+        tracer = obs.install_tracer(Tracer(clock=clock, metrics=MetricsRegistry()))
+        try:
+            assert obs.enabled()
+            with obs.span("traced"):
+                obs.event("seen", n=2)
+                obs.set_attribute("k", "v")
+        finally:
+            assert obs.uninstall_tracer() is tracer
+        assert not obs.enabled()
+        (root,) = tracer.roots
+        assert root.attributes == {"k": "v"}
+        assert root.events[0].attributes == {"n": 2}
+
+    def test_traced_scope_restores_previous(self, clock):
+        outer = obs.install_tracer(Tracer(clock=clock, metrics=MetricsRegistry()))
+        try:
+            with obs.traced(clock=clock, metrics=MetricsRegistry()) as inner:
+                assert obs.active_tracer() is inner
+                with obs.span("inner-span"):
+                    pass
+            assert obs.active_tracer() is outer
+            assert inner.find("inner-span")
+            assert not outer.find("inner-span")
+        finally:
+            obs.uninstall_tracer()
+
+
+class TestChromeExport:
+    def test_event_shapes(self, clock, tracer):
+        clock.advance(1.0)
+        with tracer.span("transport.call") as span:
+            span.set_attribute("source", "site0")
+            clock.advance(0.25)
+            span.add_event("attempt", number=1)
+            clock.advance(0.25)
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        complete, instant = trace["traceEvents"]
+        assert complete == {
+            "name": "transport.call",
+            "cat": "transport",
+            "ph": "X",
+            "ts": 1_000_000.0,
+            "dur": 500_000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": {"source": "site0"},
+        }
+        assert instant["ph"] == "i"
+        assert instant["name"] == "transport.call/attempt"
+        assert instant["ts"] == 1_250_000.0
+        assert instant["args"] == {"number": 1}
+
+    def test_dump_json_round_trips(self, clock, tracer, tmp_path):
+        with tracer.span("root"):
+            clock.advance(0.1)
+        path = tmp_path / "trace.json"
+        tracer.dump_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["otherData"]["generator"] == "repro.obs"
+        assert len(data["traceEvents"]) == 1
+
+
+class TestInstrumentedPaths:
+    def test_inference_spans_appear(self, clock):
+        from repro.inference import infer_view_dtd
+        from repro.workloads.paper import d1, q3
+
+        with obs.traced(clock=clock, metrics=MetricsRegistry()) as tracer:
+            infer_view_dtd(d1(), q3())
+        (root,) = [s for s in tracer.walk() if s.parent is None]
+        assert root.name == "inference.infer_view_dtd"
+        names = {s.name for s in tracer.walk()}
+        assert "inference.tighten" in names
+        assert "inference.refine" in names
+        assert "inference.merge" in names
+        assert "inference.infer_list_type" in names
+        tighten_span = tracer.find("inference.tighten")[0]
+        assert tighten_span.attributes["classification"] == "satisfiable"
+        # nested under the pipeline span, not a sibling forest
+        assert tighten_span.parent is root
+
+    def test_transport_span_records_retries(self, clock):
+        import random
+
+        from repro.dtd import generate_document
+        from repro.mediator import (
+            FaultPlan,
+            FaultySource,
+            RetryPolicy,
+            SourceTransport,
+            TransportPolicy,
+        )
+        from repro.workloads.paper import d1, q3
+
+        rng = random.Random(3)
+        documents = [generate_document(d1(), rng)]
+        source = FaultySource(
+            "dept",
+            d1(),
+            documents,
+            plan=FaultPlan(fail_first=1),
+            clock=clock,
+            validate=False,
+        )
+        transport = SourceTransport(
+            source,
+            TransportPolicy(retry=RetryPolicy(attempts=3, jitter=0.0)),
+            clock,
+        )
+        with obs.traced(clock=clock, metrics=MetricsRegistry()) as tracer:
+            transport.call(q3())
+        (span,) = tracer.find("transport.call")
+        assert span.attributes["source"] == "dept"
+        assert span.attributes["outcome"] == "success"
+        assert span.attributes["attempts"] == 2
+        event_names = [e.name for e in span.events]
+        assert event_names == ["attempt", "failure", "backoff", "attempt"]

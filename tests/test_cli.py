@@ -284,3 +284,77 @@ class TestXmlize:
         )
         assert main(["xmlize", "--dtd", str(dtd_file)]) == 1
         assert "impossible" in capsys.readouterr().out
+
+
+class TestTrace:
+    CLIENT = "picks = SELECT N WHERE <answer> <professor> N:<name/> </> </>"
+
+    def test_ask_trace_writes_chrome_json(self, files, tmp_path, capsys):
+        import json
+
+        client_file = tmp_path / "client.xmas"
+        client_file.write_text(self.CLIENT)
+        trace_file = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "ask",
+                    "--dtd",
+                    files["dtd"],
+                    "--view",
+                    files["query"],
+                    "--query",
+                    str(client_file),
+                    "--trace",
+                    str(trace_file),
+                    files["doc"],
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "trace written to" in err
+        data = json.loads(trace_file.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in data["traceEvents"]}
+        assert "mediator.register_view" in names
+        assert "inference.infer_view_dtd" in names
+        assert "engine.evaluate" in names
+        assert "mediator.query_view" in names
+        assert "transport.call" in names
+
+    def test_trace_flaky_workload(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "flaky.json"
+        assert (
+            main(["trace", "--workload", "flaky", "--out", str(out_file)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "mediator.materialize_union" in out
+        data = json.loads(out_file.read_text())
+        events = data["traceEvents"]
+        spans = {e["name"] for e in events if e["ph"] == "X"}
+        assert "transport.call" in spans
+        assert "engine.evaluate" in spans
+        # the flaky federation retries, so attempt instants must appear
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert any(name.endswith("/attempt") for name in instants)
+
+    def test_trace_paper_workload(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "paper.json"
+        assert (
+            main(["trace", "--workload", "paper", "--out", str(out_file)]) == 0
+        )
+        data = json.loads(out_file.read_text())
+        spans = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "inference.infer_view_dtd" in spans
+        assert "mediator.query_view" in spans
+
+    def test_trace_uninstalls_tracer_on_exit(self, tmp_path):
+        from repro import obs
+
+        assert main(["trace", "--out", str(tmp_path / "t.json")]) == 0
+        assert obs.active_tracer() is None
