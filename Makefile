@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json examples lint check-docs trace-smoke verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json examples lint check-docs trace-smoke serve-smoke verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,7 +19,7 @@ bench:
 bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
 		benchmarks/bench_evaluator.py benchmarks/bench_faults.py \
-		benchmarks/bench_obs.py -q \
+		benchmarks/bench_obs.py benchmarks/bench_parallel.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -55,6 +55,17 @@ bench-engine-json:
 		--current .bench_engine_compiled.json \
 		--output BENCH_PR3.json \
 		--require-speedup 3 --require-count 3
+
+# The PR7 fan-out gate: run the parallel-mediator benches (inline
+# overhead < 5%, 4-source fan-out <= 1.3x the slowest source, virtual
+# economics, serve throughput) and write the BENCH_PR7.json trajectory
+# file.  See docs/PERFORMANCE.md.
+bench-parallel-json:
+	pytest benchmarks/bench_parallel.py -q --benchmark-only \
+		--benchmark-disable-gc \
+		--benchmark-json=.bench_parallel.json
+	python benchmarks/compare_bench.py merge .bench_parallel.json \
+		--output BENCH_PR7.json
 
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`
@@ -95,9 +106,15 @@ check-docs:
 trace-smoke:
 	python scripts/trace_smoke.py
 
+# Drive a scripted `repro serve` client session over real sockets:
+# the healthy paper workload (clean unions, bench burst) and the flaky
+# workload (degraded answers, skipped sources, client shutdown).
+serve-smoke:
+	python scripts/serve_smoke.py
+
 # Default local gate: unit tests, static+workload lint, docs links,
-# benchmark smoke, trace smoke.
-check: test lint check-docs bench-smoke trace-smoke
+# benchmark smoke, trace smoke, serve smoke.
+check: test lint check-docs bench-smoke trace-smoke serve-smoke
 
 verify: test bench examples
 

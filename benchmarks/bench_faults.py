@@ -21,10 +21,9 @@ are free; the timings here measure the *machinery*, not the faults.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
+from measure import overhead_ratio
 from repro.dtd import validate_document
 from repro.errors import SourceUnavailable
 from repro.mediator import (
@@ -61,20 +60,11 @@ class TestHappyPathOverhead:
         source.query(query)
         transport.call(query)
 
-        def clock_path(fn, repeat: int = 40, rounds: int = 5) -> float:
-            best = float("inf")
-            for _ in range(rounds):
-                start = time.perf_counter()
-                for _ in range(repeat):
-                    fn(query)
-                best = min(best, (time.perf_counter() - start) / repeat)
-            return best
-
-        direct = clock_path(source.query)
-        wrapped = clock_path(transport.call)
+        direct, wrapped, overhead = overhead_ratio(
+            lambda: source.query(query), lambda: transport.call(query)
+        )
         answer = benchmark(lambda: transport.call(query))
         assert answer.root.name == "journals"
-        overhead = wrapped / direct - 1.0
         benchmark.extra_info["direct_us"] = round(direct * 1e6, 2)
         benchmark.extra_info["wrapped_us"] = round(wrapped * 1e6, 2)
         benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)

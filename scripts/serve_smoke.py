@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Serve smoke: the `repro serve` front end answers a scripted session.
+
+Starts a :class:`MediatorServer` on an OS-assigned port for each
+built-in workload and drives the full client surface over a real
+socket — the same code path `repro serve` / `repro bench-serve` use:
+
+1. **paper** — healthy sources with a parallel fan-out pool: ping,
+   views, a clean (non-degraded) union, per-source health, server
+   stats, and a small concurrent bench burst must all succeed.
+2. **flaky** — the standard fault plans (dead last site): the union
+   must come back *degraded* with the dead source reported in
+   ``skipped``, health must show non-closed breaker activity, and the
+   server must keep answering afterwards.
+
+Both sessions end with a client-initiated ``shutdown`` and verify the
+port actually stops accepting connections.
+
+Exit status: 0 when every check passes, 1 otherwise.  Wired into
+``make serve-smoke`` / ``make check``.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.mediator import FanoutPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    MediatorServer,
+    RequestFailed,
+    ServeClient,
+    ServePolicy,
+    build_serve_workload,
+    run_bench,
+)
+
+VIEW = "journals"
+
+failures: list[str] = []
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"{'ok' if ok else 'FAIL'}  {label}")
+    if not ok:
+        failures.append(label)
+
+
+def port_is_closed(host: str, port: int) -> bool:
+    try:
+        socket.create_connection((host, port), timeout=0.5).close()
+    except OSError:
+        return True
+    return False
+
+
+def smoke_paper() -> None:
+    mediator = build_serve_workload(
+        "paper", n_sources=3, fanout=FanoutPolicy(max_workers=3)
+    )
+    server = MediatorServer(mediator, ServePolicy(max_inflight=8)).start()
+    host, port = server.address
+    try:
+        with ServeClient(host, port) as client:
+            check("paper: ping", client.ping())
+            views = client.views()
+            check("paper: serves the union view", VIEW in views)
+            check(
+                "paper: view lists its sources",
+                views.get(VIEW, {}).get("sources")
+                == ["dept0", "dept1", "dept2"],
+            )
+            check(
+                "paper: view exposes its inferred DTD",
+                "<!ELEMENT" in views.get(VIEW, {}).get("dtd", ""),
+            )
+            response = client.union(VIEW, budget=5.0)
+            check("paper: union answers", f"<{VIEW}>" in response["answer"])
+            check("paper: union not degraded", response["degraded"] is False)
+            health = client.health()
+            check(
+                "paper: all breakers closed",
+                all(
+                    entry["breaker"] == "closed"
+                    for entry in health.values()
+                ),
+            )
+            stats = client.stats()
+            check("paper: stats count served", stats.get("served", 0) >= 1)
+        bench = run_bench(host, port, VIEW, requests=12, concurrency=4)
+        check("paper: bench answers all", bench["answered"] == 12)
+        check("paper: bench no failures", bench["failures"] == 0)
+        with ServeClient(host, port) as client:
+            client.shutdown()
+        server.serve_forever()
+        check("paper: shutdown closes the port", port_is_closed(host, port))
+    finally:
+        server.stop()
+
+
+def smoke_flaky() -> None:
+    # Standard fault plans: healthy site0, flaky middle, dead last.
+    mediator = build_serve_workload(
+        "flaky", n_sources=3, fanout=FanoutPolicy(max_workers=3)
+    )
+    server = MediatorServer(mediator, ServePolicy()).start()
+    host, port = server.address
+    try:
+        with ServeClient(host, port) as client:
+            check("flaky: ping", client.ping())
+            response = client.union(VIEW, budget=5.0)
+            check("flaky: union answers", f"<{VIEW}>" in response["answer"])
+            check("flaky: answer is degraded", response["degraded"] is True)
+            check(
+                "flaky: dead source reported skipped",
+                "site2" in response.get("skipped", []),
+            )
+            check(
+                "flaky: surviving sources reported answered",
+                "site0" in response.get("answered", []),
+            )
+            health = client.health()
+            check(
+                "flaky: health reports the dead source's failures",
+                health.get("site2", {}).get("failures", 0) > 0,
+            )
+            # The server keeps serving after a degraded answer.
+            again = client.union(VIEW, budget=5.0)
+            check("flaky: still serving", f"<{VIEW}>" in again["answer"])
+            # A strict client may refuse degraded answers outright.
+            strict_failed = False
+            try:
+                client.union(VIEW, budget=5.0, degrade=False)
+            except RequestFailed:
+                strict_failed = True
+            check("flaky: degrade=false surfaces the error", strict_failed)
+            client.shutdown()
+        server.serve_forever()
+        check("flaky: shutdown closes the port", port_is_closed(host, port))
+    finally:
+        server.stop()
+
+
+def run() -> int:
+    smoke_paper()
+    smoke_flaky()
+    if failures:
+        print(f"\n{len(failures)} serve smoke failure(s)")
+        return 1
+    print("\nserve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

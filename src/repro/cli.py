@@ -13,6 +13,10 @@ Commands:
 * ``lint``      -- static diagnostics for DTDs and queries
 * ``trace``     -- run a built-in workload under the tracer and export
   a Chrome ``trace_event`` JSON file (see docs/OBSERVABILITY.md)
+* ``serve``     -- keep a warm mediator behind a TCP socket speaking
+  the JSON-line protocol, with admission control (docs/SERVING.md)
+* ``bench-serve`` -- drive concurrent load at a ``serve`` instance and
+  print a JSON throughput/latency summary
 
 ``infer``, ``evaluate``, and ``ask`` additionally accept
 ``--trace FILE``: the whole command runs under an installed tracer and
@@ -311,6 +315,87 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _serve_fanout(args: argparse.Namespace):
+    from .mediator import FanoutPolicy
+
+    if args.workers <= 0:
+        return None
+    return FanoutPolicy(max_workers=args.workers)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import (
+        MediatorServer,
+        ServePolicy,
+        build_serve_workload,
+    )
+
+    mediator = build_serve_workload(
+        args.workload,
+        n_sources=args.sources,
+        n_docs=args.docs,
+        latency=args.latency,
+        fanout=_serve_fanout(args),
+    )
+    policy = ServePolicy(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_budget=args.budget,
+        per_source_concurrency=args.per_source_concurrency,
+    )
+    server = MediatorServer(
+        mediator, policy, host=args.host, port=args.port
+    )
+    server.start()
+    host, port = server.address
+    print(
+        f"serving workload {args.workload!r} "
+        f"({args.sources} sources) on {host}:{port}",
+        file=sys.stderr,
+    )
+    print(f"{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; stopping", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .serve import ServeClient, run_bench
+
+    with ServeClient(args.host, args.port) as client:
+        client.ping()
+        views = client.views()
+        view = args.view or next(iter(sorted(views)))
+        if view not in views:
+            print(
+                f"error: server does not serve view {view!r} "
+                f"(it serves {sorted(views)})",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_bench(
+        args.host,
+        args.port,
+        view,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        budget=args.budget,
+    )
+    result["view"] = view
+    if args.shutdown:
+        with ServeClient(args.host, args.port) as client:
+            result["server_stats"] = client.stats()
+            client.shutdown()
+    print(json_module.dumps(result, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -574,6 +659,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_stats_option(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a warm mediator over the JSON-line protocol",
+        description=(
+            "Keep a built-in federation warm (plans compiled, indexes"
+            " built, fan-out pool up) behind a TCP socket speaking the"
+            " JSON-line protocol of docs/SERVING.md, with admission"
+            " control.  Prints host:port on stdout once listening"
+            " (use --port 0 to pick a free port)."
+        ),
+    )
+    p.add_argument(
+        "--workload",
+        choices=["flaky", "paper"],
+        default="paper",
+        help="which federation to serve (default: paper)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = pick a free port)",
+    )
+    p.add_argument("--sources", type=int, default=4, metavar="N")
+    p.add_argument("--docs", type=int, default=2, metavar="N")
+    p.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="injected per-call source latency (flaky workload only)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="parallel fan-out workers (0 = sequential fan-out)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrently evaluating requests (default: 8)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot (default: 16)",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="default per-request deadline budget (default: 2)",
+    )
+    p.add_argument(
+        "--per-source-concurrency",
+        type=int,
+        default=4,
+        help="per-source transport gate (0 disables; default: 4)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="drive load at a running repro serve instance",
+        description=(
+            "Connect concurrent clients to a running `repro serve`"
+            " instance, issue union requests, and print a JSON summary:"
+            " throughput, latency quantiles, degradation and admission"
+            "-drop counts."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--view",
+        default=None,
+        help="union view to request (default: the server's first view)",
+    )
+    p.add_argument("--requests", type=int, default=100, metavar="N")
+    p.add_argument("--concurrency", type=int, default=4, metavar="N")
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline budget (default: server default)",
+    )
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down after the run",
+    )
+    p.set_defaults(func=_cmd_bench_serve)
 
     return parser
 

@@ -24,6 +24,7 @@ from .mediator import (
     UnionViewRegistration,
     ViewRegistration,
 )
+from .parallel import FanoutPolicy, LegResult, ParallelTransport
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
 from .transport import (
@@ -51,11 +52,14 @@ __all__ = [
     "DegradationReport",
     "ERROR",
     "FakeClock",
+    "FanoutPolicy",
     "FaultPlan",
     "FaultSpec",
     "FaultySource",
+    "LegResult",
     "Mediator",
     "OK",
+    "ParallelTransport",
     "QueryBuilder",
     "QueryPlan",
     "QueryStats",

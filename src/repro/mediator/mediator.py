@@ -14,6 +14,7 @@ valid sub-conditions are pruned before evaluation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .. import obs
@@ -32,6 +33,7 @@ from ..inference import (
 )
 from ..xmas import CompiledPlan, Query, compile_query, evaluate_many
 from ..xmlmodel import Document
+from .parallel import FanoutPolicy, ParallelTransport
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
 from .transport import (
@@ -156,6 +158,7 @@ class Mediator:
         mode: InferenceMode = InferenceMode.EXACT,
         policy: TransportPolicy | None = None,
         clock: Clock | None = None,
+        fanout: FanoutPolicy | None = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -163,16 +166,41 @@ class Mediator:
         #: every registered source; see docs/RELIABILITY.md
         self.policy = policy or TransportPolicy()
         self.clock: Clock = clock or SystemClock()
+        #: parallel union fan-out (None = the legacy sequential loop,
+        #: which later legs' deadline arithmetic depends on — existing
+        #: single-threaded callers keep byte-identical behavior)
+        self.fanout = fanout
+        self.parallel: ParallelTransport | None = (
+            ParallelTransport(self.clock, fanout)
+            if fanout is not None
+            else None
+        )
         self.sources: dict[str, Source] = {}
         self.transports: dict[str, SourceTransport] = {}
         self.views: dict[str, ViewRegistration] = {}
         self.union_views: dict[str, "UnionViewRegistration"] = {}
         self.stats = QueryStats()
+        #: counter increments on concurrently-served paths (repro.serve
+        #: answers one mediator from many handler threads)
+        self._stats_lock = threading.Lock()
         #: the diagnostics of the most recent pre-flight (inspection aid)
         self.last_preflight = None
-        #: what the most recent answer left out (None = complete)
-        self.last_degradation: DegradationReport | None = None
+        self._tls = threading.local()
         self._preflight_cache: dict = {}
+
+    @property
+    def last_degradation(self) -> DegradationReport | None:
+        """What this thread's most recent answer left out (None = complete).
+
+        Thread-local so concurrent server requests each observe their
+        own request's degradation, not a sibling's; single-threaded
+        callers see the classic "most recent answer" semantics.
+        """
+        return getattr(self._tls, "degradation", None)
+
+    @last_degradation.setter
+    def last_degradation(self, report: DegradationReport | None) -> None:
+        self._tls.degradation = report
 
     # -- administration --------------------------------------------------
 
@@ -188,6 +216,22 @@ class Mediator:
     def deadline(self, budget: float) -> Deadline:
         """A fan-out deadline ``budget`` seconds from now (this clock)."""
         return Deadline.after(self.clock, budget)
+
+    def warm(self) -> int:
+        """Pre-build every source's document indexes (serving state).
+
+        View plans are compiled at registration already; after this,
+        the first request is as fast as the thousandth.  Returns the
+        number of documents indexed.
+        """
+        return sum(
+            source.warm_indexes() for source in self.sources.values()
+        )
+
+    def close(self) -> None:
+        """Release the parallel fan-out worker pool (idempotent)."""
+        if self.parallel is not None:
+            self.parallel.close()
 
     def health(self) -> dict[str, dict]:
         """Per-source transport health: breaker states, retries, ...
@@ -405,7 +449,8 @@ class Mediator:
             view_name=answer_name,
             skipped={source_name: f"{error.code}: {error}"},
         )
-        self.stats.degraded_answers += 1
+        with self._stats_lock:
+            self.stats.degraded_answers += 1
         self.last_degradation = report
         return Document(Element(answer_name, [], fresh_id()))
 
@@ -525,15 +570,24 @@ class Mediator:
         """Evaluate a union view across its sources (fault-tolerant).
 
         Each branch is one fan-out leg through its source's transport;
-        all legs share ``deadline``.  When a leg fails permanently and
-        ``degrade`` is true, its branch is skipped and the *partial*
-        answer — the surviving branches' picks, in branch order — is
-        returned, annotated in ``last_degradation``.  The partial
-        answer is validated against the inferred union view DTD first:
-        if dropping the branch would make the answer violate the view
-        DTD the mediator raises :class:`DegradedAnswer` rather than
-        return an unsound document (the soundness argument is spelled
-        out in docs/RELIABILITY.md).
+        all legs share ``deadline``.  With a :class:`FanoutPolicy`
+        configured the legs run concurrently on the mediator's
+        :class:`~repro.mediator.parallel.ParallelTransport` — a union
+        over N sources costs the max, not the sum, of their latencies —
+        otherwise they run in the legacy sequential loop.  Either way
+        the answer (picks in branch order), the degradation report,
+        and the ``degrade=False`` error (the first failing branch in
+        branch order) are the same.
+
+        When a leg fails permanently and ``degrade`` is true, its
+        branch is skipped and the *partial* answer — the surviving
+        branches' picks, in branch order — is returned, annotated in
+        ``last_degradation``.  The partial answer is validated against
+        the inferred union view DTD first: if dropping the branch
+        would make the answer violate the view DTD the mediator raises
+        :class:`DegradedAnswer` rather than return an unsound document
+        (the soundness argument is spelled out in
+        docs/RELIABILITY.md).
         """
         from ..xmlmodel import Element, fresh_id
 
@@ -542,19 +596,45 @@ class Mediator:
         report = DegradationReport(view_name=view_name)
         picks: list = []
         first_error: MediatorError | None = None
+        legs = list(
+            zip(registration.branches, registration.source_names)
+        )
+        use_parallel = self.parallel is not None and len(legs) > 1
         with obs.span("mediator.materialize_union") as sp:
             sp.set_attribute("view", view_name)
             sp.set_attribute("sources", len(registration.source_names))
-            for branch, source_name in zip(
-                registration.branches, registration.source_names
-            ):
-                try:
-                    answer = self._call_source(
-                        source_name, branch.query, deadline
-                    )
-                except (SourceTimeout, SourceUnavailable) as error:
+            sp.set_attribute(
+                "fanout", "parallel" if use_parallel else "sequential"
+            )
+            if use_parallel:
+                results = self.parallel.fan_out(
+                    [
+                        (self.transports[source_name], branch.query)
+                        for branch, source_name in legs
+                    ],
+                    deadline,
+                )
+                outcomes = [
+                    (source_name, result.answer, result.error)
+                    for (_, source_name), result in zip(legs, results)
+                ]
+            else:
+                outcomes = []
+                for branch, source_name in legs:
+                    try:
+                        answer = self._call_source(
+                            source_name, branch.query, deadline
+                        )
+                    except (SourceTimeout, SourceUnavailable) as error:
+                        if not degrade:
+                            raise
+                        outcomes.append((source_name, None, error))
+                        continue
+                    outcomes.append((source_name, answer, None))
+            for source_name, answer, error in outcomes:
+                if error is not None:
                     if not degrade:
-                        raise
+                        raise error
                     if first_error is None:
                         first_error = error
                     report.skipped[source_name] = f"{error.code}: {error}"
@@ -581,7 +661,8 @@ class Mediator:
                         document=document,
                         report=report,
                     ) from first_error
-                self.stats.degraded_answers += 1
+                with self._stats_lock:
+                    self.stats.degraded_answers += 1
                 self.last_degradation = report
         return document
 

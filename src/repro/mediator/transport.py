@@ -32,7 +32,9 @@ answers are documented in ``docs/RELIABILITY.md``.
 
 from __future__ import annotations
 
+import heapq
 import random
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -79,22 +81,109 @@ class FakeClock:
     Deterministic by construction — the test suite never sleeps for
     real.  ``sleeps`` records every sleep request so backoff schedules
     can be asserted exactly.
+
+    **Virtual-time scheduling.**  The parallel fan-out
+    (:mod:`repro.mediator.parallel`) runs source calls on real worker
+    threads; to keep them deterministic the clock doubles as a
+    virtual-time scheduler.  The dispatching thread *reserves* worker
+    slots up front (:meth:`reserve_workers`), each worker *claims* one
+    as its first act (:meth:`claim_worker`) and *releases* it when its
+    work queue is drained (:meth:`release_worker`).  A ``sleep`` from a
+    claimed worker does not advance time — it parks the thread on a
+    wake time.  Only when **every** reserved worker is parked (or
+    released) does the clock jump to the earliest wake time and resume
+    the threads due then.  Because time can never move while any worker
+    is between sleeps, every ``now()`` read, timeout verdict, and span
+    timestamp is a pure function of the scheduled latencies — identical
+    across runs regardless of OS thread interleaving.  Reserving up
+    front (rather than on claim) is what closes the startup race: a
+    worker that sleeps before its siblings' threads have even started
+    cannot advance time past their start.
+
+    Threads that never claimed (the single-threaded test suite, the
+    dispatching thread itself) keep the legacy semantics: ``sleep``
+    advances time immediately.
     """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
         self.sleeps: list[float] = []
+        self._cond = threading.Condition()
+        #: reserved virtual-worker slots (claimed or still starting up)
+        self._reserved = 0
+        #: thread idents that claimed a slot
+        self._workers: set[int] = set()
+        #: claimed workers currently parked in a virtual sleep
+        self._parked = 0
+        #: min-heap of (wake_at, seq) for parked workers
+        self._waiters: list[tuple[float, int]] = []
+        self._seq = 0
 
     def now(self) -> float:
         return self._now
 
     def sleep(self, seconds: float) -> None:
-        self.sleeps.append(seconds)
-        self._now += max(0.0, seconds)
+        wait = max(0.0, seconds)
+        with self._cond:
+            self.sleeps.append(seconds)
+            if threading.get_ident() not in self._workers:
+                # Legacy path: a non-worker owns time and moves it.
+                self._now += wait
+                self._wake_due()
+                return
+            if wait == 0.0:
+                return
+            self._seq += 1
+            entry = (self._now + wait, self._seq)
+            heapq.heappush(self._waiters, entry)
+            self._parked += 1
+            self._advance_if_stalled()
+            while self._now < entry[0]:
+                self._cond.wait()
+            # _parked was given back in _wake_due when this entry
+            # became due: from that instant this thread is logically
+            # runnable (it may just not hold the OS's attention yet),
+            # and counting it as parked would let a sibling's
+            # release_worker() advance time right past it.
 
     def advance(self, seconds: float) -> None:
         """Move time forward without recording a sleep."""
-        self._now += max(0.0, seconds)
+        with self._cond:
+            self._now += max(0.0, seconds)
+            self._wake_due()
+
+    # -- virtual-worker protocol (used by the parallel fan-out) ----------
+
+    def reserve_workers(self, n: int) -> None:
+        """Account for ``n`` workers about to claim (dispatcher side)."""
+        with self._cond:
+            self._reserved += n
+
+    def claim_worker(self) -> None:
+        """Mark the current thread as one of the reserved workers."""
+        with self._cond:
+            self._workers.add(threading.get_ident())
+
+    def release_worker(self) -> None:
+        """Give back this thread's slot (its work queue is drained)."""
+        with self._cond:
+            self._workers.discard(threading.get_ident())
+            self._reserved = max(0, self._reserved - 1)
+            self._advance_if_stalled()
+
+    def _advance_if_stalled(self) -> None:
+        # With the lock held: when every reserved worker is parked, no
+        # thread can observe time anymore — jump to the earliest waiter.
+        if self._reserved and self._parked >= self._reserved and self._waiters:
+            self._now = max(self._now, self._waiters[0][0])
+            self._wake_due()
+
+    def _wake_due(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self._now:
+            heapq.heappop(self._waiters)
+            # One popped entry = one worker now runnable again.
+            self._parked = max(0, self._parked - 1)
+        self._cond.notify_all()
 
 
 # ---------------------------------------------------------------------------
@@ -225,6 +314,13 @@ class CircuitBreaker:
     def __init__(self, policy: BreakerPolicy, clock: Clock) -> None:
         self.policy = policy
         self.clock = clock
+        # The parallel fan-out and the serving front end admit calls
+        # from many threads at once; every transition and the probe
+        # accounting run under this lock.  Methods that already hold it
+        # use `_advance_state` (not the `state` property) — the lock is
+        # deliberately non-reentrant to keep the happy path cheap
+        # (bench_faults.py gates transport overhead at <5%).
+        self._lock = threading.Lock()
         self._state = BreakerState.CLOSED
         self._outcomes: deque[bool] = deque(maxlen=policy.window)
         self._opened_at = 0.0
@@ -238,6 +334,11 @@ class CircuitBreaker:
     @property
     def state(self) -> BreakerState:
         """Current state, applying the open → half-open timeout."""
+        with self._lock:
+            return self._advance_state()
+
+    def _advance_state(self) -> BreakerState:
+        """Apply the open → half-open timeout; caller holds ``_lock``."""
         if (
             self._state is BreakerState.OPEN
             and self.clock.now() - self._opened_at
@@ -250,39 +351,63 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May a call proceed right now?  (Counts rejections.)"""
-        state = self.state
-        if state is BreakerState.OPEN:
-            self.rejections += 1
-            return False
-        if state is BreakerState.HALF_OPEN:
-            if self._half_open_inflight >= self.policy.half_open_probes:
+        return self.admit()[0]
+
+    def admit(self) -> tuple[bool, BreakerState]:
+        """Atomic admission: ``(admitted, state the verdict was made in)``.
+
+        Callers that need to know whether their admission took a
+        half-open probe slot (and so owe the breaker a verdict or a
+        ``release_probe``) must use this rather than reading ``state``
+        and calling ``allow`` separately: under a real clock the
+        breaker can transition between the two, and the caller would
+        mislabel its admission and leak the slot.
+        """
+        with self._lock:
+            state = self._state
+            if state is BreakerState.CLOSED:
+                # Fast path: no clock read, no transition to apply.
+                return True, state
+            state = self._advance_state()
+            if state is BreakerState.OPEN:
                 self.rejections += 1
-                return False
-            self._half_open_inflight += 1
-        return True
+                return False, state
+            if state is BreakerState.HALF_OPEN:
+                if self._half_open_inflight >= self.policy.half_open_probes:
+                    self.rejections += 1
+                    return False, state
+                self._half_open_inflight += 1
+            return True, state
 
     def record_success(self) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            self._release_slot()
-            self._half_open_successes += 1
-            if self._half_open_successes >= self.policy.half_open_probes:
-                self._state = BreakerState.CLOSED
-                self._outcomes.clear()
-                self._half_open_successes = 0
-                self._half_open_inflight = 0
-            return
-        self._outcomes.append(True)
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                # Fast path mirror of `admit`'s: a closed breaker just
+                # feeds its sliding window.
+                self._outcomes.append(True)
+                return
+            if self._advance_state() is BreakerState.HALF_OPEN:
+                self._release_slot()
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.policy.half_open_probes:
+                    self._state = BreakerState.CLOSED
+                    self._outcomes.clear()
+                    self._half_open_successes = 0
+                    self._half_open_inflight = 0
+                return
+            self._outcomes.append(True)
 
     def record_failure(self) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            self._release_slot()
-            self._trip()
-            return
-        self._outcomes.append(False)
-        if len(self._outcomes) >= self.policy.min_calls:
-            failures = sum(1 for ok in self._outcomes if not ok)
-            if failures / len(self._outcomes) >= self.policy.failure_rate:
+        with self._lock:
+            if self._advance_state() is BreakerState.HALF_OPEN:
+                self._release_slot()
                 self._trip()
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self.policy.min_calls:
+                failures = sum(1 for ok in self._outcomes if not ok)
+                if failures / len(self._outcomes) >= self.policy.failure_rate:
+                    self._trip()
 
     def release_probe(self) -> None:
         """Give back a half-open probe slot taken by :meth:`allow`.
@@ -298,8 +423,9 @@ class CircuitBreaker:
         Reads the raw state on purpose: the ``state`` property's
         OPEN→HALF_OPEN transition must not fire from a cleanup path.
         """
-        if self._state is BreakerState.HALF_OPEN:
-            self._release_slot()
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._release_slot()
 
     def _release_slot(self) -> None:
         if self._half_open_inflight > 0:
@@ -314,6 +440,11 @@ class CircuitBreaker:
         # must not survive into the *next* half-open window.
         self._half_open_successes = 0
         self._half_open_inflight = 0
+
+    def probe_slots_inflight(self) -> int:
+        """Half-open probe admissions not yet balanced (test hook)."""
+        with self._lock:
+            return self._half_open_inflight
 
 
 # ---------------------------------------------------------------------------
@@ -332,6 +463,7 @@ class CallStats:
     failures: int = 0
     timeouts: int = 0
     breaker_rejections: int = 0
+    gate_rejections: int = 0
 
 
 class SourceTransport:
@@ -359,126 +491,228 @@ class SourceTransport:
         # policy seed, decorrelated between sources of one mediator.
         self._rng = random.Random(f"{self.policy.seed}:{source.name}")
         self.stats = CallStats()
+        # Counters are read-modify-write; the serving front end calls
+        # one transport from many threads at once.
+        self._stats_lock = threading.Lock()
+        #: measured per-attempt latencies of answers (successes and
+        #: over-budget discards) — the cost model behind slowest-first
+        #: dispatch and p95-derived timeouts (repro.mediator.parallel).
+        #: Deliberately NOT registered in the global metrics registry:
+        #: cross-test registry resets must not skew dispatch, and the
+        #: happy path has a <5% overhead gate (bench_faults.py) with no
+        #: room for a second lock-guarded observation per call.  The
+        #: quantiles are surfaced through ``health()`` instead.
+        self.latency = obs.Histogram()
+        #: optional per-source concurrency gate (a semaphore) installed
+        #: by the serving front end (repro.serve); ``None`` — the
+        #: default everywhere else — bypasses it entirely.  Real-time
+        #: only: blocking a virtual-clock worker on a semaphore would
+        #: deadlock the fake clock's scheduler.
+        self.gate: threading.Semaphore | None = None
 
     @property
     def name(self) -> str:
         return self.source.name
 
-    def call(self, query: Query, deadline: Deadline | None = None) -> Document:
-        """Answer ``query`` under the policy; raise on terminal failure."""
-        self.stats.calls += 1
-        with obs.span("transport.call") as sp:
-            sp.set_attribute("source", self.name)
-            # Read the state *before* allow(): the property applies the
-            # OPEN -> HALF_OPEN timeout (idempotent at one clock
-            # instant), and a True allow() in HALF_OPEN takes a probe
-            # slot this call is then responsible for giving back.
-            admitted_state = self.breaker.state
-            if not self.breaker.allow():
-                self.stats.breaker_rejections += 1
-                sp.set_attribute("outcome", "breaker_rejected")
-                sp.add_event("breaker.rejected", state=admitted_state.value)
-                raise SourceUnavailable(
-                    f"source {self.name!r} unavailable: circuit breaker open"
-                )
-            sp.set_attribute("breaker", admitted_state.value)
-            probe_pending = admitted_state is BreakerState.HALF_OPEN
-            retry = self.policy.retry
-            last_error: Exception | None = None
-            timed_out = False
-            attempt = 0
-            try:
-                for attempt in range(1, max(1, retry.attempts) + 1):
-                    if deadline is not None and deadline.expired:
-                        self.stats.timeouts += 1
-                        sp.set_attribute("outcome", "deadline_expired")
-                        sp.add_event("deadline.expired", attempt=attempt)
-                        # The budget died between attempts: the *fan-out*
-                        # is out of time, which is a deadline condition,
-                        # not a verdict on this source.  The breaker is
-                        # not charged (the probe slot, if any, is given
-                        # back in the finally below).
-                        raise SourceTimeout(
-                            f"deadline budget exhausted before calling source "
-                            f"{self.name!r} (attempt {attempt})"
-                        ) from last_error
-                    self.stats.attempts += 1
-                    sp.add_event("attempt", number=attempt)
-                    effective_timeout = self._effective_timeout(deadline)
-                    started = self.clock.now()
-                    try:
-                        answer = self.source.query(query)
-                    except ReproError as error:
-                        last_error = error
-                        timed_out = False
-                        self.stats.failures += 1
-                        probe_pending = False
-                        self.breaker.record_failure()
-                        sp.add_event(
-                            "failure",
-                            attempt=attempt,
-                            error=type(error).__name__,
+    def latency_quantile(self, q: float = 0.95) -> float | None:
+        """A quantile of this source's measured answer latencies."""
+        return self.latency.quantile(q)
+
+    def _bump(self, attribute: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(
+                self.stats, attribute, getattr(self.stats, attribute) + amount
+            )
+
+    def call(
+        self,
+        query: Query,
+        deadline: Deadline | None = None,
+        timeout: float | None = None,
+    ) -> Document:
+        """Answer ``query`` under the policy; raise on terminal failure.
+
+        ``timeout`` tightens (never loosens) the policy's per-call
+        timeout for this call only — the parallel fan-out derives it
+        from the source's latency history (p95 × headroom) so a source
+        that has gone slow is cut off early and the deadline budget is
+        spent on its healthy siblings.
+        """
+        gate = self.gate
+        if gate is None:
+            return self._call(query, deadline, timeout)
+        budget = None if deadline is None else deadline.remaining()
+        if not gate.acquire(timeout=budget):
+            self._bump("gate_rejections")
+            raise SourceTimeout(
+                f"deadline budget exhausted waiting for a "
+                f"{self.name!r} concurrency slot"
+            )
+        try:
+            return self._call(query, deadline, timeout)
+        finally:
+            gate.release()
+
+    def _call(
+        self,
+        query: Query,
+        deadline: Deadline | None = None,
+        timeout: float | None = None,
+    ) -> Document:
+        # Stat deltas accumulate in fast locals and flush under ONE
+        # lock acquisition in the outer finally — a lock round-trip per
+        # event would not fit the <5% happy-path overhead gate
+        # (bench_faults.py).
+        n_attempts = n_retries = n_successes = 0
+        n_failures = n_timeouts = n_breaker_rejections = 0
+        try:
+            with obs.span("transport.call") as sp:
+                # Happy-path span recording is guarded: with tracing
+                # off the guard costs one attribute read where the
+                # no-op calls would cost half a microsecond — real
+                # money under the <5% overhead gate.  Cold paths
+                # (failures, rejections) record unguarded.
+                recording = sp.recording
+                if recording:
+                    sp.set_attribute("source", self.name)
+                # One atomic admission: an admission in HALF_OPEN takes
+                # a probe slot this call is then responsible for giving
+                # back, so the verdict and the state it was made in
+                # must come from the same lock acquisition.
+                admitted, admitted_state = self.breaker.admit()
+                if not admitted:
+                    n_breaker_rejections = 1
+                    sp.set_attribute("outcome", "breaker_rejected")
+                    sp.add_event(
+                        "breaker.rejected", state=admitted_state.value
+                    )
+                    raise SourceUnavailable(
+                        f"source {self.name!r} unavailable: "
+                        f"circuit breaker open"
+                    )
+                if recording:
+                    sp.set_attribute("breaker", admitted_state.value)
+                probe_pending = admitted_state is BreakerState.HALF_OPEN
+                retry = self.policy.retry
+                last_error: Exception | None = None
+                timed_out = False
+                attempt = 0
+                try:
+                    for attempt in range(1, max(1, retry.attempts) + 1):
+                        if deadline is not None and deadline.expired:
+                            n_timeouts += 1
+                            sp.set_attribute("outcome", "deadline_expired")
+                            sp.add_event("deadline.expired", attempt=attempt)
+                            # The budget died between attempts: the
+                            # *fan-out* is out of time, which is a
+                            # deadline condition, not a verdict on this
+                            # source.  The breaker is not charged (the
+                            # probe slot, if any, is given back in the
+                            # finally below).
+                            raise SourceTimeout(
+                                f"deadline budget exhausted before calling "
+                                f"source {self.name!r} (attempt {attempt})"
+                            ) from last_error
+                        n_attempts += 1
+                        if recording:
+                            sp.add_event("attempt", number=attempt)
+                        effective_timeout = self._effective_timeout(
+                            deadline, timeout
                         )
-                    else:
-                        elapsed = self.clock.now() - started
-                        if (
-                            effective_timeout is not None
-                            and elapsed > effective_timeout
-                        ):
-                            # The answer arrived after its budget: discard it.
-                            last_error = SourceTimeout(
-                                f"source {self.name!r} answered in "
-                                f"{elapsed:.3f}s, over its "
-                                f"{effective_timeout:.3f}s budget"
-                            )
-                            timed_out = True
-                            self.stats.timeouts += 1
+                        started = self.clock.now()
+                        try:
+                            answer = self.source.query(query)
+                        except ReproError as error:
+                            last_error = error
+                            timed_out = False
+                            n_failures += 1
                             probe_pending = False
                             self.breaker.record_failure()
                             sp.add_event(
-                                "timeout.discarded",
+                                "failure",
                                 attempt=attempt,
-                                elapsed=round(elapsed, 6),
+                                error=type(error).__name__,
                             )
                         else:
-                            self.stats.successes += 1
-                            probe_pending = False
-                            self.breaker.record_success()
-                            sp.set_attribute("attempts", attempt)
-                            sp.set_attribute("outcome", "success")
-                            return answer
-                    if self.breaker.state is not BreakerState.CLOSED:
-                        # tripped mid-loop (or half-open probe failed)
-                        sp.add_event(
-                            "breaker.state", state=self.breaker.state.value
-                        )
-                        break
-                    if attempt >= max(1, retry.attempts):
-                        break
-                    delay = retry.backoff(attempt, self._rng)
-                    if deadline is not None and delay >= deadline.remaining():
-                        break  # backing off would outlive the budget
-                    self.stats.retries += 1
-                    sp.add_event("backoff", delay=round(delay, 6))
-                    self.clock.sleep(delay)
-            finally:
-                # Balance the half-open admission on every exit path
-                # that recorded no verdict: deadline expiry above, or a
-                # non-transport exception escaping source.query.
-                if probe_pending:
-                    self.breaker.release_probe()
-            sp.set_attribute("attempts", attempt)
-            if timed_out and isinstance(last_error, SourceTimeout):
-                sp.set_attribute("outcome", "timeout")
-                raise last_error
-            sp.set_attribute("outcome", "unavailable")
-            raise SourceUnavailable(
-                f"source {self.name!r} unavailable after "
-                f"{attempt} attempt(s): {last_error}"
-            ) from last_error
+                            elapsed = self.clock.now() - started
+                            self.latency.observe(elapsed)
+                            if (
+                                effective_timeout is not None
+                                and elapsed > effective_timeout
+                            ):
+                                # Arrived after its budget: discard it.
+                                last_error = SourceTimeout(
+                                    f"source {self.name!r} answered in "
+                                    f"{elapsed:.3f}s, over its "
+                                    f"{effective_timeout:.3f}s budget"
+                                )
+                                timed_out = True
+                                n_timeouts += 1
+                                probe_pending = False
+                                self.breaker.record_failure()
+                                sp.add_event(
+                                    "timeout.discarded",
+                                    attempt=attempt,
+                                    elapsed=round(elapsed, 6),
+                                )
+                            else:
+                                n_successes = 1
+                                probe_pending = False
+                                self.breaker.record_success()
+                                if recording:
+                                    sp.set_attribute("attempts", attempt)
+                                    sp.set_attribute("outcome", "success")
+                                return answer
+                        if self.breaker.state is not BreakerState.CLOSED:
+                            # tripped mid-loop (or half-open probe failed)
+                            sp.add_event(
+                                "breaker.state",
+                                state=self.breaker.state.value,
+                            )
+                            break
+                        if attempt >= max(1, retry.attempts):
+                            break
+                        delay = retry.backoff(attempt, self._rng)
+                        if (
+                            deadline is not None
+                            and delay >= deadline.remaining()
+                        ):
+                            break  # backing off would outlive the budget
+                        n_retries += 1
+                        sp.add_event("backoff", delay=round(delay, 6))
+                        self.clock.sleep(delay)
+                finally:
+                    # Balance the half-open admission on every exit path
+                    # that recorded no verdict: deadline expiry above, or
+                    # a non-transport exception escaping source.query.
+                    if probe_pending:
+                        self.breaker.release_probe()
+                sp.set_attribute("attempts", attempt)
+                if timed_out and isinstance(last_error, SourceTimeout):
+                    sp.set_attribute("outcome", "timeout")
+                    raise last_error
+                sp.set_attribute("outcome", "unavailable")
+                raise SourceUnavailable(
+                    f"source {self.name!r} unavailable after "
+                    f"{attempt} attempt(s): {last_error}"
+                ) from last_error
+        finally:
+            with self._stats_lock:
+                stats = self.stats
+                stats.calls += 1
+                stats.attempts += n_attempts
+                stats.retries += n_retries
+                stats.successes += n_successes
+                stats.failures += n_failures
+                stats.timeouts += n_timeouts
+                stats.breaker_rejections += n_breaker_rejections
 
-    def _effective_timeout(self, deadline: Deadline | None) -> float | None:
+    def _effective_timeout(
+        self, deadline: Deadline | None, override: float | None = None
+    ) -> float | None:
         timeout = self.policy.timeout
+        if override is not None:
+            timeout = override if timeout is None else min(timeout, override)
         if deadline is None:
             return timeout
         remaining = deadline.remaining()
@@ -499,6 +733,9 @@ class SourceTransport:
             "failures": self.stats.failures,
             "timeouts": self.stats.timeouts,
             "breaker_rejections": self.stats.breaker_rejections,
+            "gate_rejections": self.stats.gate_rejections,
+            "latency_p50": self.latency.quantile(0.5),
+            "latency_p95": self.latency.quantile(0.95),
         }
 
 

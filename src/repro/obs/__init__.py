@@ -32,11 +32,14 @@ from .tracing import (
     SpanEvent,
     Tracer,
     active_tracer,
+    attach,
     enabled,
     event,
+    finish_span,
     install_tracer,
     set_attribute,
     span,
+    start_span,
     traced,
     uninstall_tracer,
 )
@@ -59,11 +62,14 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "active_tracer",
+    "attach",
     "enabled",
     "event",
+    "finish_span",
     "install_tracer",
     "set_attribute",
     "span",
+    "start_span",
     "traced",
     "uninstall_tracer",
 ]

@@ -32,6 +32,7 @@ See docs/OBSERVABILITY.md for the span catalogue and format details.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Iterator, Protocol
 
@@ -85,6 +86,12 @@ class Span:
         "children",
         "parent",
     )
+
+    #: Hot paths may guard per-call ``set_attribute``/``add_event``
+    #: bursts behind this flag: with tracing off, :func:`span` hands
+    #: out :data:`NOOP_SPAN` (``recording = False``) and the guarded
+    #: block costs one attribute read instead of N no-op calls.
+    recording = True
 
     def __init__(self, tracer: "Tracer", name: str, start: float) -> None:
         self.tracer = tracer
@@ -163,6 +170,8 @@ class _NoopSpan:
 
     __slots__ = ()
 
+    recording = False
+
     def set_attribute(self, key: str, value: Any) -> None:
         pass
 
@@ -181,7 +190,17 @@ NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Collects one trace: a forest of spans plus derived metrics."""
+    """Collects one trace: a forest of spans plus derived metrics.
+
+    The open-span stack is **thread-local**: worker threads of the
+    parallel fan-out each keep a coherent stack of their own, so
+    concurrent ``transport.call`` spans nest under their own legs
+    instead of corrupting one shared stack.  Cross-thread parenting is
+    explicit — the dispatching thread creates a detached span with
+    :meth:`start_span` (deterministic child order, because one thread
+    appends) and the worker makes it its stack root with
+    :meth:`attach`.
+    """
 
     def __init__(
         self,
@@ -191,37 +210,83 @@ class Tracer:
         self.clock: ReadableClock = clock if clock is not None else _PerfClock()
         self.metrics = REGISTRY if metrics is None else metrics
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
         #: spans started (cheap cardinality probe for the overhead gate)
         self.span_count = 0
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     # -- span lifecycle --------------------------------------------------
 
     def span(self, name: str) -> Span:
         """Open a span under the current one (use with ``with``)."""
+        stack = self._stack()
         opened = Span(self, name, self.clock.now())
-        self.span_count += 1
-        if self._stack:
-            opened.parent = self._stack[-1]
+        if stack:
+            opened.parent = stack[-1]
             opened.parent.children.append(opened)
         else:
-            self.roots.append(opened)
-        self._stack.append(opened)
+            with self._lock:
+                self.roots.append(opened)
+        with self._lock:
+            self.span_count += 1
+        stack.append(opened)
         return opened
 
+    def start_span(self, name: str) -> Span:
+        """A span under the current one that is *not* pushed.
+
+        The parallel fan-out uses this to create per-leg spans in
+        dispatch order from the dispatching thread (so the trace tree
+        is deterministic) before handing each to a worker, which
+        :meth:`attach`-es it and later :meth:`finish_span`-es it.
+        """
+        stack = self._stack()
+        opened = Span(self, name, self.clock.now())
+        if stack:
+            opened.parent = stack[-1]
+            opened.parent.children.append(opened)
+        else:
+            with self._lock:
+                self.roots.append(opened)
+        with self._lock:
+            self.span_count += 1
+        return opened
+
+    def attach(self, span: Span) -> "_Attached":
+        """Scope making ``span`` the current parent on *this* thread."""
+        return _Attached(self, span)
+
+    def finish_span(self, span: Span) -> None:
+        """Close a detached span (idempotent)."""
+        if span.end is None:
+            self._finish(span)
+
     def _finish(self, span: Span) -> None:
+        if span.end is not None:
+            return
         span.end = self.clock.now()
+        stack = self._stack()
         # Exiting out of order (generators, leaked spans) must not
-        # corrupt the stack: pop through to the finished span.
-        while self._stack:
-            if self._stack.pop() is span:
-                break
+        # corrupt the stack: pop through to the finished span — but
+        # only when it actually lives on this thread's stack (detached
+        # spans finished cross-thread do not).
+        if any(open_span is span for open_span in stack):
+            while stack:
+                if stack.pop() is span:
+                    break
         self.metrics.histogram(f"span.{span.name}").observe(span.duration)
         self.metrics.counter(f"spans.{span.name}").inc()
 
     def current(self) -> Span | None:
-        """The innermost open span, or None."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     # -- reading ---------------------------------------------------------
 
@@ -288,6 +353,49 @@ class Tracer:
             handle.write("\n")
 
 
+class _Attached:
+    """``with tracer.attach(span):`` — thread-scoped parent adoption.
+
+    Pushes an existing span onto the current thread's stack on enter
+    and removes it on exit (wherever it sits — the owner may have
+    finished it already, which pops it).  The span itself is *not*
+    finished; its owner closes it with ``finish_span``.
+    """
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.tracer._stack().append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self.tracer._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self.span:
+                del stack[i]
+                break
+        return False
+
+
+class _NoopAttached:
+    """The attach scope while tracing is off (or for a no-op span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_ATTACHED = _NoopAttached()
+
+
 # ---------------------------------------------------------------------------
 # the global switch
 # ---------------------------------------------------------------------------
@@ -330,6 +438,33 @@ def span(name: str):
     if tracer is None:
         return NOOP_SPAN
     return tracer.span(name)
+
+
+def start_span(name: str):
+    """A detached span under the active tracer, or the shared no-op.
+
+    Combined with :func:`attach`/:func:`finish_span` this is the
+    cross-thread span protocol the parallel fan-out uses; see
+    :meth:`Tracer.start_span`.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.start_span(name)
+
+
+def attach(span):
+    """``with obs.attach(span):`` — adopt ``span`` on this thread."""
+    if span is NOOP_SPAN:
+        return NOOP_ATTACHED
+    return span.tracer.attach(span)
+
+
+def finish_span(span) -> None:
+    """Close a span from :func:`start_span` (no-op when tracing is off)."""
+    if span is NOOP_SPAN:
+        return
+    span.tracer.finish_span(span)
 
 
 def event(name: str, **attributes: Any) -> None:

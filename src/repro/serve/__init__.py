@@ -1,0 +1,63 @@
+"""``repro serve``: a concurrent front end for a warm mediator.
+
+The mediator of the paper is an *on-demand* system — views are virtual
+and queries arrive continuously — so serving it means keeping one
+mediator warm (plans compiled, document indexes built, fan-out pool
+up) behind a socket and bounding what concurrency can do to it.  This
+package provides exactly that, on the standard library alone:
+
+* :mod:`repro.serve.protocol` -- the JSON-line wire protocol
+* :mod:`repro.serve.server`   -- :class:`MediatorServer`,
+  :class:`ServePolicy`, :class:`AdmissionController`
+* :mod:`repro.serve.client`   -- :class:`ServeClient` and the
+  ``bench-serve`` load driver
+* :mod:`repro.serve.workloads` -- the built-in servable federations
+
+See docs/SERVING.md.
+"""
+
+from .client import (
+    RequestFailed,
+    ServeClient,
+    ServeClientError,
+    run_bench,
+)
+from .protocol import (
+    LoadShedding,
+    ProtocolError,
+    QueueDeadlineExceeded,
+    ServerOverloaded,
+    UnknownOperation,
+)
+from .server import (
+    AdmissionController,
+    MediatorServer,
+    ServePolicy,
+    ServerStats,
+)
+from .workloads import (
+    SERVE_WORKLOADS,
+    VIEW_NAME,
+    build_paper_federation,
+    build_serve_workload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "LoadShedding",
+    "MediatorServer",
+    "ProtocolError",
+    "QueueDeadlineExceeded",
+    "RequestFailed",
+    "SERVE_WORKLOADS",
+    "ServeClient",
+    "ServeClientError",
+    "ServePolicy",
+    "ServerOverloaded",
+    "ServerStats",
+    "UnknownOperation",
+    "VIEW_NAME",
+    "build_paper_federation",
+    "build_serve_workload",
+    "run_bench",
+]

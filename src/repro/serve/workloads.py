@@ -1,0 +1,127 @@
+"""Built-in federations for ``repro serve`` / ``repro bench-serve``.
+
+Two servable workloads, both unions so the parallel fan-out and the
+admission controller have real work to do:
+
+* ``flaky`` -- the :mod:`repro.workloads.flaky` federation on the
+  system clock, with injected per-call latency and the standard fault
+  plans (healthy first site, flaky middle, dead last): requests come
+  back degraded, breakers trip, and the serving behaviors worth
+  demonstrating — retries under deadline, degraded answers, shedding —
+  all occur live.
+* ``paper`` -- healthy sources exporting the paper's department schema
+  (D1, Example 3.1) with generated documents: a clean-room workload
+  for measuring serving overhead and parallel speedup without fault
+  noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dtd import generate_document
+from ..mediator import (
+    FanoutPolicy,
+    FaultPlan,
+    Mediator,
+    Source,
+    TransportPolicy,
+)
+from ..workloads import paper as paper_workload
+from ..workloads.flaky import build_flaky_federation, standard_fault_plans
+from ..xmas import parse_query
+
+SERVE_WORKLOADS = ("flaky", "paper")
+#: every built-in workload serves this union view
+VIEW_NAME = "journals"
+
+
+def _paper_branch_query(source_name: str):
+    return parse_query(
+        f"""
+        {VIEW_NAME} = SELECT P
+        WHERE <department> <professor>
+                P:<publication><journal/></publication>
+              </> </>
+        """,
+        source=source_name,
+    )
+
+
+def build_paper_federation(
+    n_sources: int = 3,
+    n_docs: int = 2,
+    seed: int = 7,
+    policy: TransportPolicy | None = None,
+    fanout: FanoutPolicy | None = None,
+) -> Mediator:
+    """A healthy union federation over the paper's D1 schema."""
+    schema = paper_workload.d1()
+    rng = random.Random(seed)
+    mediator = Mediator("paper-federation", policy=policy, fanout=fanout)
+    queries = []
+    for i in range(n_sources):
+        name = f"dept{i}"
+        documents = [
+            generate_document(schema, rng) for _ in range(n_docs)
+        ]
+        mediator.add_source(
+            Source(name, schema, documents, validate=False)
+        )
+        queries.append(_paper_branch_query(name))
+    mediator.register_union_view(queries, VIEW_NAME)
+    return mediator
+
+
+def build_serve_workload(
+    workload: str,
+    n_sources: int = 3,
+    n_docs: int = 2,
+    seed: int = 7,
+    latency: float = 0.0,
+    policy: TransportPolicy | None = None,
+    fanout: FanoutPolicy | None = None,
+) -> Mediator:
+    """The mediator behind ``repro serve --workload <name>``.
+
+    ``latency`` (seconds) is the injected per-call latency of the
+    flaky workload's sites — real sleeps on the system clock, so the
+    parallel speedup is observable from a client.  The paper workload
+    ignores it (healthy in-process sources answer at memory speed).
+    """
+    if workload == "flaky":
+        from ..mediator import SystemClock
+
+        plans = standard_fault_plans(n_sources)
+        if latency > 0:
+            plans = {
+                name: FaultPlan(
+                    error_rate=plan.error_rate,
+                    seed=plan.seed,
+                    dead=plan.dead,
+                    latency=latency,
+                    latency_jitter=latency / 2,
+                )
+                for name, plan in plans.items()
+            }
+        return build_flaky_federation(
+            SystemClock(),
+            policy=policy,
+            n_sources=n_sources,
+            n_docs=n_docs,
+            plans=plans,
+            seed=seed,
+            fanout=fanout,
+        )
+    if workload == "paper":
+        return build_paper_federation(
+            n_sources=n_sources,
+            n_docs=n_docs,
+            seed=seed,
+            policy=policy,
+            fanout=fanout,
+        )
+    raise ValueError(
+        f"unknown serve workload {workload!r} "
+        f"(expected one of {SERVE_WORKLOADS})"
+    )

@@ -21,6 +21,7 @@ import random
 from ..dtd import Dtd, dtd, generate_document
 from ..mediator import (
     Clock,
+    FanoutPolicy,
     FaultPlan,
     FaultySource,
     Mediator,
@@ -104,17 +105,22 @@ def build_flaky_federation(
     plans: dict[str, FaultPlan] | None = None,
     view_name: str = "journals",
     seed: int = 7,
+    fanout: FanoutPolicy | None = None,
 ) -> Mediator:
     """A ready-to-query federation of :class:`FaultySource` sites.
 
     Registers the ``view_name`` union view over ``n_sources`` sites
     whose wrappers follow ``plans`` (default:
     :func:`standard_fault_plans`).  Deterministic for fixed seeds and
-    a :class:`~repro.mediator.FakeClock`.
+    a :class:`~repro.mediator.FakeClock` — including with a
+    ``fanout`` policy, which fans the union legs out on the parallel
+    transport (virtual-time scheduled under the fake clock).
     """
     if plans is None:
         plans = standard_fault_plans(n_sources)
-    mediator = Mediator("federation", policy=policy, clock=clock)
+    mediator = Mediator(
+        "federation", policy=policy, clock=clock, fanout=fanout
+    )
     queries = []
     for name, schema, documents, query in federation_branches(
         n_sources, n_docs, seed=seed

