@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json examples lint check-docs trace-smoke serve-smoke verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json bench-matview-json examples lint check-docs trace-smoke serve-smoke matview-smoke verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,7 +19,8 @@ bench:
 bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
 		benchmarks/bench_evaluator.py benchmarks/bench_faults.py \
-		benchmarks/bench_obs.py benchmarks/bench_parallel.py -q \
+		benchmarks/bench_obs.py benchmarks/bench_parallel.py \
+		benchmarks/bench_matview.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -67,6 +68,17 @@ bench-parallel-json:
 	python benchmarks/compare_bench.py merge .bench_parallel.json \
 		--output BENCH_PR7.json
 
+# The PR8 materialized-view gate: run the answer-cache benches (warm
+# hit >= 20x cold, delta maintenance >= 3x full recompute, disabled
+# path < 3% overhead, warm-cache serve throughput) and write the
+# BENCH_PR8.json trajectory file.  See docs/PERFORMANCE.md.
+bench-matview-json:
+	pytest benchmarks/bench_matview.py -q --benchmark-only \
+		--benchmark-disable-gc \
+		--benchmark-json=.bench_matview.json
+	python benchmarks/compare_bench.py merge .bench_matview.json \
+		--output BENCH_PR8.json
+
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`
 # over the example workloads.  The paper workload contains a
@@ -112,9 +124,15 @@ trace-smoke:
 serve-smoke:
 	python scripts/serve_smoke.py
 
+# Drive the materialized-view answer cache end to end: CLI `ask`
+# with and without `--no-cache`, then a cached serve session (miss ->
+# hit -> bypass -> delta after a source edit) with stats assertions.
+matview-smoke:
+	python scripts/matview_smoke.py
+
 # Default local gate: unit tests, static+workload lint, docs links,
-# benchmark smoke, trace smoke, serve smoke.
-check: test lint check-docs bench-smoke trace-smoke serve-smoke
+# benchmark smoke, trace smoke, serve smoke, matview smoke.
+check: test lint check-docs bench-smoke trace-smoke serve-smoke matview-smoke
 
 verify: test bench examples
 

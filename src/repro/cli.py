@@ -96,6 +96,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_ask(args: argparse.Namespace) -> int:
     """Answer a client query through a mediated view (the Figure 1 path)."""
     from .mediator import (
+        MatViewPolicy,
         Mediator,
         RetryPolicy,
         Source,
@@ -114,7 +115,8 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retry=RetryPolicy(attempts=max(1, args.retries + 1)),
     )
-    mediator = Mediator("cli", policy=policy)
+    cache = None if args.no_cache else MatViewPolicy()
+    mediator = Mediator("cli", policy=policy, cache=cache)
     source = Source("source", dtd, documents, validate=not args.no_validate)
     mediator.add_source(source)
     source.warm_indexes()
@@ -136,6 +138,10 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         )
     if getattr(args, "stats", False):
         print(render_health(mediator.health()), file=sys.stderr)
+        # The kernel registry holds the matview cache only weakly;
+        # keep the mediator alive until main()'s kernel-stats print so
+        # the cache's counters still aggregate into the report.
+        args.stats_anchor = mediator
     return 0
 
 
@@ -330,12 +336,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         build_serve_workload,
     )
 
+    from .mediator import MatViewPolicy
+
+    cache = (
+        None
+        if args.no_cache
+        else MatViewPolicy(max_bytes=args.cache_bytes)
+    )
     mediator = build_serve_workload(
         args.workload,
         n_sources=args.sources,
         n_docs=args.docs,
         latency=args.latency,
         fanout=_serve_fanout(args),
+        cache=cache,
     )
     policy = ServePolicy(
         max_inflight=args.max_inflight,
@@ -538,6 +552,15 @@ def build_parser() -> argparse.ArgumentParser:
             " annotated partial answer"
         ),
     )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "run without the materialized-view answer cache (a single"
+            " cold query never hits it, but --stats then omits its"
+            " counters entirely)"
+        ),
+    )
     add_backend_option(p)
     add_stats_option(p)
     add_trace_option(p)
@@ -724,6 +747,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="per-source transport gate (0 disables; default: 4)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the shared materialized-view answer cache",
+    )
+    p.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=8 << 20,
+        metavar="BYTES",
+        help=(
+            "materialized-view cache byte budget"
+            " (default: 8 MiB; ignored with --no-cache)"
+        ),
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -187,3 +187,16 @@ class FaultInjected(MediatorError):
     code = register_diagnostic_code(
         "MED005", "injected source fault (fault-injection harness)"
     )
+
+
+#: Informational codes for the materialized-view answer cache
+#: (:mod:`repro.mediator.matview`).  Nothing raises these: they label
+#: span events, stats counters, and serve responses so operators can
+#: grep one namespace for every cache decision (docs/DIAGNOSTICS.md).
+CACHE_BYPASSED = register_diagnostic_code(
+    "MED006", "materialized-view cache bypassed for this request"
+)
+STALE_DELTA_FALLBACK = register_diagnostic_code(
+    "MED007",
+    "delta maintenance unsound for this mutation; full recompute",
+)

@@ -17,6 +17,14 @@ from .interface import (
     render_health,
     structure_tree,
 )
+from .matview import (
+    CacheLeg,
+    CacheOutcome,
+    MatViewCache,
+    MatViewPolicy,
+    plan_signature,
+    query_signature,
+)
 from .mediator import (
     Mediator,
     QueryPlan,
@@ -45,6 +53,8 @@ from .transport import (
 __all__ = [
     "BreakerPolicy",
     "BreakerState",
+    "CacheLeg",
+    "CacheOutcome",
     "CallStats",
     "CircuitBreaker",
     "Clock",
@@ -57,6 +67,8 @@ __all__ = [
     "FaultSpec",
     "FaultySource",
     "LegResult",
+    "MatViewCache",
+    "MatViewPolicy",
     "Mediator",
     "OK",
     "ParallelTransport",
@@ -73,6 +85,8 @@ __all__ = [
     "UnionViewRegistration",
     "ViewRegistration",
     "compose_query",
+    "plan_signature",
+    "query_signature",
     "render_health",
     "simplify_query",
     "slow",

@@ -32,7 +32,14 @@ from ..inference import (
     infer_view_dtd,
 )
 from ..xmas import CompiledPlan, Query, compile_query, evaluate_many
+from ..xmas.engine import enable_provenance, provenance_of
 from ..xmlmodel import Document
+from .matview import (
+    CacheLeg,
+    MatViewCache,
+    MatViewPolicy,
+    query_signature,
+)
 from .parallel import FanoutPolicy, ParallelTransport
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
@@ -77,24 +84,33 @@ class QueryPlan:
     """The mediator's plan for a query against a view (see ``explain``)."""
 
     view_name: str
-    classification: "Classification"
+    classification: "Classification | None"
     pruned_nodes: int
-    #: "empty-answer" | "compose" | "materialize"
+    #: "empty-answer" | "compose" | "materialize" | "union-fanout"
     strategy: str
     composed_query: Query | None
-    effective_query: Query
+    effective_query: Query | None
     #: per-source transport snapshots (breaker state, retries, ...)
     source_health: list[dict] = field(default_factory=list)
     #: the rendered planning trace (``repro.obs`` span tree; empty when
     #: tracing was disabled and ``explain`` could not install a tracer)
     trace_lines: list[str] = field(default_factory=list)
+    #: what the materialized-view cache would do with this request:
+    #: "off" (no cache), "disabled", "cold", "hit", "delta", "recompute"
+    cache_status: str = "off"
 
     def describe(self) -> str:
         lines = [
             f"query against view {self.view_name!r}:",
-            f"  classification: {self.classification.value}",
+            "  classification: "
+            + (
+                self.classification.value
+                if self.classification is not None
+                else "n/a"
+            ),
             f"  conditions pruned: {self.pruned_nodes}",
             f"  strategy: {self.strategy}",
+            f"  cache: {self.cache_status}",
         ]
         if self.composed_query is not None:
             lines.append("  composed source query:")
@@ -123,6 +139,12 @@ class UnionViewRegistration:
     branches: list
     source_names: list[str]
     inference: "UnionInferenceResult"
+    #: lazily memoized matview cache key (branch plan signatures are
+    #: stable once registered; rebuilding them per request would tax
+    #: the cache's hit path)
+    _cache_key: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def dtd(self) -> Dtd:
@@ -159,6 +181,7 @@ class Mediator:
         policy: TransportPolicy | None = None,
         clock: Clock | None = None,
         fanout: FanoutPolicy | None = None,
+        cache: MatViewPolicy | MatViewCache | None = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -175,6 +198,20 @@ class Mediator:
             if fanout is not None
             else None
         )
+        #: the materialized-view answer cache (None = uncached, the
+        #: classic re-evaluate-everything mediator); accepts a policy
+        #: (private cache) or a ready MatViewCache (shared warm cache)
+        self.matview: MatViewCache | None = None
+        if cache is not None:
+            self.matview = (
+                cache
+                if isinstance(cache, MatViewCache)
+                else MatViewCache(cache)
+            )
+            if self.matview.policy.enabled and self.matview.policy.delta:
+                # Delta splicing needs the engine's pick provenance.
+                enable_provenance()
+        self._union_legs: dict[str, tuple[CacheLeg, ...]] = {}
         self.sources: dict[str, Source] = {}
         self.transports: dict[str, SourceTransport] = {}
         self.views: dict[str, ViewRegistration] = {}
@@ -201,6 +238,17 @@ class Mediator:
     @last_degradation.setter
     def last_degradation(self, report: DegradationReport | None) -> None:
         self._tls.degradation = report
+
+    @property
+    def last_cache_outcome(self) -> str:
+        """The matview cache's verdict on this thread's last answer:
+        ``"off"`` (no cache configured), ``"bypass"`` (request opted
+        out, MED006), ``"hit"``, ``"delta"``, or ``"miss"``."""
+        return getattr(self._tls, "cache_outcome", "off")
+
+    @last_cache_outcome.setter
+    def last_cache_outcome(self, outcome: str) -> None:
+        self._tls.cache_outcome = outcome
 
     # -- administration --------------------------------------------------
 
@@ -334,6 +382,7 @@ class Mediator:
         preflight: bool | None = None,
         deadline: Deadline | None = None,
         degrade: bool = True,
+        cache: bool = True,
     ) -> Document:
         """Answer a query posed against a mediated view.
 
@@ -368,6 +417,38 @@ class Mediator:
         self.last_degradation = None
         effective = query
         run_preflight = use_simplifier if preflight is None else preflight
+        mv = self.matview
+        token = None
+        if mv is not None and mv.policy.enabled:
+            if not cache:
+                self.last_cache_outcome = "bypass"
+                mv.note_bypass()
+            else:
+                key = (
+                    "query",
+                    view_name,
+                    query_signature(query),
+                    use_simplifier,
+                    strategy,
+                    run_preflight,
+                )
+                legs = (
+                    CacheLeg(
+                        registration.source_name,
+                        self.sources[registration.source_name],
+                        None,
+                    ),
+                )
+                outcome = mv.probe(key, view_name, None, legs)
+                if outcome.answer is not None:
+                    self.last_cache_outcome = outcome.status
+                    return outcome.answer
+                self.last_cache_outcome = "miss"
+                token = outcome.token
+        elif mv is not None:
+            self.last_cache_outcome = "disabled"
+        else:
+            self.last_cache_outcome = "off"
         tightening = None
         with obs.span("mediator.query_view") as sp:
             sp.set_attribute("view", view_name)
@@ -409,16 +490,38 @@ class Mediator:
                     if composed is not None:
                         self.stats.composed += 1
                         sp.set_attribute("outcome", "composed")
-                        return self._call_source(
+                        answer = self._call_source(
                             registration.source_name, composed, deadline
                         )
+                        if token is not None:
+                            # A composed source query re-runs cleanly
+                            # over a single document: delta-capable.
+                            assert mv is not None
+                            token.legs = (
+                                CacheLeg(
+                                    registration.source_name,
+                                    self.sources[registration.source_name],
+                                    composed,
+                                ),
+                            )
+                            mv.store(
+                                token, answer, [provenance_of(answer)]
+                            )
+                        return answer
                     if strategy == "compose":
                         raise MediatorError(
                             "query is not composable with the view definition"
                         )
                 sp.set_attribute("outcome", "materialized")
                 materialized = self.materialize(view_name, deadline)
-                return evaluate_many(effective, [materialized])
+                answer = evaluate_many(effective, [materialized])
+                if token is not None:
+                    # The answer's provenance points at the transient
+                    # materialized view, not at source documents, so
+                    # this entry is recompute-only.
+                    assert mv is not None
+                    mv.store(token, answer, [None])
+                return answer
             except (SourceTimeout, SourceUnavailable) as error:
                 if not degrade:
                     raise
@@ -514,6 +617,24 @@ class Mediator:
         else:
             strategy = "materialize"
         transport = self.transports.get(registration.source_name)
+        cache_status = "off"
+        if self.matview is not None:
+            key = (
+                "query",
+                view_name,
+                query_signature(query),
+                True,
+                "auto",
+                True,
+            )
+            legs = (
+                CacheLeg(
+                    registration.source_name,
+                    self.sources[registration.source_name],
+                    None,
+                ),
+            )
+            cache_status = self.matview.peek(key, legs)
         return QueryPlan(
             view_name=view_name,
             classification=decision.classification,
@@ -522,7 +643,51 @@ class Mediator:
             composed_query=composed,
             effective_query=decision.query,
             source_health=[transport.health()] if transport else [],
+            cache_status=cache_status,
         )
+
+    def explain_union(self, view_name: str) -> "QueryPlan":
+        """Describe how a union-view materialization would be served.
+
+        The union counterpart of :meth:`explain`: reports the fan-out
+        shape, per-source transport health, and -- with a configured
+        cache -- what the materialized-view cache would do right now
+        (``hit``, ``delta``, ``recompute``, or ``cold``) without
+        touching any source or mutating the cache.
+        """
+        registration = self._union_view(view_name)
+        scope = None
+        if not obs.enabled():
+            scope = obs.traced(clock=self.clock)
+            scope.__enter__()
+        try:
+            with obs.span("mediator.explain") as sp:
+                sp.set_attribute("view", view_name)
+                cache_status = "off"
+                if self.matview is not None:
+                    cache_status = self.matview.peek(
+                        self._union_cache_key(registration),
+                        self._union_cache_legs(registration),
+                    )
+                sp.set_attribute("cache", cache_status)
+                plan = QueryPlan(
+                    view_name=view_name,
+                    classification=None,
+                    pruned_nodes=0,
+                    strategy="union-fanout",
+                    composed_query=None,
+                    effective_query=None,
+                    source_health=[
+                        self.transports[name].health()
+                        for name in registration.source_names
+                    ],
+                    cache_status=cache_status,
+                )
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+        plan.trace_lines = sp.render().splitlines()
+        return plan
 
     # -- union views -------------------------------------------------------
 
@@ -561,11 +726,40 @@ class Mediator:
         self.union_views[view_name] = registration
         return registration
 
+    def _union_cache_key(
+        self, registration: "UnionViewRegistration"
+    ) -> tuple:
+        if registration._cache_key is None:
+            registration._cache_key = (
+                "union",
+                registration.name,
+                tuple(
+                    query_signature(branch.query)
+                    for branch in registration.branches
+                ),
+            )
+        return registration._cache_key
+
+    def _union_cache_legs(
+        self, registration: "UnionViewRegistration"
+    ) -> tuple[CacheLeg, ...]:
+        legs = self._union_legs.get(registration.name)
+        if legs is None:
+            legs = tuple(
+                CacheLeg(source_name, self.sources[source_name], branch.query)
+                for branch, source_name in zip(
+                    registration.branches, registration.source_names
+                )
+            )
+            self._union_legs[registration.name] = legs
+        return legs
+
     def materialize_union(
         self,
         view_name: str,
         deadline: Deadline | None = None,
         degrade: bool = True,
+        cache: bool = True,
     ) -> Document:
         """Evaluate a union view across its sources (fault-tolerant).
 
@@ -588,11 +782,41 @@ class Mediator:
         :class:`DegradedAnswer` rather than return an unsound document
         (the soundness argument is spelled out in
         docs/RELIABILITY.md).
+
+        With a configured :class:`MatViewCache` (``Mediator(cache=...)``),
+        repeat materializations of an unchanged federation are served
+        from the cache without touching any source, and a mutation
+        localized to one source document is delta-spliced instead of
+        recomputed; ``cache=False`` bypasses the cache for this one
+        request (``MED006``).  Degraded answers are never cached.  See
+        docs/PERFORMANCE.md.
         """
         from ..xmlmodel import Element, fresh_id
 
         registration = self._union_view(view_name)
         self.last_degradation = None
+        mv = self.matview
+        token = None
+        if mv is not None and mv.policy.enabled:
+            if not cache:
+                self.last_cache_outcome = "bypass"
+                mv.note_bypass()
+            else:
+                outcome = mv.probe(
+                    self._union_cache_key(registration),
+                    view_name,
+                    registration.dtd,
+                    self._union_cache_legs(registration),
+                )
+                if outcome.answer is not None:
+                    self.last_cache_outcome = outcome.status
+                    return outcome.answer
+                self.last_cache_outcome = "miss"
+                token = outcome.token
+        elif mv is not None:
+            self.last_cache_outcome = "disabled"
+        else:
+            self.last_cache_outcome = "off"
         report = DegradationReport(view_name=view_name)
         picks: list = []
         first_error: MediatorError | None = None
@@ -664,6 +888,16 @@ class Mediator:
                 with self._stats_lock:
                     self.stats.degraded_answers += 1
                 self.last_degradation = report
+            if token is not None and not report.skipped:
+                assert mv is not None
+                mv.store(
+                    token,
+                    document,
+                    [
+                        provenance_of(answer)
+                        for _, answer, _ in outcomes
+                    ],
+                )
         return document
 
     def _union_view(self, view_name: str) -> "UnionViewRegistration":

@@ -83,6 +83,11 @@ def registered_caches() -> tuple[str, ...]:
     return tuple(sorted(_CACHES))
 
 
+def registered_sections() -> tuple[str, ...]:
+    """Names of every registered stats section (for registry tests)."""
+    return tuple(sorted(_SECTIONS))
+
+
 def clear_all() -> None:
     """Clear every registered cache and reset all counters.
 
@@ -170,6 +175,11 @@ def render_stats() -> str:
         lines.append("  events:")
         for name, count in stats["events"].items():
             lines.append(f"    {name:28s} {count:8d}")
+    matview = stats.get("matview")
+    if matview and any(matview.values()):
+        lines.append("  matview cache:")
+        for name, value in matview.items():
+            lines.append(f"    {name:28s} {value:8d}")
     obs = stats.get("obs")
     if obs and any(obs.values()):
         lines.append("  obs metrics:")

@@ -95,8 +95,11 @@ class ServeClient:
         view: str,
         budget: float | None = None,
         degrade: bool = True,
+        cache: bool = True,
     ) -> dict:
         fields: dict = {"view": view, "degrade": degrade}
+        if not cache:
+            fields["cache"] = False
         if budget is not None:
             fields["budget"] = budget
         return self.request("union", **fields)

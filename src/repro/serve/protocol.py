@@ -86,6 +86,15 @@ class LoadShedding(ReproError):
     )
 
 
+#: Informational (nothing raises it): a union request carried
+#: ``"cache": false``, so the answer was recomputed even though the
+#: server's materialized-view cache may have held it.  Labels the
+#: ``cache_code`` response field and the ``cache_bypassed`` stat.
+CACHE_BYPASS = register_diagnostic_code(
+    "SRV008", "union request bypassed the materialized-view cache"
+)
+
+
 def encode(message: dict) -> bytes:
     """One response/request line, newline-terminated UTF-8 JSON."""
     return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")

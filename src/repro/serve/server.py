@@ -74,6 +74,8 @@ class ServerStats:
     dropped_queue_full: int = 0
     dropped_queue_deadline: int = 0
     shed: int = 0
+    #: union requests that opted out of the matview cache (SRV008)
+    cache_bypassed: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -92,6 +94,7 @@ class ServerStats:
                 "dropped_queue_full": self.dropped_queue_full,
                 "dropped_queue_deadline": self.dropped_queue_deadline,
                 "shed": self.shed,
+                "cache_bypassed": self.cache_bypassed,
             }
 
 
@@ -371,6 +374,9 @@ class MediatorServer:
                 "'budget' must be a positive number of seconds"
             )
         degrade = bool(request.get("degrade", True))
+        use_cache = bool(request.get("cache", True))
+        if not use_cache:
+            self.stats.bump("cache_bypassed")
         if self.policy.shed_when_all_open and self._breakers_all_open():
             self.stats.bump("shed")
             raise LoadShedding(
@@ -389,9 +395,10 @@ class MediatorServer:
             raise
         try:
             document = self.mediator.materialize_union(
-                view, deadline, degrade=degrade
+                view, deadline, degrade=degrade, cache=use_cache
             )
             report = self.mediator.last_degradation
+            cache_outcome = self.mediator.last_cache_outcome
         finally:
             self.admission.release()
         elapsed = self.mediator.clock.now() - started
@@ -401,7 +408,10 @@ class MediatorServer:
             "answer": serialize_document(document),
             "degraded": report is not None,
             "elapsed": round(elapsed, 6),
+            "cache": cache_outcome,
         }
+        if cache_outcome == "bypass":
+            response["cache_code"] = protocol.CACHE_BYPASS
         if report is not None:
             response["skipped"] = dict(sorted(report.skipped.items()))
             response["answered"] = list(report.answered)
@@ -417,4 +427,6 @@ class MediatorServer:
             "p95": self.latency.quantile(0.95),
             "max": self.latency.max,
         }
+        if self.mediator.matview is not None:
+            snapshot["matview"] = self.mediator.matview.info()
         return snapshot

@@ -23,6 +23,8 @@ from ..dtd import generate_document
 from ..mediator import (
     FanoutPolicy,
     FaultPlan,
+    MatViewCache,
+    MatViewPolicy,
     Mediator,
     Source,
     TransportPolicy,
@@ -54,11 +56,14 @@ def build_paper_federation(
     seed: int = 7,
     policy: TransportPolicy | None = None,
     fanout: FanoutPolicy | None = None,
+    cache: MatViewPolicy | MatViewCache | None = None,
 ) -> Mediator:
     """A healthy union federation over the paper's D1 schema."""
     schema = paper_workload.d1()
     rng = random.Random(seed)
-    mediator = Mediator("paper-federation", policy=policy, fanout=fanout)
+    mediator = Mediator(
+        "paper-federation", policy=policy, fanout=fanout, cache=cache
+    )
     queries = []
     for i in range(n_sources):
         name = f"dept{i}"
@@ -81,6 +86,7 @@ def build_serve_workload(
     latency: float = 0.0,
     policy: TransportPolicy | None = None,
     fanout: FanoutPolicy | None = None,
+    cache: MatViewPolicy | MatViewCache | None = None,
 ) -> Mediator:
     """The mediator behind ``repro serve --workload <name>``.
 
@@ -88,6 +94,8 @@ def build_serve_workload(
     flaky workload's sites — real sleeps on the system clock, so the
     parallel speedup is observable from a client.  The paper workload
     ignores it (healthy in-process sources answer at memory speed).
+    ``cache`` wires a materialized-view answer cache into the mediator
+    so repeat requests for an unchanged federation skip the fan-out.
     """
     if workload == "flaky":
         from ..mediator import SystemClock
@@ -112,6 +120,7 @@ def build_serve_workload(
             plans=plans,
             seed=seed,
             fanout=fanout,
+            cache=cache,
         )
     if workload == "paper":
         return build_paper_federation(
@@ -120,6 +129,7 @@ def build_serve_workload(
             seed=seed,
             policy=policy,
             fanout=fanout,
+            cache=cache,
         )
     raise ValueError(
         f"unknown serve workload {workload!r} "

@@ -12,10 +12,21 @@ scaling benchmarks and available for examples.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
 from ..dtd import Dtd, dtd, generate_document
 from ..xmas import Query, parse_query
 from ..xmlmodel import Document
+
+if TYPE_CHECKING:
+    from ..mediator import (
+        Clock,
+        FanoutPolicy,
+        MatViewCache,
+        MatViewPolicy,
+        Mediator,
+        TransportPolicy,
+    )
 
 
 def bibdb_dtd() -> Dtd:
@@ -130,6 +141,73 @@ def lint_workload() -> list[tuple[str, Dtd, Query]]:
     """Labelled (DTD, query) pairs for ``repro lint --workload bibdb``."""
     schema = bibdb_dtd()
     return [(query.view_name, schema, query) for query in all_views()]
+
+
+def branch_journal_query(
+    source_name: str, view_name: str = "journalArticles"
+) -> Query:
+    """One union branch of :func:`union_federation`: DOI'd journal
+    articles of one bibliography site."""
+    return parse_query(
+        f"""
+        {view_name} =
+          SELECT A
+          WHERE <bibdb>
+                  <venue>
+                    <journalInfo/>
+                    <volume>
+                      <issue>
+                        A:<article><doi/></article>
+                      </>
+                    </>
+                  </>
+                </>
+        """,
+        source=source_name,
+    )
+
+
+def union_federation(
+    n_sources: int = 4,
+    n_docs: int = 8,
+    seed: int = 7,
+    star_mean: float = 1.4,
+    view_name: str = "journalArticles",
+    clock: "Clock | None" = None,
+    policy: "TransportPolicy | None" = None,
+    fanout: "FanoutPolicy | None" = None,
+    cache: "MatViewPolicy | MatViewCache | None" = None,
+) -> "Mediator":
+    """A healthy union federation of bibliography sites.
+
+    Every site exports an independent :func:`corpus` under the shared
+    :func:`bibdb_dtd`; the ``view_name`` union view picks each site's
+    DOI'd journal articles.  The selective pick (most articles lack a
+    DOI) makes this the matview benchmark workload: answers are much
+    smaller than the corpus, so cache hits and delta splices are cheap
+    next to a full re-evaluation.
+    """
+    from ..mediator import Mediator, Source
+
+    mediator = Mediator(
+        "bibdb-federation",
+        policy=policy,
+        clock=clock,
+        fanout=fanout,
+        cache=cache,
+    )
+    schema = bibdb_dtd()
+    queries = []
+    for i in range(n_sources):
+        name = f"bib{i}"
+        rng = random.Random(seed + i)
+        documents = corpus(n_docs, rng, star_mean=star_mean)
+        mediator.add_source(
+            Source(name, schema, documents, validate=False)
+        )
+        queries.append(branch_journal_query(name, view_name))
+    mediator.register_union_view(queries, view_name)
+    return mediator
 
 
 def corpus(

@@ -24,6 +24,8 @@ from ..mediator import (
     FanoutPolicy,
     FaultPlan,
     FaultySource,
+    MatViewCache,
+    MatViewPolicy,
     Mediator,
     TransportPolicy,
 )
@@ -106,6 +108,7 @@ def build_flaky_federation(
     view_name: str = "journals",
     seed: int = 7,
     fanout: FanoutPolicy | None = None,
+    cache: MatViewPolicy | MatViewCache | None = None,
 ) -> Mediator:
     """A ready-to-query federation of :class:`FaultySource` sites.
 
@@ -119,7 +122,7 @@ def build_flaky_federation(
     if plans is None:
         plans = standard_fault_plans(n_sources)
     mediator = Mediator(
-        "federation", policy=policy, clock=clock, fanout=fanout
+        "federation", policy=policy, clock=clock, fanout=fanout, cache=cache
     )
     queries = []
     for name, schema, documents, query in federation_branches(

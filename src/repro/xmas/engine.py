@@ -45,7 +45,9 @@ alongside the language kernel's caches.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from .. import obs
 from ..regex import kernel
@@ -539,6 +541,91 @@ class _PlanRun:
 
 
 # ---------------------------------------------------------------------------
+# answer provenance (the materialized-view cache's raw material)
+# ---------------------------------------------------------------------------
+
+
+class PickOrigin(NamedTuple):
+    """Where one top-level answer element came from.
+
+    ``doc`` is the ordinal of the source document in the evaluated
+    list, ``pos`` the picked element's preorder position in that
+    document's index, and ``end`` the exclusive end of its descendant
+    interval (``-1``/``-1`` when the legacy fallback picked an element
+    the index cannot place).  :mod:`repro.mediator.matview` stores
+    these alongside cached answers to splice per-document deltas.
+    """
+
+    doc: int
+    pos: int
+    end: int
+
+
+#: answer document -> per-pick origins, recorded only while some
+#: mediator cache has asked for provenance (weak: answers own their
+#: provenance and drop it when they die)
+_PROVENANCE: "weakref.WeakKeyDictionary[Document, tuple[PickOrigin, ...]]" = (
+    weakref.WeakKeyDictionary()
+)
+_PROV_LOCK = threading.Lock()
+_prov_users = 0
+
+
+def enable_provenance() -> None:
+    """Ask the engine to record pick origins (refcounted)."""
+    global _prov_users
+    with _PROV_LOCK:
+        _prov_users += 1
+
+
+def disable_provenance() -> None:
+    """Drop one provenance request; recording stops at zero."""
+    global _prov_users
+    with _PROV_LOCK:
+        _prov_users = max(0, _prov_users - 1)
+
+
+def provenance_of(answer: Document) -> tuple[PickOrigin, ...] | None:
+    """The recorded pick origins of an answer document, if any."""
+    with _PROV_LOCK:
+        return _PROVENANCE.get(answer)
+
+
+def _picked_with_origins(
+    query: Query,
+    plan: CompiledPlan,
+    document: Document,
+    ordinal: int,
+    origins: list[PickOrigin] | None,
+) -> list[Element]:
+    """One document's picks, appending their origins when recording."""
+    if not plan.projectable:
+        kernel.EVENTS["engine.fallback"] += 1
+        from .evaluator import legacy_picked_elements
+
+        picked = legacy_picked_elements(query, document)
+        if origins is not None:
+            index = document_index(document)
+            for element in picked:
+                pos = index.position_of(element)
+                if pos is None:
+                    origins.append(PickOrigin(ordinal, -1, -1))
+                else:
+                    origins.append(
+                        PickOrigin(ordinal, pos, index.end[pos])
+                    )
+        return picked
+    kernel.EVENTS["engine.projected"] += 1
+    index = document_index(document)
+    positions = _PlanRun(plan, index).picked_positions()
+    if origins is not None:
+        origins.extend(
+            PickOrigin(ordinal, pos, index.end[pos]) for pos in positions
+        )
+    return [index.order[pos] for pos in positions]
+
+
+# ---------------------------------------------------------------------------
 # public entry points
 # ---------------------------------------------------------------------------
 
@@ -575,9 +662,13 @@ def evaluate_many_compiled(query: Query, documents: list[Document]) -> Document:
         index_hits = _index_module._index_hits
         index_misses = _index_module._index_misses
         plan = compile_query(query)
+        record = _prov_users > 0
+        origins: list[PickOrigin] | None = [] if record else None
         picks: list[Element] = []
-        for document in documents:
-            picks.extend(compiled_picked_elements(query, document, plan))
+        for ordinal, document in enumerate(documents):
+            picks.extend(
+                _picked_with_origins(query, plan, document, ordinal, origins)
+            )
         sp.set_attribute("view", query.view_name)
         sp.set_attribute(
             "strategy",
@@ -596,4 +687,8 @@ def evaluate_many_compiled(query: Query, documents: list[Document]) -> Document:
             [element.deep_copy(fresh_ids=True) for element in picks],
             fresh_id(),
         )
-        return Document(root)
+        answer = Document(root)
+        if record and origins is not None:
+            with _PROV_LOCK:
+                _PROVENANCE[answer] = tuple(origins)
+        return answer

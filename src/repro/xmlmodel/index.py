@@ -27,9 +27,12 @@ from __future__ import annotations
 import threading
 import weakref
 from bisect import bisect_left
+from operator import attrgetter
 
 from ..regex import kernel
 from .element import Document, Element, mutation_stamp
+
+_VERSION_OF = attrgetter("mutation_version")
 
 
 class DocumentIndex:
@@ -152,15 +155,18 @@ _INDEX_LOCK = threading.RLock()
 _index_hits = 0
 _index_misses = 0
 _index_invalidations = 0
+_index_content_rearms = 0
 
 
 def _clear_index_cache() -> None:
     global _index_hits, _index_misses, _index_invalidations
+    global _index_content_rearms
     with _INDEX_LOCK:
         _INDEX_CACHE.clear()
         _index_hits = 0
         _index_misses = 0
         _index_invalidations = 0
+        _index_content_rearms = 0
 
 
 kernel.register_cache(
@@ -170,6 +176,7 @@ kernel.register_cache(
         "hits": _index_hits,
         "misses": _index_misses,
         "invalidations": _index_invalidations,
+        "content_rearms": _index_content_rearms,
         "size": len(_INDEX_CACHE),
     },
 )
@@ -186,7 +193,37 @@ def _index_is_fresh(document: Document, index: DocumentIndex) -> bool:
     """
     if document.mutation_version > index.stamp:
         return False
-    return all(el.mutation_version <= index.stamp for el in index.order)
+    return max(map(_VERSION_OF, index.order)) <= index.stamp
+
+
+def _structure_intact(index: DocumentIndex, mutated: list[int]) -> bool:
+    """Whether the mutated elements kept their indexed child lists.
+
+    Every structural edit (``append_child`` / ``insert_child`` /
+    ``remove_child`` / ``set_content``) stamps the parent whose child
+    list changed, and element names are immutable -- so if each
+    mutated element's current children are identity-equal to the
+    positions the index recorded, only *content* changed
+    (``set_text`` / ``set_attribute``) and every structural array and
+    label list is still exact.  Content is read live from the elements
+    by all index consumers, so such an index can be re-armed in place
+    instead of rebuilt.
+    """
+    order = index.order
+    children = index.children
+    for pos in mutated:
+        kids = order[pos].content
+        kid_positions = children[pos]
+        if isinstance(kids, str):
+            if kid_positions:
+                return False
+            continue
+        if len(kids) != len(kid_positions):
+            return False
+        for child, child_pos in zip(kids, kid_positions):
+            if order[child_pos] is not child:
+                return False
+    return True
 
 
 def document_index(document: Document) -> DocumentIndex:
@@ -197,10 +234,14 @@ def document_index(document: Document) -> DocumentIndex:
     A hit is validated against the global mutation clock -- O(1) when
     nothing in the process mutated since the build (the overwhelmingly
     common case); one scan re-arms that fast path after unrelated
-    mutations; an actual edit of this document invalidates and
-    rebuilds (counted as ``invalidations`` in the cache stats).
+    mutations.  An edit of this document invalidates and rebuilds
+    (counted as ``invalidations``) unless it was content-only
+    (``set_text`` / ``set_attribute``), in which case the structural
+    arrays are still exact and the index re-arms in place (counted as
+    ``content_rearms``).
     """
     global _index_hits, _index_misses, _index_invalidations
+    global _index_content_rearms
     with _INDEX_LOCK:
         index = _INDEX_CACHE.get(document)
         if index is not None:
@@ -214,6 +255,17 @@ def document_index(document: Document) -> DocumentIndex:
                 index.stamp = stamp
                 _index_hits += 1
                 return index
+            if document.mutation_version <= index.stamp:
+                built = index.stamp
+                mutated = [
+                    pos
+                    for pos, el in enumerate(index.order)
+                    if el.mutation_version > built
+                ]
+                if _structure_intact(index, mutated):
+                    index.stamp = stamp
+                    _index_content_rearms += 1
+                    return index
             _index_invalidations += 1
         else:
             _index_misses += 1

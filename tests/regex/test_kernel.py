@@ -218,6 +218,34 @@ class TestKernelRegistry:
         assert "caches" in text
         assert "language.signature" in text
 
+    def test_every_stats_section_resets_with_clear_caches(self):
+        # Regression: a stats section registered without a paired
+        # cache-clear hook survives clear_caches() with stale counters.
+        # Put traffic through every section owner, clear, and demand
+        # zeros everywhere.
+        from repro import obs
+        from repro.mediator import MatViewCache
+
+        def all_zero(value, path):
+            if isinstance(value, dict):
+                for key, sub in value.items():
+                    all_zero(sub, f"{path}.{key}")
+            elif isinstance(value, (int, float)):
+                assert value == 0, f"{path} = {value!r} after clear"
+            # non-numeric leaves (labels etc.) are not counters
+
+        cache = MatViewCache()
+        cache.note_bypass()
+        obs.REGISTRY.counter("kernel.test.section_reset").inc()
+        with obs.span("kernel.test.section_reset"):
+            pass
+        clear_caches()
+        stats = kernel_stats()
+        for name in kernel.registered_sections():
+            assert name in stats
+            all_zero(stats[name], name)
+        assert cache.info()["bypasses"] == 0
+
 
 class TestConstants:
     def test_constants_are_singletons(self):

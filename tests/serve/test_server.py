@@ -275,6 +275,52 @@ class TestAdmissionOverSockets:
                 assert transport.gate is None
 
 
+class TestWarmCache:
+    def cached_server(self, **kwargs):
+        from repro.mediator import MatViewPolicy
+
+        mediator = build_paper_federation(
+            cache=MatViewPolicy(), **kwargs
+        )
+        return MediatorServer(mediator, ServePolicy())
+
+    def test_repeat_requests_hit_the_shared_cache(self):
+        with self.cached_server() as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                first = client.union(VIEW)
+                assert first["cache"] == "miss"
+                second = client.union(VIEW)
+                assert second["cache"] == "hit"
+                assert second["answer"] == first["answer"]
+                stats = client.stats()
+                assert stats["matview"]["hits"] == 1
+                assert stats["matview"]["misses"] == 1
+                assert stats["cache_bypassed"] == 0
+
+    def test_cache_false_bypasses_and_is_counted(self):
+        with self.cached_server() as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                client.union(VIEW)
+                response = client.union(VIEW, cache=False)
+                assert response["cache"] == "bypass"
+                assert response["cache_code"] == "SRV008"
+                stats = client.stats()
+                assert stats["cache_bypassed"] == 1
+                assert stats["matview"]["bypasses"] == 1
+                # the stored entry survived the bypass
+                assert client.union(VIEW)["cache"] == "hit"
+
+    def test_uncached_server_reports_off(self):
+        with paper_server() as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                response = client.union(VIEW)
+                assert response["cache"] == "off"
+                assert "matview" not in client.stats()
+
+
 class TestBenchDriver:
     def test_run_bench_counts_everything(self):
         from repro.serve import run_bench
