@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json bench-matview-json examples lint check-docs trace-smoke serve-smoke matview-smoke verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json bench-matview-json bench-sharding-json examples lint check-docs trace-smoke serve-smoke matview-smoke verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,7 +20,7 @@ bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
 		benchmarks/bench_evaluator.py benchmarks/bench_faults.py \
 		benchmarks/bench_obs.py benchmarks/bench_parallel.py \
-		benchmarks/bench_matview.py -q \
+		benchmarks/bench_matview.py benchmarks/bench_sharding.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -78,6 +78,18 @@ bench-matview-json:
 		--benchmark-json=.bench_matview.json
 	python benchmarks/compare_bench.py merge .bench_matview.json \
 		--output BENCH_PR8.json
+
+# The PR9 sharding gate: run the fragmentation-aware sharding benches
+# (1 -> 64 shard ladder: prune correctness vs the unsharded oracle at
+# every rung, best pruned rung >= 3x the single-shard baseline,
+# unprunable gather overhead recorded) and write the BENCH_PR9.json
+# trajectory file.  See docs/SHARDING.md.
+bench-sharding-json:
+	pytest benchmarks/bench_sharding.py -q --benchmark-only \
+		--benchmark-disable-gc \
+		--benchmark-json=.bench_sharding.json
+	python benchmarks/compare_bench.py merge .bench_sharding.json \
+		--output BENCH_PR9.json
 
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`

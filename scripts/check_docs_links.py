@@ -13,7 +13,13 @@ CHANGES.md, docs/*.md) and verifies that
    ``*.md`` -- resolves, and when it carries a ``:LINE`` suffix the
    file actually has that many lines.  ``::`` pytest selectors are
    checked by their file part; glob-ish tokens (``*`` or ``{``) and
-   dotted module paths are ignored.
+   dotted module paths are ignored;
+3. every **registered diagnostic code** (``repro.errors``'s unified
+   namespace, populated by importing the code-registering packages)
+   appears in ``docs/DIAGNOSTICS.md`` -- the catalogue can never
+   silently fall behind the code;
+4. every **``src/repro`` package** (a directory with ``__init__.py``)
+   has a ``repro.<name>`` row in README.md's architecture inventory.
 
 Exit status: 0 when everything resolves, 1 otherwise (one line per
 broken reference).  Wired into ``make check-docs`` / ``make check``.
@@ -105,10 +111,49 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+def check_diagnostic_catalogue() -> list[str]:
+    """Every registered diagnostic code must appear in DIAGNOSTICS.md."""
+    sys.path.insert(0, str(REPO / "src"))
+    # Importing these packages runs every register_diagnostic_code /
+    # register_rule call, filling the unified namespace.
+    import repro.errors  # noqa: F401
+    import repro.lint  # noqa: F401
+    import repro.mediator  # noqa: F401
+    import repro.serve  # noqa: F401
+    from repro.errors import DIAGNOSTIC_CODES
+
+    catalogue = (REPO / "docs" / "DIAGNOSTICS.md").read_text(
+        encoding="utf-8"
+    )
+    return [
+        f"docs/DIAGNOSTICS.md: registered code {code} ({summary}) "
+        "is not in the catalogue"
+        for code, summary in sorted(DIAGNOSTIC_CODES.items())
+        if code not in catalogue
+    ]
+
+
+def check_readme_inventory() -> list[str]:
+    """Every src/repro package needs a README architecture-inventory row."""
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    problems = []
+    for package in sorted((REPO / "src" / "repro").iterdir()):
+        if not (package / "__init__.py").is_file():
+            continue
+        if f"repro.{package.name}" not in readme:
+            problems.append(
+                f"README.md: package src/repro/{package.name} has no "
+                f"repro.{package.name} row in the architecture inventory"
+            )
+    return problems
+
+
 def main() -> int:
     problems = []
     for doc in DOC_FILES:
         problems.extend(check_file(doc))
+    problems.extend(check_diagnostic_catalogue())
+    problems.extend(check_readme_inventory())
     for problem in problems:
         print(problem)
     checked = ", ".join(str(p.relative_to(REPO)) for p in DOC_FILES)

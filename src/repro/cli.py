@@ -343,14 +343,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.no_cache
         else MatViewPolicy(max_bytes=args.cache_bytes)
     )
-    mediator = build_serve_workload(
-        args.workload,
-        n_sources=args.sources,
-        n_docs=args.docs,
-        latency=args.latency,
-        fanout=_serve_fanout(args),
-        cache=cache,
-    )
+    try:
+        mediator = build_serve_workload(
+            args.workload,
+            n_sources=args.sources,
+            n_docs=args.docs,
+            latency=args.latency,
+            fanout=_serve_fanout(args),
+            cache=cache,
+            shards=args.shards,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     policy = ServePolicy(
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
@@ -696,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workload",
-        choices=["flaky", "paper"],
+        choices=["flaky", "paper", "bibdb"],
         default="paper",
         help="which federation to serve (default: paper)",
     )
@@ -709,6 +714,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--sources", type=int, default=4, metavar="N")
     p.add_argument("--docs", type=int, default=2, metavar="N")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "split every site into N fragment-DTD shards with"
+            " fragmentation-aware pruning (bibdb workload only;"
+            " default: 0 = unsharded)"
+        ),
+    )
     p.add_argument(
         "--latency",
         type=float,

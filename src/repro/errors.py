@@ -200,3 +200,26 @@ STALE_DELTA_FALLBACK = register_diagnostic_code(
     "MED007",
     "delta maintenance unsound for this mutation; full recompute",
 )
+
+#: Informational code for sharded-source gathers
+#: (:mod:`repro.mediator.sharding`): one or more shards failed
+#: permanently and the logical source released the surviving shards'
+#: merged answer instead of failing the whole call.  Labels span
+#: events and the ``sharding`` stats section; never raised.
+PARTIAL_SHARD_GATHER = register_diagnostic_code(
+    "MED008", "partial shard gather: failed shards dropped from answer"
+)
+
+
+class ShardConfigError(MediatorError):
+    """A sharded source's fragmentation is invalid.
+
+    Raised by :class:`repro.mediator.sharding.ShardedSource` for
+    structural misconfiguration: no fragments, duplicate fragment
+    names, a fragment DTD that is no specialization of the logical
+    DTD, or a routed document that fits no fragment DTD.
+    """
+
+    code = register_diagnostic_code(
+        "MED009", "invalid shard fragmentation (sharded-source config)"
+    )

@@ -33,6 +33,16 @@ from .mediator import (
     ViewRegistration,
 )
 from .parallel import FanoutPolicy, LegResult, ParallelTransport
+from .sharding import (
+    ShardGatherReport,
+    ShardPolicy,
+    ShardStats,
+    ShardedSource,
+    fragment_by_child,
+    fragment_can_match,
+    fragment_specialization_problem,
+    partition_documents,
+)
 from .simplifier import SimplifierDecision, simplify_query
 from .source import Source
 from .transport import (
@@ -76,6 +86,10 @@ __all__ = [
     "QueryPlan",
     "QueryStats",
     "RetryPolicy",
+    "ShardGatherReport",
+    "ShardPolicy",
+    "ShardStats",
+    "ShardedSource",
     "SimplifierDecision",
     "Source",
     "SourceTransport",
@@ -85,6 +99,10 @@ __all__ = [
     "UnionViewRegistration",
     "ViewRegistration",
     "compose_query",
+    "fragment_by_child",
+    "fragment_can_match",
+    "fragment_specialization_problem",
+    "partition_documents",
     "plan_signature",
     "query_signature",
     "render_health",

@@ -93,6 +93,16 @@ def _virtual(clock: Clock) -> bool:
     )
 
 
+#: Is this thread currently running a fan-out leg?  Process-wide (not
+#: per-instance): a leg that fans out again through a *different*
+#: ParallelTransport — a stacked mediator, or a sharded source's
+#: gather inside a union leg — must also run inline.  Nesting real
+#: pools squares the thread count for no win, and under a virtual
+#: clock the outer worker would block unparked on the inner fan-out,
+#: deadlocking the fake clock's all-parked time-advance rule.
+_FANOUT_STATE = threading.local()
+
+
 class ParallelTransport:
     """Fan a set of transport calls out over a bounded worker pool.
 
@@ -112,7 +122,6 @@ class ParallelTransport:
         self.policy = policy or FanoutPolicy()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
-        self._local = threading.local()
         #: fan-outs dispatched in parallel / answered inline
         self.parallel_fanouts = 0
         self.inline_fanouts = 0
@@ -170,12 +179,12 @@ class ParallelTransport:
             return []
         workers = min(self.policy.max_workers, len(legs))
         if workers <= 1 or len(legs) == 1 or getattr(
-            self._local, "active", False
+            _FANOUT_STATE, "active", False
         ):
             # Single-source serving path (the <5% overhead gate), a
             # worker-pool of one, or a nested fan-out from inside a
-            # worker (stacked mediators): run inline — no threads, no
-            # pool, just the cost model.
+            # worker (stacked mediators, sharded-source gathers): run
+            # inline — no threads, no pool, just the cost model.
             self.inline_fanouts += 1
             return [
                 self._run_leg(transport, query, deadline)
@@ -213,7 +222,7 @@ class ParallelTransport:
     ) -> None:
         if virtual:
             self.clock.claim_worker()
-        self._local.active = True
+        _FANOUT_STATE.active = True
         try:
             while True:
                 try:
@@ -226,7 +235,7 @@ class ParallelTransport:
                     )
                 obs.finish_span(leg_span)
         finally:
-            self._local.active = False
+            _FANOUT_STATE.active = False
             if virtual:
                 self.clock.release_worker()
 

@@ -180,6 +180,11 @@ def render_stats() -> str:
         lines.append("  matview cache:")
         for name, value in matview.items():
             lines.append(f"    {name:28s} {value:8d}")
+    sharding = stats.get("sharding")
+    if sharding and any(sharding.values()):
+        lines.append("  sharded sources:")
+        for name, value in sharding.items():
+            lines.append(f"    {name:28s} {value:8d}")
     obs = stats.get("obs")
     if obs and any(obs.values()):
         lines.append("  obs metrics:")

@@ -13,6 +13,11 @@ admission controller have real work to do:
   (D1, Example 3.1) with generated documents: a clean-room workload
   for measuring serving overhead and parallel speedup without fault
   noise.
+* ``bibdb`` -- the bibliography federation from
+  :mod:`repro.workloads.bibdb`.  With ``--shards N`` every site
+  becomes a :class:`~repro.mediator.ShardedSource` of ``N`` fragment-
+  DTD-typed shards, so the served view exercises fragmentation-aware
+  pruning and scatter-gather end to end (docs/SHARDING.md).
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from ..workloads import paper as paper_workload
 from ..workloads.flaky import build_flaky_federation, standard_fault_plans
 from ..xmas import parse_query
 
-SERVE_WORKLOADS = ("flaky", "paper")
+SERVE_WORKLOADS = ("flaky", "paper", "bibdb")
 #: every built-in workload serves this union view
 VIEW_NAME = "journals"
 
@@ -87,6 +92,7 @@ def build_serve_workload(
     policy: TransportPolicy | None = None,
     fanout: FanoutPolicy | None = None,
     cache: MatViewPolicy | MatViewCache | None = None,
+    shards: int = 0,
 ) -> Mediator:
     """The mediator behind ``repro serve --workload <name>``.
 
@@ -96,7 +102,14 @@ def build_serve_workload(
     ignores it (healthy in-process sources answer at memory speed).
     ``cache`` wires a materialized-view answer cache into the mediator
     so repeat requests for an unchanged federation skip the fan-out.
+    ``shards`` > 0 selects the sharded bibdb federation (each site
+    split into that many fragment-typed shards); it only applies to
+    the ``bibdb`` workload.
     """
+    if shards > 0 and workload != "bibdb":
+        raise ValueError(
+            f"--shards only applies to the bibdb workload, not {workload!r}"
+        )
     if workload == "flaky":
         from ..mediator import SystemClock
 
@@ -127,6 +140,29 @@ def build_serve_workload(
             n_sources=n_sources,
             n_docs=n_docs,
             seed=seed,
+            policy=policy,
+            fanout=fanout,
+            cache=cache,
+        )
+    if workload == "bibdb":
+        from ..workloads import bibdb
+
+        if shards > 0:
+            return bibdb.sharded_federation(
+                n_sources=n_sources,
+                n_shards=shards,
+                n_docs=max(n_docs, shards),
+                seed=seed,
+                view_name=VIEW_NAME,
+                policy=policy,
+                fanout=fanout,
+                cache=cache,
+            )
+        return bibdb.union_federation(
+            n_sources=n_sources,
+            n_docs=n_docs,
+            seed=seed,
+            view_name=VIEW_NAME,
             policy=policy,
             fanout=fanout,
             cache=cache,

@@ -25,6 +25,8 @@ if TYPE_CHECKING:
         MatViewCache,
         MatViewPolicy,
         Mediator,
+        ShardPolicy,
+        ShardedSource,
         TransportPolicy,
     )
 
@@ -71,6 +73,70 @@ def bibdb_dtd() -> Dtd:
             "alias": "#PCDATA",
         },
         root="bibdb",
+    )
+
+
+def _fragment_venue_dtd(venue_model: str, drop: frozenset[str]) -> Dtd:
+    """The bibdb schema with a restricted ``venue`` model (fragment DTD)."""
+    models = {
+        "bibdb": "meta, venue+, personIndex?",
+        "meta": "dbName, release, curator*",
+        "venue": venue_model,
+        "journalInfo": "publisher, issn?",
+        "conferenceInfo": "location, series?",
+        "volume": "volLabel, issue+",
+        "issue": "issueLabel?, article+",
+        "article": (
+            "title, author+, pages?, abstract?, (doi | url)?, citation*"
+        ),
+        "citation": "refTitle, refAuthor*",
+        "personIndex": "person*",
+        "person": "fullName, affiliation?, alias*",
+        **{
+            leaf: "#PCDATA"
+            for leaf in (
+                "dbName", "release", "curator", "venueName",
+                "publisher", "issn", "location", "series", "volLabel",
+                "issueLabel", "title", "author", "pages", "abstract",
+                "doi", "url", "refTitle", "refAuthor", "fullName",
+                "affiliation", "alias",
+            )
+        },
+    }
+    return dtd(
+        {
+            name: model
+            for name, model in models.items()
+            if name not in drop
+        },
+        root="bibdb",
+    )
+
+
+def journal_fragment_dtd() -> Dtd:
+    """The fragment DTD of a journal-only bibliography shard.
+
+    A proper specialization of :func:`bibdb_dtd`: ``venue`` loses the
+    ``conferenceInfo`` alternative (and the conference leaves are not
+    declared at all), so queries touching conference structure are
+    statically prunable against shards typed by this DTD.
+    """
+    return _fragment_venue_dtd(
+        "venueName, journalInfo, volume+",
+        drop=frozenset(("conferenceInfo", "location", "series")),
+    )
+
+
+def conference_fragment_dtd() -> Dtd:
+    """The fragment DTD of a conference-only bibliography shard.
+
+    The mirror image of :func:`journal_fragment_dtd`: ``journalInfo``
+    (and its leaves) are undeclared, so the DOI'd-journal-articles
+    views prune these shards without a single call.
+    """
+    return _fragment_venue_dtd(
+        "venueName, conferenceInfo, volume+",
+        drop=frozenset(("journalInfo", "publisher", "issn")),
     )
 
 
@@ -204,6 +270,145 @@ def union_federation(
         documents = corpus(n_docs, rng, star_mean=star_mean)
         mediator.add_source(
             Source(name, schema, documents, validate=False)
+        )
+        queries.append(branch_journal_query(name, view_name))
+    mediator.register_union_view(queries, view_name)
+    return mediator
+
+
+def sharded_source(
+    name: str,
+    n_docs: int = 16,
+    n_shards: int = 4,
+    seed: int = 7,
+    journal_fraction: float = 0.125,
+    star_mean: float = 1.4,
+    clock: "Clock | None" = None,
+    policy: "ShardPolicy | None" = None,
+    transport_policy: "TransportPolicy | None" = None,
+    fanout: "FanoutPolicy | None" = None,
+) -> "ShardedSource":
+    """A content-aware sharding of one bibliography site.
+
+    The corpus mixes ``journal_fraction`` journal-only documents
+    (generated under :func:`journal_fragment_dtd`) with conference-only
+    documents (:func:`conference_fragment_dtd`), journal documents
+    first, and partitions it contiguously into ``n_shards`` fragments.
+    A shard holding only journal (or only conference) documents is
+    typed by the matching fragment DTD; a mixed shard falls back to
+    the full logical DTD.  As the shard count grows the journal
+    documents concentrate into fewer, purer shards — exactly the
+    regime where the DOI'd-journal-articles views prune the conference
+    shards statically (``benchmarks/bench_sharding.py`` runs this as
+    the 1→64 ladder).
+    """
+    from ..mediator import ShardedSource, Source, partition_documents
+
+    schema = bibdb_dtd()
+    journal_dtd = journal_fragment_dtd()
+    conference_dtd = conference_fragment_dtd()
+    rng = random.Random(seed)
+    n_journal = max(1, round(n_docs * journal_fraction))
+    documents = [
+        _fragment_document(journal_dtd, rng, star_mean)
+        for _ in range(n_journal)
+    ] + [
+        _fragment_document(conference_dtd, rng, star_mean)
+        for _ in range(n_docs - n_journal)
+    ]
+    kinds = ["journal"] * n_journal + ["conference"] * (n_docs - n_journal)
+    shards = []
+    for index, (chunk, chunk_kinds) in enumerate(
+        zip(
+            partition_documents(documents, n_shards),
+            partition_documents(kinds, n_shards),
+        )
+    ):
+        kind_set = set(chunk_kinds)
+        if kind_set == {"journal"}:
+            fragment_dtd = journal_dtd
+        elif kind_set == {"conference"}:
+            fragment_dtd = conference_dtd
+        else:
+            fragment_dtd = schema
+        shards.append(
+            Source(
+                f"{name}/s{index}", fragment_dtd, chunk, validate=False
+            )
+        )
+    return ShardedSource(
+        name,
+        schema,
+        shards,
+        policy=policy,
+        transport_policy=transport_policy,
+        clock=clock,
+        fanout=fanout,
+        validate=False,
+    )
+
+
+def _fragment_document(
+    fragment_dtd: Dtd, rng: random.Random, star_mean: float
+) -> Document:
+    """One corpus document valid under a venue-kind fragment DTD."""
+    return generate_document(
+        fragment_dtd,
+        rng,
+        star_mean=star_mean,
+        string_pool=(
+            "TODS", "TKDE", "VLDB J.", "ICDE", "SIGMOD",
+            "Papakonstantinou", "Velikhov", "Widom", "Abiteboul",
+            "10.1109/x", "1999", "San Diego",
+        ),
+    )
+
+
+def sharded_federation(
+    n_sources: int = 2,
+    n_shards: int = 4,
+    n_docs: int = 16,
+    seed: int = 7,
+    journal_fraction: float = 0.125,
+    star_mean: float = 1.4,
+    view_name: str = "journalArticles",
+    clock: "Clock | None" = None,
+    policy: "TransportPolicy | None" = None,
+    fanout: "FanoutPolicy | None" = None,
+    cache: "MatViewPolicy | MatViewCache | None" = None,
+    shard_policy: "ShardPolicy | None" = None,
+) -> "Mediator":
+    """The :func:`union_federation` over sharded bibliography sites.
+
+    Every site is a :func:`sharded_source` with ``n_shards`` fragments;
+    the union view and its branch queries are identical to the
+    unsharded federation, so the serving front end (``repro serve
+    --shards N``) and the benchmarks compare like for like.
+    """
+    from ..mediator import Mediator
+
+    mediator = Mediator(
+        "bibdb-federation",
+        policy=policy,
+        clock=clock,
+        fanout=fanout,
+        cache=cache,
+    )
+    queries = []
+    for i in range(n_sources):
+        name = f"bib{i}"
+        mediator.add_source(
+            sharded_source(
+                name,
+                n_docs=n_docs,
+                n_shards=n_shards,
+                seed=seed + i,
+                journal_fraction=journal_fraction,
+                star_mean=star_mean,
+                clock=clock,
+                policy=shard_policy,
+                fanout=fanout,
+            )
         )
         queries.append(branch_journal_query(name, view_name))
     mediator.register_union_view(queries, view_name)

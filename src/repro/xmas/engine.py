@@ -591,6 +591,26 @@ def provenance_of(answer: Document) -> tuple[PickOrigin, ...] | None:
         return _PROVENANCE.get(answer)
 
 
+def provenance_enabled() -> bool:
+    """Is some cache currently asking the engine to record origins?"""
+    return _prov_users > 0
+
+
+def record_provenance(
+    answer: Document, origins: tuple[PickOrigin, ...]
+) -> None:
+    """Attach pick origins to an answer built outside the engine.
+
+    Merge layers (the sharded-source gather, stacked mediators) build
+    answer documents by concatenating per-fragment answers; this lets
+    them re-register the combined origins — with ``doc`` ordinals
+    shifted into the logical document list — so delta maintenance
+    keeps working across the merge.
+    """
+    with _PROV_LOCK:
+        _PROVENANCE[answer] = tuple(origins)
+
+
 def _picked_with_origins(
     query: Query,
     plan: CompiledPlan,

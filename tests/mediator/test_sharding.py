@@ -1,0 +1,720 @@
+"""Tests for sharded sources (:mod:`repro.mediator.sharding`).
+
+The contract under test is *transparency*: a :class:`ShardedSource`
+must answer every query exactly like the unsharded source holding the
+same documents in the same order — under pruning, under partial
+failure with retries, under subtree fragmentation, and through the
+materialized-view cache.  Pruning must be a *proof* (a pruned shard
+is never called and never changes the answer), and every observable
+must be deterministic under ``FakeClock``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dtd import dtd as make_dtd
+from repro.errors import (
+    DIAGNOSTIC_CODES,
+    PARTIAL_SHARD_GATHER,
+    ShardConfigError,
+    SourceUnavailable,
+)
+from repro.mediator import (
+    FakeClock,
+    FanoutPolicy,
+    FaultPlan,
+    FaultySource,
+    MatViewPolicy,
+    Mediator,
+    RetryPolicy,
+    ShardPolicy,
+    ShardedSource,
+    Source,
+    TransportPolicy,
+    fragment_by_child,
+    fragment_can_match,
+    fragment_specialization_problem,
+    partition_documents,
+)
+from repro.regex import kernel
+from repro.regex.language import clear_caches
+from repro.workloads import bibdb
+from repro.xmas import parse_query
+from repro.xmas.engine import compile_query
+from repro.xmlmodel import serialize_document
+
+VIEW = "journalArticles"
+
+
+@pytest.fixture(autouse=True)
+def fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def journal_query(source="bib0", view=VIEW):
+    return bibdb.branch_journal_query(source, view)
+
+
+def all_articles_query(source="bib0", view="allArticles"):
+    """A query no fragment DTD can prune (articles live everywhere)."""
+    return parse_query(
+        f"""
+        {view} = SELECT A
+        WHERE <bibdb> <venue> <volume> <issue> A:<article/> </> </> </> </>
+        """,
+        source=source,
+    )
+
+
+def corpus(n_journal=2, n_conference=6, seed=7):
+    """Journal-fragment docs first, then conference docs — the
+    content-aware layout :func:`bibdb.sharded_source` builds."""
+    import random
+
+    rng = random.Random(seed)
+    jdtd = bibdb.journal_fragment_dtd()
+    cdtd = bibdb.conference_fragment_dtd()
+    from repro.dtd import generate_document
+
+    return [
+        generate_document(jdtd, rng, star_mean=1.4)
+        for _ in range(n_journal)
+    ] + [
+        generate_document(cdtd, rng, star_mean=1.4)
+        for _ in range(n_conference)
+    ]
+
+
+def content_aware_shards(documents, n_journal, n_shards, name="bib0"):
+    """Per-shard fragment DTD: journal / conference when pure, else full."""
+    jdtd = bibdb.journal_fragment_dtd()
+    cdtd = bibdb.conference_fragment_dtd()
+    full = bibdb.bibdb_dtd()
+    kinds = ["j"] * n_journal + ["c"] * (len(documents) - n_journal)
+    shards = []
+    for index, (chunk, chunk_kinds) in enumerate(
+        zip(
+            partition_documents(documents, n_shards),
+            partition_documents(kinds, n_shards),
+        )
+    ):
+        kind_set = set(chunk_kinds)
+        fragment = (
+            jdtd
+            if kind_set == {"j"}
+            else cdtd
+            if kind_set == {"c"}
+            else full
+        )
+        shards.append(
+            Source(f"{name}/s{index}", fragment, chunk, validate=False)
+        )
+    return shards
+
+
+def sharded(documents, n_journal=2, n_shards=4, name="bib0", **kwargs):
+    return ShardedSource(
+        name,
+        bibdb.bibdb_dtd(),
+        content_aware_shards(documents, n_journal, n_shards, name=name),
+        validate=False,
+        **kwargs,
+    )
+
+
+def oracle(documents, name="bib0"):
+    return Source(name, bibdb.bibdb_dtd(), list(documents), validate=False)
+
+
+class TestFragmentSpecialization:
+    def test_fragment_dtds_specialize_the_logical_dtd(self):
+        logical = bibdb.bibdb_dtd()
+        for fragment in (
+            bibdb.journal_fragment_dtd(),
+            bibdb.conference_fragment_dtd(),
+            logical,
+        ):
+            assert fragment_specialization_problem(fragment, logical) is None
+
+    def test_widened_content_model_is_rejected(self):
+        logical = make_dtd({"a": "b, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        widened = make_dtd({"a": "b*, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        problem = fragment_specialization_problem(widened, logical)
+        assert problem is not None
+        assert "sub-language" in problem
+
+    def test_extra_names_are_rejected(self):
+        logical = make_dtd({"a": "b", "b": "#PCDATA"}, root="a")
+        extra = make_dtd({"a": "b", "b": "#PCDATA", "z": "#PCDATA"}, root="a")
+        problem = fragment_specialization_problem(extra, logical)
+        assert problem is not None
+        assert "outside the logical DTD" in problem
+
+    def test_different_root_is_rejected(self):
+        logical = make_dtd({"a": "b", "b": "#PCDATA"}, root="a")
+        other = make_dtd({"b": "#PCDATA"}, root="b")
+        assert fragment_specialization_problem(other, logical) is not None
+
+    def test_constructor_enforces_specialization(self):
+        logical = make_dtd({"a": "b, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        widened = make_dtd({"a": "b*, c", "b": "#PCDATA", "c": "#PCDATA"}, root="a")
+        with pytest.raises(ShardConfigError) as info:
+            ShardedSource(
+                "s",
+                logical,
+                [Source("s/0", widened, [], validate=False)],
+                validate=False,
+            )
+        assert info.value.code == "MED009"
+        # ... unless the check is explicitly waived
+        ShardedSource(
+            "s",
+            logical,
+            [Source("s/0", widened, [], validate=False)],
+            policy=ShardPolicy(check_fragments=False),
+            validate=False,
+        )
+
+    def test_empty_and_duplicate_shards_are_rejected(self):
+        logical = bibdb.bibdb_dtd()
+        with pytest.raises(ShardConfigError):
+            ShardedSource("s", logical, [], validate=False)
+        shard = Source("s/0", logical, [], validate=False)
+        twin = Source("s/0", logical, [], validate=False)
+        with pytest.raises(ShardConfigError):
+            ShardedSource("s", logical, [shard, twin], validate=False)
+
+
+class TestPruning:
+    def test_journal_plan_prunes_conference_fragments(self):
+        plan = compile_query(journal_query())
+        assert fragment_can_match(plan, bibdb.journal_fragment_dtd())
+        assert not fragment_can_match(plan, bibdb.conference_fragment_dtd())
+        assert fragment_can_match(plan, bibdb.bibdb_dtd())
+
+    def test_root_letter_set_prunes_foreign_roots(self):
+        plan = compile_query(journal_query())
+        other = make_dtd({"other": "#PCDATA"}, root="other")
+        assert not fragment_can_match(plan, other)
+
+    def test_pruned_shards_are_never_called(self):
+        documents = corpus()
+        source = sharded(documents)
+        survivors, pruned = source.prune(journal_query())
+        assert survivors and pruned
+        source.query(journal_query())
+        for shard in source.shards:
+            if shard.name in pruned:
+                assert shard.queries_served == 0
+            else:
+                assert shard.queries_served == 1
+        report = source.last_gather
+        assert report.pruned == pruned
+        assert report.answered == survivors
+        assert not report.partial
+
+    def test_prune_off_calls_every_shard(self):
+        documents = corpus()
+        source = sharded(documents, policy=ShardPolicy(prune=False))
+        source.query(journal_query())
+        assert all(shard.queries_served == 1 for shard in source.shards)
+        assert source.last_gather.pruned == []
+
+    def test_all_pruned_answers_empty_without_calls(self):
+        documents = corpus(n_journal=0, n_conference=8)
+        source = sharded(documents, n_journal=0)
+        answer = source.query(journal_query())
+        assert answer.root.name == VIEW
+        assert answer.root.children == []
+        assert all(shard.queries_served == 0 for shard in source.shards)
+        assert source.stats.all_pruned == 1
+        assert source.stats.shards_called == 0
+
+    def test_pruning_never_changes_the_answer(self):
+        documents = corpus()
+        pruning = sharded(documents)
+        oracle_mode = sharded(documents, policy=ShardPolicy(prune=False))
+        for query in (journal_query(), all_articles_query()):
+            fast = pruning.query(query)
+            slow = oracle_mode.query(query)
+            assert fast.root.structurally_equal(slow.root)
+        assert pruning.stats.shards_pruned > 0
+        assert oracle_mode.stats.shards_pruned == 0
+
+
+class TestMergeOrder:
+    def test_partition_is_contiguous_and_order_preserving(self):
+        documents = corpus(3, 7)
+        chunks = partition_documents(documents, 4)
+        assert [d for chunk in chunks for d in chunk] == documents
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_documents_leaves_empty_tails(self):
+        documents = corpus(1, 1)
+        chunks = partition_documents(documents, 5)
+        assert len(chunks) == 5
+        assert [d for chunk in chunks for d in chunk] == documents
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ShardConfigError):
+            partition_documents([], 0)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 8])
+    def test_sharded_answer_equals_unsharded_oracle(self, n_shards):
+        documents = corpus()
+        source = sharded(documents, n_shards=n_shards)
+        reference = oracle(documents)
+        assert source.documents == documents
+        for query in (journal_query(), all_articles_query()):
+            assert source.query(query).root.structurally_equal(
+                reference.query(query).root
+            )
+
+
+class TestSubtreeFragmentation:
+    def test_fragments_replicate_spine_and_split_children(self):
+        documents = corpus(1, 0)
+        fragments = fragment_by_child(documents[0], "venue", 3)
+        total = sum(
+            sum(1 for c in f.root.children if c.name == "venue")
+            for f in fragments
+        )
+        original = sum(
+            1 for c in documents[0].root.children if c.name == "venue"
+        )
+        assert total == original
+        for fragment in fragments:
+            names = [c.name for c in fragment.root.children]
+            assert "meta" in names
+
+    def test_subtree_sharded_answer_equals_whole_document(self):
+        documents = corpus(1, 0, seed=11)
+        fragments = fragment_by_child(documents[0], "venue", 3)
+        logical = bibdb.bibdb_dtd()
+        source = ShardedSource(
+            "bib0",
+            logical,
+            [
+                Source(f"bib0/s{i}", logical, [fragment], validate=False)
+                for i, fragment in enumerate(fragments)
+            ],
+            validate=False,
+        )
+        reference = oracle([documents[0]])
+        query = journal_query()
+        assert source.query(query).root.structurally_equal(
+            reference.query(query).root
+        )
+
+    def test_missing_child_name_rejected(self):
+        documents = corpus(1, 0)
+        with pytest.raises(ShardConfigError):
+            fragment_by_child(documents[0], "nonexistent", 2)
+
+
+def faulty_shards(documents, n_journal, n_shards, clock, dead):
+    """Content-aware shards where the named shard indexes are dead."""
+    shards = content_aware_shards(documents, n_journal, n_shards)
+    replaced = []
+    for index, shard in enumerate(shards):
+        if index in dead:
+            replaced.append(
+                FaultySource(
+                    shard.name,
+                    shard.dtd,
+                    shard.documents,
+                    plan=FaultPlan(dead=True),
+                    clock=clock,
+                    validate=False,
+                )
+            )
+        else:
+            replaced.append(shard)
+    return replaced
+
+
+def fast_retries(attempts=2):
+    return TransportPolicy(
+        retry=RetryPolicy(attempts=attempts, base_delay=0.01, jitter=0.0)
+    )
+
+
+class TestPartialGather:
+    def test_failed_shard_fails_the_logical_call_by_default(self):
+        clock = FakeClock()
+        documents = corpus()
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            faulty_shards(documents, 2, 4, clock, dead={0}),
+            transport_policy=fast_retries(),
+            clock=clock,
+            validate=False,
+        )
+        with pytest.raises(SourceUnavailable):
+            source.query(journal_query())
+        assert source.stats.shard_failures == 1
+
+    def test_partial_mode_releases_surviving_shards(self):
+        clock = FakeClock()
+        documents = corpus(4, 4)
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            faulty_shards(documents, 4, 4, clock, dead={0}),
+            policy=ShardPolicy(partial=True),
+            transport_policy=fast_retries(),
+            clock=clock,
+            validate=False,
+        )
+        answer = source.query(journal_query())
+        report = source.last_gather
+        assert report.partial
+        assert set(report.skipped) == {"bib0/s0"}
+        assert report.skipped["bib0/s0"].startswith("MED003")
+        assert source.stats.partial_gathers == 1
+        # the partial answer is exactly the surviving shards' merge
+        survivors = oracle(
+            [d for shard in source.shards[1:] for d in shard.documents]
+        )
+        assert answer.root.structurally_equal(
+            survivors.query(journal_query()).root
+        )
+
+    def test_partial_mode_with_no_survivors_still_fails(self):
+        clock = FakeClock()
+        documents = corpus(4, 0)
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            faulty_shards(documents, 4, 2, clock, dead={0, 1}),
+            policy=ShardPolicy(partial=True),
+            transport_policy=fast_retries(),
+            clock=clock,
+            validate=False,
+        )
+        with pytest.raises(SourceUnavailable):
+            source.query(journal_query())
+
+    def test_per_shard_breakers_are_independent(self):
+        clock = FakeClock()
+        documents = corpus(4, 4)
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            faulty_shards(documents, 4, 4, clock, dead={0}),
+            policy=ShardPolicy(partial=True),
+            transport_policy=fast_retries(),
+            clock=clock,
+            validate=False,
+        )
+        for _ in range(4):
+            source.query(journal_query())
+        health = source.shard_health()
+        assert health["bib0/s0"]["breaker"] == "open"
+        assert all(
+            health[shard.name]["breaker"] == "closed"
+            for shard in source.shards[1:]
+        )
+
+    def test_transient_failures_retry_transparently(self):
+        # fail_first below the retry budget: the gather sees no error
+        # and the answer equals the healthy oracle.
+        clock = FakeClock()
+        documents = corpus(4, 4)
+        shards = content_aware_shards(documents, 4, 4)
+        shards[0] = FaultySource(
+            shards[0].name,
+            shards[0].dtd,
+            shards[0].documents,
+            plan=FaultPlan(fail_first=1),
+            clock=clock,
+            validate=False,
+        )
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            shards,
+            transport_policy=fast_retries(attempts=3),
+            clock=clock,
+            validate=False,
+        )
+        answer = source.query(journal_query())
+        assert not source.last_gather.partial
+        assert answer.root.structurally_equal(
+            oracle(documents).query(journal_query()).root
+        )
+
+
+class TestDeterminism:
+    def run_once(self):
+        clock = FakeClock()
+        documents = corpus(4, 4)
+        shards = content_aware_shards(documents, 4, 4)
+        for index, shard in enumerate(shards):
+            shards[index] = FaultySource(
+                shard.name,
+                shard.dtd,
+                shard.documents,
+                plan=FaultPlan(latency=0.05 * (index + 1)),
+                clock=clock,
+                validate=False,
+            )
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            shards,
+            policy=ShardPolicy(prune=False),
+            clock=clock,
+            fanout=FanoutPolicy(max_workers=4),
+            validate=False,
+        )
+        trail = []
+        for _ in range(2):
+            trail.append(serialize_document(source.query(journal_query())))
+            trail.append(tuple(source.last_gather.answered))
+        trail.append(clock.now())
+        trail.append(
+            tuple(
+                (name, row["calls"], row["breaker"])
+                for name, row in sorted(source.shard_health().items())
+            )
+        )
+        source.close()
+        return trail
+
+    def test_parallel_gather_is_run_identical_under_fake_clock(self):
+        first = self.run_once()
+        clear_caches()
+        second = self.run_once()
+        assert first == second
+        assert first[-2] > 0  # injected latency actually elapsed
+
+    def test_gather_inside_union_fanout_runs_inline(self):
+        # A sharded source inside a parallel union leg must not nest
+        # real worker pools (under FakeClock a nested cross-instance
+        # fan-out would deadlock the all-parked time-advance rule).
+        clock = FakeClock()
+        mediator = bibdb.sharded_federation(
+            n_sources=2,
+            n_shards=4,
+            n_docs=8,
+            clock=clock,
+            fanout=FanoutPolicy(max_workers=2),
+        )
+        answer = mediator.materialize_union(VIEW)
+        flat = Mediator("flat", clock=FakeClock())
+        queries = []
+        for i in range(2):
+            name = f"bib{i}"
+            flat.add_source(oracle(mediator.sources[name].documents, name))
+            queries.append(journal_query(name))
+        flat.register_union_view(queries, VIEW)
+        assert answer.root.structurally_equal(
+            flat.materialize_union(VIEW).root
+        )
+        for name in ("bib0", "bib1"):
+            assert mediator.sources[name].parallel.parallel_fanouts == 0
+        mediator.close()
+
+
+class TestMatViewIntegration:
+    def federation(self):
+        return bibdb.sharded_federation(
+            n_sources=2,
+            n_shards=4,
+            n_docs=16,
+            seed=7,
+            cache=MatViewPolicy(),
+        )
+
+    @staticmethod
+    def find_text_leaf(document, name):
+        for element in document.root.iter():
+            if element.name == name and isinstance(element.content, str):
+                return element
+        raise AssertionError(f"no {name!r} leaf in document")
+
+    def test_repeat_materialization_hits(self):
+        mediator = self.federation()
+        first = mediator.materialize_union(VIEW)
+        assert mediator.last_cache_outcome == "miss"
+        second = mediator.materialize_union(VIEW)
+        assert mediator.last_cache_outcome == "hit"
+        assert serialize_document(second) == serialize_document(first)
+
+    def test_mutation_in_surviving_shard_is_delta_maintained(self):
+        mediator = self.federation()
+        mediator.materialize_union(VIEW)
+        source = mediator.sources["bib0"]
+        journal_shard = source.shards[0]
+        doi = self.find_text_leaf(journal_shard.documents[0], "doi")
+        doi.set_text("sharded delta probe")
+        answer = mediator.materialize_union(VIEW)
+        assert mediator.last_cache_outcome == "delta"
+        assert "sharded delta probe" in serialize_document(answer)
+        fresh_answer = mediator.materialize_union(VIEW, cache=False)
+        assert answer.root.structurally_equal(fresh_answer.root)
+
+    def test_mutation_in_pruned_shard_keeps_answer_unchanged(self):
+        mediator = self.federation()
+        before = mediator.materialize_union(VIEW)
+        source = mediator.sources["bib0"]
+        conference_shard = source.shards[-1]
+        leaf = self.find_text_leaf(conference_shard.documents[0], "location")
+        leaf.set_text("moved nowhere")
+        after = mediator.materialize_union(VIEW)
+        assert mediator.last_cache_outcome == "delta"
+        assert after.root.structurally_equal(before.root)
+
+
+class TestKernelIntegration:
+    def test_sharding_section_in_kernel_stats(self):
+        documents = corpus()
+        source = sharded(documents)
+        source.query(journal_query())
+        section = kernel.kernel_stats()["sharding"]
+        assert section["sources"] >= 1
+        assert section["queries"] >= 1
+        assert section["pruned"] >= 1
+        assert section["called"] >= 1
+        registry = kernel.kernel_stats()["caches"]["mediator.sharding"]
+        assert registry["hits"] == section["pruned"]
+        assert registry["misses"] == section["called"]
+        assert "sharded sources:" in kernel.render_stats()
+
+    def test_clear_caches_resets_shard_counters(self):
+        documents = corpus()
+        source = sharded(documents)
+        source.query(journal_query())
+        assert source.stats.queries == 1
+        clear_caches()
+        assert source.stats.queries == 0
+        section = kernel.kernel_stats()["sharding"]
+        assert section["queries"] == 0
+        assert section["pruned"] == 0
+
+
+class TestDiagnostics:
+    def test_shard_codes_are_registered(self):
+        assert PARTIAL_SHARD_GATHER == "MED008"
+        assert "MED008" in DIAGNOSTIC_CODES
+        assert ShardConfigError.code == "MED009"
+        assert "MED009" in DIAGNOSTIC_CODES
+
+    def test_every_registered_code_is_catalogued(self):
+        # Importing the packages that register codes, then checking
+        # the catalogue: the same parity `make check-docs` enforces
+        # (scripts/check_docs_links.py), asserted here so a plain
+        # pytest run catches a missing row too.
+        import pathlib
+
+        import repro.lint  # noqa: F401  (registers MIX1xx rule codes)
+        import repro.serve  # noqa: F401  (registers SRVxxx codes)
+
+        catalogue = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "docs"
+            / "DIAGNOSTICS.md"
+        ).read_text()
+        missing = sorted(
+            code for code in DIAGNOSTIC_CODES if code not in catalogue
+        )
+        assert missing == []
+
+    def test_skipped_shards_carry_diagnostic_codes(self):
+        clock = FakeClock()
+        documents = corpus(4, 4)
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            faulty_shards(documents, 4, 4, clock, dead={1}),
+            policy=ShardPolicy(partial=True),
+            transport_policy=fast_retries(),
+            clock=clock,
+            validate=False,
+        )
+        source.query(all_articles_query())
+        (reason,) = source.last_gather.skipped.values()
+        code = reason.split(":", 1)[0]
+        assert code in DIAGNOSTIC_CODES
+
+
+class TestDifferentialProperty:
+    """Property test: sharded ≡ unsharded under random fragmentations."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_journal=st.integers(min_value=0, max_value=3),
+        n_conference=st.integers(min_value=0, max_value=5),
+        n_shards=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=4),
+        prune=st.booleans(),
+    )
+    def test_random_fragmentations_answer_like_the_oracle(
+        self, n_journal, n_conference, n_shards, seed, prune
+    ):
+        if n_journal + n_conference == 0:
+            n_journal = 1
+        documents = corpus(n_journal, n_conference, seed=seed)
+        source = sharded(
+            documents,
+            n_journal=n_journal,
+            n_shards=n_shards,
+            policy=ShardPolicy(prune=prune),
+        )
+        reference = oracle(documents)
+        for query in (journal_query(), all_articles_query()):
+            assert source.query(query).root.structurally_equal(
+                reference.query(query).root
+            )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_shards=st.integers(min_value=2, max_value=5),
+        flaky_shard=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_transient_shard_faults_stay_transparent(
+        self, n_shards, flaky_shard, seed
+    ):
+        clock = FakeClock()
+        documents = corpus(3, 5, seed=seed)
+        shards = content_aware_shards(documents, 3, n_shards)
+        index = flaky_shard % n_shards
+        shards[index] = FaultySource(
+            shards[index].name,
+            shards[index].dtd,
+            shards[index].documents,
+            plan=FaultPlan(fail_first=1),
+            clock=clock,
+            validate=False,
+        )
+        source = ShardedSource(
+            "bib0",
+            bibdb.bibdb_dtd(),
+            shards,
+            transport_policy=fast_retries(attempts=3),
+            clock=clock,
+            validate=False,
+        )
+        reference = oracle(documents)
+        query = all_articles_query()
+        assert source.query(query).root.structurally_equal(
+            reference.query(query).root
+        )
+        assert not source.last_gather.partial
