@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json bench-matview-json bench-sharding-json examples lint check-docs trace-smoke serve-smoke matview-smoke verify check all
+.PHONY: install test bench bench-smoke bench-json bench-engine-json bench-parallel-json bench-matview-json bench-sharding-json bench-store-json examples lint check-docs trace-smoke serve-smoke matview-smoke store-smoke verify check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,7 +20,8 @@ bench-smoke:
 	pytest benchmarks/bench_quality.py benchmarks/bench_lint.py \
 		benchmarks/bench_evaluator.py benchmarks/bench_faults.py \
 		benchmarks/bench_obs.py benchmarks/bench_parallel.py \
-		benchmarks/bench_matview.py benchmarks/bench_sharding.py -q \
+		benchmarks/bench_matview.py benchmarks/bench_sharding.py \
+		benchmarks/bench_store.py -q \
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off
 
@@ -91,6 +92,18 @@ bench-sharding-json:
 	python benchmarks/compare_bench.py merge .bench_sharding.json \
 		--output BENCH_PR9.json
 
+# The PR10 store gate: run the persistent-store benches (stored vs
+# in-memory answer equality on a 4 -> 64 document ladder, cold reopen
+# >= 5x cold parse+index, full-corpus sweep bounded by the page
+# budget) and write the BENCH_PR10.json trajectory file.  See
+# docs/PERSISTENCE.md.
+bench-store-json:
+	pytest benchmarks/bench_store.py -q --benchmark-only \
+		--benchmark-disable-gc \
+		--benchmark-json=.bench_store.json
+	python benchmarks/compare_bench.py merge .bench_store.json \
+		--output BENCH_PR10.json
+
 # Static checks: ruff + mypy --strict (each skipped with a notice when
 # not installed -- offline images may lack them), then `repro lint`
 # over the example workloads.  The paper workload contains a
@@ -142,9 +155,17 @@ serve-smoke:
 matview-smoke:
 	python scripts/matview_smoke.py
 
+# Drive the persistent document store end to end: CLI ingest with DTD
+# validation (bad document rejected and rolled back), close/reopen
+# answering the paper view query identically to the in-memory source,
+# and the generation counter across a live re-ingest.
+store-smoke:
+	python scripts/store_smoke.py
+
 # Default local gate: unit tests, static+workload lint, docs links,
-# benchmark smoke, trace smoke, serve smoke, matview smoke.
-check: test lint check-docs bench-smoke trace-smoke serve-smoke matview-smoke
+# benchmark smoke, trace smoke, serve smoke, matview smoke, store
+# smoke.
+check: test lint check-docs bench-smoke trace-smoke serve-smoke matview-smoke store-smoke
 
 verify: test bench examples
 

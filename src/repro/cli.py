@@ -153,6 +153,45 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream XML files into a persistent document store."""
+    from .store import DocumentStore
+
+    store = DocumentStore(args.store)
+    dtd = None
+    if args.dtd is not None:
+        dtd = _load_dtd(args.dtd, args.root)
+        store.set_dtd_text(Path(args.dtd).read_text(), root=dtd.root)
+    ingested = 0
+    elements = 0
+    status = 0
+    for path in args.documents:
+        document = store.ingest_file(path, source=args.source)
+        if args.validate and dtd is not None:
+            # One full-tree hydration per document; skip --validate for
+            # corpora already validated at the producing wrapper.
+            report = validate_document(document, dtd)
+            if not report.ok:
+                store.remove_document(document.doc_id)
+                print(f"{path}: rejected: {report}", file=sys.stderr)
+                status = 1
+                continue
+        ingested += 1
+        elements += document.size()
+        print(
+            f"{path}: document {document.doc_id} "
+            f"({document.size()} elements)",
+            file=sys.stderr,
+        )
+    print(
+        f"ingested {ingested} document(s), {elements} element(s) "
+        f"into {args.store} "
+        f"({store.n_documents()} stored, generation {store.generation()})"
+    )
+    store.close()
+    return status
+
+
 def _cmd_structure(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, args.root)
     print(structure_tree(dtd, max_depth=args.depth).render())
@@ -352,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fanout=_serve_fanout(args),
             cache=cache,
             shards=args.shards,
+            store_path=args.store,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -576,6 +616,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("document", help="XML document file")
     p.set_defaults(func=_cmd_validate)
 
+    p = sub.add_parser(
+        "ingest",
+        help="stream XML documents into a persistent store",
+        description=(
+            "Stream-parse XML files into a SQLite document store"
+            " (created on first use) without materializing their"
+            " trees; `repro serve --store` and Source.from_store serve"
+            " straight from the stored preorder arrays.  See"
+            " docs/PERSISTENCE.md."
+        ),
+    )
+    p.add_argument(
+        "--store", required=True, metavar="PATH", help="store file"
+    )
+    p.add_argument(
+        "--source",
+        default=None,
+        metavar="NAME",
+        help="source tag to ingest under (filters later loads)",
+    )
+    p.add_argument(
+        "--dtd",
+        default=None,
+        help="DTD file to stash in the store's metadata",
+    )
+    p.add_argument(
+        "--root", default=None, help="document type (override)"
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "validate each document against --dtd after ingest"
+            " (rejected documents are removed again; exit 1)"
+        ),
+    )
+    p.add_argument(
+        "documents", nargs="+", help="XML document files to ingest"
+    )
+    p.set_defaults(func=_cmd_ingest)
+
     p = sub.add_parser("structure", help="show a DTD's element structure")
     add_dtd_options(p)
     p.add_argument("--depth", type=int, default=12, help="max display depth")
@@ -731,6 +812,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help="injected per-call source latency (flaky workload only)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "back the corpus with a persistent document store at PATH"
+            " (paper workload only): the first run ingests the"
+            " generated documents, later runs warm-start from the"
+            " stored preorder arrays without re-parsing"
+        ),
     )
     p.add_argument(
         "--workers",

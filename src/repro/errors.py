@@ -223,3 +223,44 @@ class ShardConfigError(MediatorError):
     code = register_diagnostic_code(
         "MED009", "invalid shard fragmentation (sharded-source config)"
     )
+
+
+class StoreError(ReproError):
+    """A persistent document-store operation failed.
+
+    Raised by :mod:`repro.store` for operational failures: using a
+    closed store, a missing document id, or mutating a store-backed
+    document (stored documents are immutable; re-ingest instead).
+    """
+
+    code = register_diagnostic_code(
+        "STO001", "document store operation failed"
+    )
+
+
+class StoreFormatError(StoreError):
+    """The file is not a repro document store (or a newer format).
+
+    Raised when opening a SQLite file without the expected store
+    tables/meta rows, or one written by an incompatible format
+    version.
+    """
+
+    code = register_diagnostic_code(
+        "STO002", "not a document store / incompatible format version"
+    )
+
+
+class StoreStaleError(StoreError):
+    """A stored row vanished under a live index.
+
+    Raised when a :class:`~repro.store.StoredDocumentIndex` reads a
+    row that no longer exists -- its document was removed by another
+    handle after the index was built (the on-disk generation counter
+    catches this on the next ``document_index`` probe; this error
+    covers reads racing the removal itself).
+    """
+
+    code = register_diagnostic_code(
+        "STO003", "stored document changed under a live index"
+    )

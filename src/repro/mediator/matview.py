@@ -58,7 +58,6 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from operator import attrgetter
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from .. import obs
@@ -70,7 +69,6 @@ from ..xmlmodel import Document
 from ..xmlmodel.element import mutation_stamp
 from ..xmlmodel.index import DocumentIndex, document_index
 
-_VERSION_OF = attrgetter("mutation_version")
 
 if TYPE_CHECKING:
     from ..dtd import Dtd
@@ -185,7 +183,9 @@ class _DocState:
     def fresh_at(self, stamp: int) -> bool:
         if self.document.mutation_version > stamp:
             return False
-        return max(map(_VERSION_OF, self.index.order)) <= stamp
+        # Delegated so store-backed indexes can answer from their
+        # on-disk generation counter instead of scanning Element rows.
+        return self.index.fresh_at(stamp)
 
 
 class _Entry:

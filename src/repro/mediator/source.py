@@ -9,12 +9,17 @@ simply holds valid documents and answers pick-element queries.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..dtd import Dtd, validate_document
 from ..errors import ValidationError
 from ..xmas import Query, evaluate_many
 from ..xmlmodel import Document
+
+if TYPE_CHECKING:
+    from ..store import DocumentStore
 
 
 @dataclass
@@ -34,11 +39,49 @@ class Source:
     #: how many queries this source has answered (fan-out accounting:
     #: the mediator pre-flight is measured by what *never* gets here)
     queries_served: int = 0
+    #: a :class:`~repro.store.DocumentStore` whose documents this
+    #: source serves in addition to ``documents`` (loaded as handles in
+    #: ``__post_init__``; validated per ``validate`` like any other)
+    attach_store: "DocumentStore | None" = None
+    #: guards ``queries_served``: concurrent ``repro serve`` handler
+    #: threads hit the same source, and an unguarded ``+= 1`` is a
+    #: read-modify-write that loses increments under contention
+    _served_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         existing, self.documents = self.documents, []
         for document in existing:
             self.add_document(document)
+        if self.attach_store is not None:
+            for document in self.attach_store.documents():
+                self.add_document(document)
+
+    @classmethod
+    def from_store(
+        cls,
+        name: str,
+        dtd: Dtd,
+        store: "DocumentStore",
+        *,
+        source: str | None = None,
+        validate: bool = False,
+    ) -> "Source":
+        """A source backed by a persistent :class:`~repro.store.DocumentStore`.
+
+        Loads the store's document handles (all of them, or only those
+        ingested under ``source=``) without hydrating any trees; the
+        compiled engine answers queries straight from the stored
+        preorder arrays.  ``validate=True`` checks each document
+        against ``dtd`` up front -- that hydrates every tree once, so
+        leave it off for large corpora that were validated at ingest.
+        """
+        documents = store.documents(source=source)
+        src = cls(name, dtd, [], validate=validate)
+        for document in documents:
+            src.add_document(document)
+        return src
 
     def add_document(self, document: Document) -> None:
         """Add a document, validating it against the source DTD."""
@@ -60,7 +103,8 @@ class Source:
         answer", which the fault-tolerant transport layer must keep
         apart (docs/RELIABILITY.md).
         """
-        self.queries_served += 1
+        with self._served_lock:
+            self.queries_served += 1
         return evaluate_many(query, self.documents)
 
     def warm_indexes(self) -> int:

@@ -62,22 +62,47 @@ def build_paper_federation(
     policy: TransportPolicy | None = None,
     fanout: FanoutPolicy | None = None,
     cache: MatViewPolicy | MatViewCache | None = None,
+    store_path: str | None = None,
 ) -> Mediator:
-    """A healthy union federation over the paper's D1 schema."""
+    """A healthy union federation over the paper's D1 schema.
+
+    With ``store_path`` the corpus is persistent: sources load their
+    documents from that :class:`~repro.store.DocumentStore` (ingesting
+    the generated documents on the first run), so a restarted server
+    warm-starts from the stored preorder arrays instead of
+    re-generating and re-indexing -- ``repro serve --store PATH``.
+    """
     schema = paper_workload.d1()
     rng = random.Random(seed)
     mediator = Mediator(
         "paper-federation", policy=policy, fanout=fanout, cache=cache
     )
+    store = None
+    if store_path is not None:
+        from ..store import DocumentStore
+
+        store = DocumentStore(store_path)
     queries = []
     for i in range(n_sources):
         name = f"dept{i}"
-        documents = [
-            generate_document(schema, rng) for _ in range(n_docs)
-        ]
-        mediator.add_source(
-            Source(name, schema, documents, validate=False)
-        )
+        if store is not None:
+            documents = store.documents(source=name)
+            while len(documents) < n_docs:
+                documents.append(
+                    store.ingest_document(
+                        generate_document(schema, rng), source=name
+                    )
+                )
+            source = Source(name, schema, [], validate=False)
+            source.documents.extend(documents[:n_docs])
+        else:
+            source = Source(
+                name,
+                schema,
+                [generate_document(schema, rng) for _ in range(n_docs)],
+                validate=False,
+            )
+        mediator.add_source(source)
         queries.append(_paper_branch_query(name))
     mediator.register_union_view(queries, VIEW_NAME)
     return mediator
@@ -93,6 +118,7 @@ def build_serve_workload(
     fanout: FanoutPolicy | None = None,
     cache: MatViewPolicy | MatViewCache | None = None,
     shards: int = 0,
+    store_path: str | None = None,
 ) -> Mediator:
     """The mediator behind ``repro serve --workload <name>``.
 
@@ -104,11 +130,18 @@ def build_serve_workload(
     so repeat requests for an unchanged federation skip the fan-out.
     ``shards`` > 0 selects the sharded bibdb federation (each site
     split into that many fragment-typed shards); it only applies to
-    the ``bibdb`` workload.
+    the ``bibdb`` workload.  ``store_path`` backs the paper workload's
+    corpus with a persistent :class:`~repro.store.DocumentStore`
+    (first run ingests, later runs warm-start); it only applies to the
+    ``paper`` workload.
     """
     if shards > 0 and workload != "bibdb":
         raise ValueError(
             f"--shards only applies to the bibdb workload, not {workload!r}"
+        )
+    if store_path is not None and workload != "paper":
+        raise ValueError(
+            f"--store only applies to the paper workload, not {workload!r}"
         )
     if workload == "flaky":
         from ..mediator import SystemClock
@@ -143,6 +176,7 @@ def build_serve_workload(
             policy=policy,
             fanout=fanout,
             cache=cache,
+            store_path=store_path,
         )
     if workload == "bibdb":
         from ..workloads import bibdb

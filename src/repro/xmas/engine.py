@@ -337,7 +337,7 @@ class _PlanRun:
     def _candidates(self, node: PlanNode) -> list[int]:
         index = self.index
         if node.names is None:
-            return list(range(len(index.order)))
+            return list(range(len(index)))
         if len(node.names) == 1:
             (name,) = node.names
             return index.labelled(name)
@@ -355,7 +355,7 @@ class _PlanRun:
         """
         index = self.index
         if node.names is None:
-            return range(len(index.order))
+            return range(len(index))
         if len(node.names) == 1:
             (name,) = node.names
             return index.labelled_set(name)
@@ -406,13 +406,13 @@ class _PlanRun:
 
     def _compute(self, node: PlanNode) -> None:
         index = self.index
-        order = index.order
         if node.pcdata is not None:
             text = node.pcdata
+            pcdata_at = index.pcdata_at
             here = {
                 pos
                 for pos in self._candidates(node)
-                if order[pos].is_pcdata and order[pos].content == text
+                if pcdata_at(pos) == text
             }
         elif not node.children:
             here = self._leaf_positions(node)
@@ -422,12 +422,13 @@ class _PlanRun:
             # the scan is proportional to that satisfied set -- not to
             # how frequent this node's label is in the document.
             parent = index.parent
+            name_at = index.name_at
             names = node.names
             seed = min((self.sat[c] for c in node.children), key=len)
             possible: set[int] = set()
             for child_pos in seed:
                 p = parent[child_pos]
-                if p >= 0 and (names is None or order[p].name in names):
+                if p >= 0 and (names is None or name_at(p) in names):
                     possible.add(p)
             here = {
                 pos for pos in possible if self._children_match(node, pos)
@@ -642,7 +643,7 @@ def _picked_with_origins(
         origins.extend(
             PickOrigin(ordinal, pos, index.end[pos]) for pos in positions
         )
-    return [index.order[pos] for pos in positions]
+    return [index.element_at(pos) for pos in positions]
 
 
 # ---------------------------------------------------------------------------
@@ -668,7 +669,7 @@ def compiled_picked_elements(
     kernel.EVENTS["engine.projected"] += 1
     index = document_index(document)
     run = _PlanRun(plan, index)
-    return [index.order[pos] for pos in run.picked_positions()]
+    return [index.element_at(pos) for pos in run.picked_positions()]
 
 
 def evaluate_compiled(query: Query, document: Document) -> Document:

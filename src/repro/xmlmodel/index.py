@@ -98,6 +98,30 @@ class DocumentIndex:
     def __len__(self) -> int:
         return len(self.order)
 
+    # -- narrow accessors (the index protocol) --------------------------
+    #
+    # The engine's hot paths go through these instead of dereferencing
+    # ``order[pos]`` directly, so an index that does NOT hold Element
+    # objects at all -- repro.store's StoredDocumentIndex hydrates rows
+    # lazily from SQLite -- can satisfy the same protocol.
+
+    def name_at(self, pos: int) -> str:
+        """The element name at a preorder position."""
+        return self.order[pos].name
+
+    def pcdata_at(self, pos: int) -> str | None:
+        """The PCDATA string at a position, or None for element content."""
+        content = self.order[pos].content
+        return content if isinstance(content, str) else None
+
+    def element_at(self, pos: int) -> Element:
+        """The :class:`Element` at a position (here: the indexed object)."""
+        return self.order[pos]
+
+    def fresh_at(self, stamp: int) -> bool:
+        """Whether no indexed element mutated after ``stamp``."""
+        return max(map(_VERSION_OF, self.order)) <= stamp
+
     def position_of(self, element: Element) -> int | None:
         """The preorder position of an element (identity), or None."""
         positions = self.by_label.get(element.name)
@@ -193,7 +217,7 @@ def _index_is_fresh(document: Document, index: DocumentIndex) -> bool:
     """
     if document.mutation_version > index.stamp:
         return False
-    return max(map(_VERSION_OF, index.order)) <= index.stamp
+    return index.fresh_at(index.stamp)
 
 
 def _structure_intact(index: DocumentIndex, mutated: list[int]) -> bool:
@@ -242,6 +266,13 @@ def document_index(document: Document) -> DocumentIndex:
     """
     global _index_hits, _index_misses, _index_invalidations
     global _index_content_rearms
+    # Store-backed documents carry their own index (validated against
+    # the store's on-disk generation counter, not the in-process
+    # mutation clock); dispatch via duck typing so repro.xmlmodel never
+    # imports repro.store.
+    stored = getattr(document, "stored_index", None)
+    if stored is not None:
+        return stored()
     with _INDEX_LOCK:
         index = _INDEX_CACHE.get(document)
         if index is not None:

@@ -15,21 +15,50 @@ Accepted syntax::
   Whitespace between child elements is ignored.
 * ``<name/>`` self-closing forms denote empty *element content* (the
   model has no EMPTY elements, only empty content).
-* Entities ``&lt; &gt; &amp; &quot; &apos;`` in PCDATA.
+* Entities ``&lt; &gt; &amp; &quot; &apos;`` and numeric character
+  references (``&#65;``, ``&#x42;``) in PCDATA and attribute values.
+  Character references outside the Unicode range or in the surrogate
+  block raise :class:`~repro.errors.XmlSyntaxError` pointing at the
+  offending reference.
 * Comments ``<!-- ... -->`` and XML/DOCTYPE prologs are skipped (a
   DOCTYPE's internal subset is NOT interpreted here -- use
   ``repro.dtd.parser`` for DTDs).
+
+Two front ends share one scanner core:
+
+* :func:`parse_document` / :func:`parse_element` build the in-memory
+  :class:`~repro.xmlmodel.element.Element` tree, and
+* :func:`iter_document_events` streams ``("start", name, id, attrs)`` /
+  ``("pcdata", text)`` / ``("end",)`` events without materializing the
+  tree -- this is what :mod:`repro.store` ingests from, keeping memory
+  proportional to document depth plus one text region rather than to
+  corpus size.
+
+Both are iterative (explicit stack), so recursive-chain documents
+nested deeper than the interpreter's recursion limit parse fine.
 """
 
 from __future__ import annotations
 
 import re
+from typing import Iterator, Union
 
 from ..errors import XmlSyntaxError
 from .element import Document, Element, fresh_id
 
 _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+_ENTITY_RE = re.compile(r"&([^;]+);")
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+#: A streaming parse event: ``("start", name, id_or_None, attributes)``
+#: opens an element, ``("pcdata", text)`` carries its character content
+#: (emitted at most once, immediately before the matching end), and
+#: ``("end",)`` closes the innermost open element.
+XmlEvent = Union[
+    tuple[str, str, "str | None", dict[str, str]],
+    tuple[str, str],
+    tuple[str],
+]
 
 
 class _Scanner:
@@ -37,15 +66,21 @@ class _Scanner:
         self.text = text
         self.pos = 0
 
-    def location(self) -> tuple[int, int]:
-        consumed = self.text[: self.pos]
+    def location_at(self, pos: int) -> tuple[int, int]:
+        consumed = self.text[:pos]
         line = consumed.count("\n") + 1
-        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        column = pos - (consumed.rfind("\n") + 1) + 1
         return line, column
 
-    def error(self, message: str) -> XmlSyntaxError:
-        line, column = self.location()
+    def location(self) -> tuple[int, int]:
+        return self.location_at(self.pos)
+
+    def error_at(self, pos: int, message: str) -> XmlSyntaxError:
+        line, column = self.location_at(pos)
         return XmlSyntaxError(message, line, column)
+
+    def error(self, message: str) -> XmlSyntaxError:
+        return self.error_at(self.pos, message)
 
     def at_end(self) -> bool:
         return self.pos >= len(self.text)
@@ -74,10 +109,19 @@ class _Scanner:
                 return
 
     def _skip_doctype(self) -> None:
+        # A ">" (or "["/"]") inside a quoted SYSTEM/PUBLIC literal is
+        # data, not markup -- track the quote state so DOCTYPEs like
+        # <!DOCTYPE a SYSTEM "ids>1.dtd"> skip in full.
         depth = 0
+        quote: str | None = None
         while self.pos < len(self.text):
             char = self.text[self.pos]
-            if char == "[":
+            if quote is not None:
+                if char == quote:
+                    quote = None
+            elif char in "\"'":
+                quote = char
+            elif char == "[":
                 depth += 1
             elif char == "]":
                 depth -= 1
@@ -100,23 +144,47 @@ class _Scanner:
         return match.group()
 
 
-def _decode_entities(scanner: _Scanner, raw: str) -> str:
+def _decode_entities(scanner: _Scanner, raw: str, base: int | None = None) -> str:
+    """Decode entity and character references in a text slice.
+
+    ``base`` is the absolute offset of ``raw`` within the scanned text
+    (default: the scanner's current position); errors point at the
+    offending reference itself, not the start of the enclosing region.
+    """
+    start = scanner.pos if base is None else base
+
     def replace(match: re.Match[str]) -> str:
         entity = match.group(1)
+        at = start + match.start()
         if entity.startswith("#"):
             try:
                 code = int(entity[2:], 16) if entity[1] in "xX" else int(entity[1:])
-            except ValueError:
-                raise scanner.error(f"bad character reference &{entity};")
+            except (IndexError, ValueError):
+                raise scanner.error_at(at, f"bad character reference &{entity};")
+            # chr() itself raises ValueError past 0x10FFFF, and lone
+            # surrogates are not XML characters at all; both must
+            # surface as positioned syntax errors, not a raw ValueError.
+            if not 0 <= code <= 0x10FFFF or 0xD800 <= code <= 0xDFFF:
+                raise scanner.error_at(
+                    at,
+                    f"character reference &{entity}; is not a valid "
+                    "XML character",
+                )
             return chr(code)
         if entity not in _ENTITIES:
-            raise scanner.error(f"unknown entity &{entity};")
+            raise scanner.error_at(at, f"unknown entity &{entity};")
         return _ENTITIES[entity]
 
-    return re.sub(r"&([^;]+);", replace, raw)
+    return _ENTITY_RE.sub(replace, raw)
 
 
-def _parse_element(scanner: _Scanner) -> Element:
+def _parse_open_tag(
+    scanner: _Scanner,
+) -> tuple[str, str | None, dict[str, str], bool]:
+    """Parse ``<name attr="v" ...>`` / ``<name/>`` at the scanner.
+
+    Returns ``(name, element_id, attributes, self_closing)``.
+    """
     scanner.expect("<")
     name = scanner.read_name()
     scanner.skip_ws()
@@ -138,6 +206,10 @@ def _parse_element(scanner: _Scanner) -> Element:
         scanner.pos = end + 1
         scanner.skip_ws()
         if attr.lower() == "id":
+            # The ID is an attribute like any other: a second id= (in
+            # any case form) is a duplicate, not a silent overwrite.
+            if element_id is not None:
+                raise scanner.error(f"duplicate attribute {attr!r}")
             element_id = value
         elif attr in attributes:
             raise scanner.error(f"duplicate attribute {attr!r}")
@@ -147,73 +219,126 @@ def _parse_element(scanner: _Scanner) -> Element:
             attributes[attr] = value
     if scanner.text.startswith("/>", scanner.pos):
         scanner.pos += 2
-        return Element(name, [], element_id or fresh_id(), attributes)
+        return name, element_id, attributes, True
     scanner.expect(">")
+    return name, element_id, attributes, False
 
-    children: list[Element] = []
-    text_parts: list[str] = []
+
+def _iter_element_events(scanner: _Scanner) -> Iterator[XmlEvent]:
+    """Stream the events of one element (and its subtree).
+
+    The stack holds ``[name, text_parts, had_children]`` per open
+    element -- O(depth) state, never the tree.
+    """
+    stack: list[list] = []
     while True:
-        if scanner.at_end():
-            raise scanner.error(f"unterminated element <{name}>")
-        next_lt = scanner.text.find("<", scanner.pos)
-        if next_lt < 0:
-            raise scanner.error(f"unterminated element <{name}>")
-        raw = scanner.text[scanner.pos:next_lt]
-        if raw:
-            text_parts.append(_decode_entities(scanner, raw))
-            scanner.pos = next_lt
-        if scanner.text.startswith("</", scanner.pos):
-            scanner.pos += 2
-            closing = scanner.read_name()
-            if closing != name:
-                raise scanner.error(
-                    f"mismatched closing tag </{closing}> for <{name}>"
-                )
-            scanner.skip_ws()
-            scanner.expect(">")
-            break
-        if scanner.text.startswith("<!--", scanner.pos):
-            end = scanner.text.find("-->", scanner.pos + 4)
-            if end < 0:
-                raise scanner.error("unterminated comment")
-            scanner.pos = end + 3
-            continue
-        children.append(_parse_element(scanner))
+        name, element_id, attributes, self_closing = _parse_open_tag(scanner)
+        yield ("start", name, element_id, attributes)
+        if self_closing:
+            yield ("end",)
+            if not stack:
+                return
+            stack[-1][2] = True
+        else:
+            stack.append([name, [], False])
+        descend = False
+        while stack and not descend:
+            top = stack[-1]
+            if scanner.at_end():
+                raise scanner.error(f"unterminated element <{top[0]}>")
+            next_lt = scanner.text.find("<", scanner.pos)
+            if next_lt < 0:
+                raise scanner.error(f"unterminated element <{top[0]}>")
+            raw = scanner.text[scanner.pos:next_lt]
+            if raw:
+                top[1].append(_decode_entities(scanner, raw))
+                scanner.pos = next_lt
+            if scanner.text.startswith("</", scanner.pos):
+                scanner.pos += 2
+                closing = scanner.read_name()
+                if closing != top[0]:
+                    raise scanner.error(
+                        f"mismatched closing tag </{closing}> for <{top[0]}>"
+                    )
+                scanner.skip_ws()
+                scanner.expect(">")
+                closed_name, text_parts, had_children = stack.pop()
+                text = "".join(text_parts)
+                if had_children:
+                    if text.strip():
+                        raise scanner.error(
+                            f"mixed content in <{closed_name}> is outside "
+                            "the paper's model"
+                        )
+                elif text.strip():
+                    # Pure character content; all-whitespace text counts
+                    # as PCDATA only when non-empty after stripping,
+                    # otherwise the element has empty content.
+                    yield ("pcdata", text)
+                yield ("end",)
+                if stack:
+                    stack[-1][2] = True
+            elif scanner.text.startswith("<!--", scanner.pos):
+                end = scanner.text.find("-->", scanner.pos + 4)
+                if end < 0:
+                    raise scanner.error("unterminated comment")
+                scanner.pos = end + 3
+            else:
+                descend = True
+        if not stack:
+            return
 
-    text = "".join(text_parts)
-    if children:
-        if text.strip():
-            raise scanner.error(
-                f"mixed content in <{name}> is outside the paper's model"
+
+def _element_from_events(events: Iterator[XmlEvent]) -> Element:
+    """Build an :class:`Element` tree from a complete event stream."""
+    stack: list[list] = []
+    element: Element | None = None
+    for event in events:
+        kind = event[0]
+        if kind == "start":
+            stack.append([event[1], event[2], event[3], []])
+        elif kind == "pcdata":
+            stack[-1][3] = event[1]
+        else:
+            name, element_id, attributes, content = stack.pop()
+            element = Element(
+                name, content, element_id or fresh_id(), attributes
             )
-        return Element(name, children, element_id or fresh_id(), attributes)
-    if text_parts and (text.strip() or not children):
-        # Pure character content (possibly all-whitespace text counts
-        # as PCDATA only when nothing else is present and it is
-        # non-empty after stripping; otherwise it is empty content).
-        if text.strip():
-            return Element(name, text, element_id or fresh_id(), attributes)
-    return Element(name, [], element_id or fresh_id(), attributes)
+            if stack:
+                stack[-1][3].append(element)
+    assert element is not None
+    return element
 
 
-def parse_document(text: str) -> Document:
-    """Parse an XML document string into a :class:`Document`."""
+def iter_document_events(text: str) -> Iterator[XmlEvent]:
+    """Streaming parse of a document: yield :data:`XmlEvent` tuples.
+
+    Same syntax, validation, and error positions as
+    :func:`parse_document`, but the tree is never materialized --
+    memory stays O(document depth).  ``id`` is ``None`` in ``start``
+    events when the source text carries no ID; consumers that need one
+    (the persistent store does) assign their own.
+    """
     scanner = _Scanner(text)
     scanner.skip_misc()
     if scanner.at_end() or scanner.text[scanner.pos] != "<":
         raise scanner.error("expected a root element")
-    root = _parse_element(scanner)
+    yield from _iter_element_events(scanner)
     scanner.skip_misc()
     if not scanner.at_end():
         raise scanner.error("content after the root element")
-    return Document(root)
+
+
+def parse_document(text: str) -> Document:
+    """Parse an XML document string into a :class:`Document`."""
+    return Document(_element_from_events(iter_document_events(text)))
 
 
 def parse_element(text: str) -> Element:
     """Parse a single element (fragment) from a string."""
     scanner = _Scanner(text)
     scanner.skip_misc()
-    element = _parse_element(scanner)
+    element = _element_from_events(_iter_element_events(scanner))
     scanner.skip_misc()
     if not scanner.at_end():
         raise scanner.error("content after the element")

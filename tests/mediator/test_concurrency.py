@@ -11,6 +11,7 @@ deterministic one in the FakeClock suites.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -203,3 +204,53 @@ class TestMetricsConcurrency:
 
         run_threads(8, worker)
         assert registry.counter("shared").value == 8000
+
+
+class TestSourceAccounting:
+    class _YieldingInt(int):
+        """An int whose ``+`` yields the GIL mid add.
+
+        ``queries_served += 1`` compiles to read / add / write; CPython
+        only switches threads at specific bytecodes, so on some
+        interpreter versions the unguarded statement happens to be
+        atomic and the race needs the add itself to block to become
+        visible -- exactly what happens on interpreters (or future
+        free-threaded builds) that can switch inside the window.  This
+        models that legal switch point deterministically.
+        """
+
+        def __add__(self, other):
+            value = int(self) + other
+            time.sleep(0.0001)
+            return TestSourceAccounting._YieldingInt(value)
+
+    def test_queries_served_is_exact_under_contention(self):
+        """N threads x M queries must count exactly N*M served.
+
+        ``queries_served += 1`` is a read-modify-write; unguarded, two
+        threads that both read the counter before either writes lose
+        one increment, skewing the fan-out accounting the mediator
+        pre-flight/pruning claims are measured by.  With the source's
+        lock around the increment the count is exact.
+        """
+        from repro.mediator import Source
+        from repro.xmas import parse_query
+
+        schema = site_schema()
+        rng = random.Random(11)
+        documents = [generate_document(schema, rng) for _ in range(2)]
+        source = Source("site", schema, documents, validate=False)
+        source.queries_served = self._YieldingInt(0)
+        query = parse_query(
+            "v = SELECT S WHERE <site> S:<paper/> </>",
+            source="site",
+        )
+        source.warm_indexes()
+        threads, per_thread = 8, 25
+
+        def worker(_i):
+            for _ in range(per_thread):
+                source.query(query)
+
+        run_threads(threads, worker)
+        assert source.queries_served == threads * per_thread

@@ -108,3 +108,142 @@ class TestRoundTrip:
     def test_escaping(self):
         e = parse_element("<t>1 &lt; 2</t>")
         assert "&lt;" in serialize_element(e)
+
+
+class TestCharacterReferenceHardening:
+    """Out-of-range/surrogate references must be *syntax* errors.
+
+    ``chr()`` raises a raw ValueError past 0x10FFFF, which used to
+    escape ``_decode_entities`` untyped; surrogates slipped through
+    entirely.  Both must surface as XmlSyntaxError pointing at the
+    reference itself, not at the start of the enclosing text region.
+    """
+
+    @pytest.mark.parametrize(
+        "ref",
+        ["&#x110000;", "&#1114112;", "&#-1;", "&#xD800;", "&#xDFFF;", "&#;"],
+    )
+    def test_bad_references_raise_syntax_errors(self, ref):
+        with pytest.raises(XmlSyntaxError):
+            parse_element(f"<t>{ref}</t>")
+
+    def test_surrogate_rejected_in_attribute_value(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element('<t a="&#xDC00;"/>')
+
+    def test_valid_astral_reference_accepted(self):
+        assert parse_element("<t>&#x1F600;</t>").text == "\U0001F600"
+
+    def test_error_points_at_the_reference_in_text(self):
+        try:
+            parse_element("<t>line one\n  pad &#x110000; tail</t>")
+        except XmlSyntaxError as error:
+            assert (error.line, error.column) == (2, 7)
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+    def test_error_points_at_the_reference_in_attribute(self):
+        try:
+            parse_element('<t attr="pad &#xD800;"/>')
+        except XmlSyntaxError as error:
+            assert (error.line, error.column) == (1, 14)
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+    def test_unknown_entity_points_at_the_entity(self):
+        try:
+            parse_element("<t>ok\nok &nope; x</t>")
+        except XmlSyntaxError as error:
+            assert (error.line, error.column) == (2, 4)
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestDuplicateIdAttribute:
+    """`<a id="1" id="2"/>` must raise like any duplicate attribute.
+
+    The ID used to be last-writer-wins while duplicate non-ID
+    attributes raised; the asymmetry silently rewrote identity.
+    """
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(XmlSyntaxError, match="duplicate attribute"):
+            parse_element('<a id="1" id="2"/>')
+
+    def test_duplicate_id_rejected_across_case_forms(self):
+        # id/ID/Id all feed the same element identity slot.
+        with pytest.raises(XmlSyntaxError, match="duplicate attribute"):
+            parse_element('<a id="1" ID="2"/>')
+
+    def test_single_id_still_accepted(self):
+        assert parse_element('<a id="x1"/>').id == "x1"
+
+
+class TestDoctypeQuotedLiterals:
+    """A `>` inside a quoted SYSTEM/PUBLIC literal is data, not markup."""
+
+    def test_gt_in_system_literal(self):
+        doc = parse_document(
+            '<!DOCTYPE a SYSTEM "odd>name.dtd">\n<a><b/></a>'
+        )
+        assert doc.root_type == "a"
+
+    def test_brackets_and_gt_in_quoted_literal(self):
+        doc = parse_document(
+            "<!DOCTYPE a PUBLIC '-//x//y>z//EN' 'f[1]>.dtd'><a/>"
+        )
+        assert doc.root_type == "a"
+
+    def test_internal_subset_still_skipped(self):
+        doc = parse_document(
+            '<!DOCTYPE a [<!ENTITY e "v>w">]><a><b/></a>'
+        )
+        assert doc.root_type == "a"
+
+    def test_unterminated_doctype_still_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document('<!DOCTYPE a SYSTEM "unclosed><a/>')
+
+
+class TestStreamingEvents:
+    """iter_document_events mirrors parse_document exactly."""
+
+    def test_event_shape(self):
+        from repro.xmlmodel.parser import iter_document_events
+
+        events = list(
+            iter_document_events(
+                '<a id="r"><b year="9">hi &amp; bye</b><c/></a>'
+            )
+        )
+        assert events == [
+            ("start", "a", "r", {}),
+            ("start", "b", None, {"year": "9"}),
+            ("pcdata", "hi & bye"),
+            ("end",),
+            ("start", "c", None, {}),
+            ("end",),
+            ("end",),
+        ]
+
+    def test_whitespace_only_text_is_empty_content(self):
+        from repro.xmlmodel.parser import iter_document_events
+
+        events = list(iter_document_events("<a>\n   \n</a>"))
+        assert events == [("start", "a", None, {}), ("end",)]
+
+    def test_mixed_content_raises_at_close(self):
+        from repro.xmlmodel.parser import iter_document_events
+
+        with pytest.raises(XmlSyntaxError, match="mixed content"):
+            list(iter_document_events("<a>text<b/></a>"))
+
+    def test_deep_nesting_streams_without_recursion(self):
+        from repro.xmlmodel.parser import iter_document_events
+
+        depth = 5000
+        text = "<a>" * depth + "</a>" * depth
+        opens = sum(
+            1 for event in iter_document_events(text) if event[0] == "start"
+        )
+        assert opens == depth
